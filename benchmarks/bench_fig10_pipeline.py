@@ -1,0 +1,56 @@
+"""Fig. 10: two-level pipeline vs naive trace sorting.
+
+Shape asserted: the optimized pipeline's peak buffered-trace count is no
+worse than the unoptimized variant's and far below the naive sorter's
+(which buffers the entire history).  Dispatch latency of each sorter is
+benchmarked in its own group.
+"""
+
+import pytest
+
+from repro.core.pipeline import ClientFeed, NaiveGlobalSorter, TwoLevelPipeline
+
+
+def feeds_for(run):
+    return [
+        ClientFeed(stream, batch_size=64)
+        for _, stream in sorted(run.client_streams.items())
+    ]
+
+
+def drain(sorter):
+    count = sum(1 for _ in sorter)
+    return count, sorter.stats
+
+
+@pytest.mark.benchmark(group="fig10-dispatch")
+def test_fig10_leopard_pipeline(benchmark, blindw_rw_plus_run):
+    run = blindw_rw_plus_run
+    count, _ = benchmark(
+        lambda: drain(TwoLevelPipeline(feeds_for(run), optimized=True))
+    )
+    assert count == run.trace_count
+
+
+@pytest.mark.benchmark(group="fig10-dispatch")
+def test_fig10_pipeline_without_opt(benchmark, blindw_rw_plus_run):
+    run = blindw_rw_plus_run
+    count, _ = benchmark(
+        lambda: drain(TwoLevelPipeline(feeds_for(run), optimized=False))
+    )
+    assert count == run.trace_count
+
+
+@pytest.mark.benchmark(group="fig10-dispatch")
+def test_fig10_naive_sorter(benchmark, blindw_rw_plus_run):
+    run = blindw_rw_plus_run
+    count, _ = benchmark(lambda: drain(NaiveGlobalSorter(feeds_for(run))))
+    assert count == run.trace_count
+
+
+def test_fig10_memory_shape(blindw_rw_plus_run):
+    run = blindw_rw_plus_run
+    _, leopard = drain(TwoLevelPipeline(feeds_for(run), optimized=True))
+    _, naive = drain(NaiveGlobalSorter(feeds_for(run)))
+    assert naive.peak_buffered == run.trace_count
+    assert leopard.peak_buffered < naive.peak_buffered

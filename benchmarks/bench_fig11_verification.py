@@ -1,0 +1,85 @@
+"""Fig. 11: mechanism-mirrored verification vs cycle search vs DBMS time.
+
+Shapes asserted: Leopard verifies faster than the naive full-graph cycle
+search, and its per-transaction cost stays flat as the history doubles
+(linearity).  Benchmark groups time both checkers on the same run.
+"""
+
+import time
+
+import pytest
+
+from repro import PG_SERIALIZABLE
+from repro.baselines import NaiveCycleSearchChecker
+from repro.core.pipeline import pipeline_from_client_streams
+from repro.workloads import BlindW, run_workload
+
+from conftest import scaled, verify_full
+
+
+def run_cycle_search(run):
+    checker = NaiveCycleSearchChecker(
+        spec=PG_SERIALIZABLE, initial_db=run.initial_db
+    )
+    for trace in pipeline_from_client_streams(run.client_streams):
+        checker.process(trace)
+    return checker.finish()
+
+
+@pytest.mark.benchmark(group="fig11-verification")
+def test_fig11_leopard(benchmark, blindw_rw_plus_run):
+    report = benchmark(lambda: verify_full(blindw_rw_plus_run, PG_SERIALIZABLE))
+    assert report.ok
+
+
+@pytest.mark.benchmark(group="fig11-verification")
+def test_fig11_cycle_search(benchmark, blindw_rw_plus_run):
+    report = benchmark.pedantic(
+        lambda: run_cycle_search(blindw_rw_plus_run), rounds=1, iterations=1
+    )
+    assert report.ok
+
+
+def test_fig11_leopard_beats_cycle_search(blindw_rw_plus_run):
+    start = time.perf_counter()
+    verify_full(blindw_rw_plus_run, PG_SERIALIZABLE)
+    leopard_time = time.perf_counter() - start
+    start = time.perf_counter()
+    run_cycle_search(blindw_rw_plus_run)
+    naive_time = time.perf_counter() - start
+    assert leopard_time < naive_time
+
+
+def test_fig11_linear_in_txn_scale():
+    """Per-transaction verification cost must not blow up when the history
+    doubles (allows generous slack for timer noise)."""
+    times = {}
+    for txns in (scaled(400), scaled(800)):
+        run = run_workload(
+            BlindW.rw_plus(keys=2048),
+            PG_SERIALIZABLE,
+            clients=24,
+            txns=txns,
+            seed=5,
+        )
+        start = time.perf_counter()
+        verify_full(run, PG_SERIALIZABLE)
+        times[txns] = (time.perf_counter() - start) / txns
+    small, large = sorted(times)
+    assert times[large] < times[small] * 3
+
+
+def test_fig11_longer_txns_cost_more():
+    times = {}
+    for length in (4, 16):
+        run = run_workload(
+            BlindW.rw_plus(keys=2048, ops_per_txn=length),
+            PG_SERIALIZABLE,
+            clients=24,
+            txns=scaled(300),
+            seed=5,
+        )
+        start = time.perf_counter()
+        verify_full(run, PG_SERIALIZABLE)
+        times[length] = time.perf_counter() - start
+    assert times[16] > times[4]

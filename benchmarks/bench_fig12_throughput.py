@@ -1,0 +1,42 @@
+"""Fig. 12: DBMS throughput vs Leopard verification throughput.
+
+Shape asserted: verification keeps up with (exceeds) the simulated engine's
+transaction rate on both SmallBank and the more complex TPC-C.  The
+benchmark groups time verification of each workload's history.
+"""
+
+import time
+
+import pytest
+
+from repro import PG_SERIALIZABLE
+
+from conftest import verify_full
+
+
+def verification_tps(run):
+    start = time.perf_counter()
+    report = verify_full(run, PG_SERIALIZABLE)
+    elapsed = time.perf_counter() - start
+    assert report.ok
+    return report.stats.txns_committed / elapsed
+
+
+@pytest.mark.benchmark(group="fig12-verify")
+def test_fig12_smallbank_verification(benchmark, smallbank_run):
+    report = benchmark(lambda: verify_full(smallbank_run, PG_SERIALIZABLE))
+    assert report.ok
+
+
+@pytest.mark.benchmark(group="fig12-verify")
+def test_fig12_tpcc_verification(benchmark, tpcc_run):
+    report = benchmark(lambda: verify_full(tpcc_run, PG_SERIALIZABLE))
+    assert report.ok
+
+
+def test_fig12_leopard_keeps_up_with_smallbank(smallbank_run):
+    assert verification_tps(smallbank_run) > smallbank_run.throughput
+
+
+def test_fig12_leopard_keeps_up_with_tpcc(tpcc_run):
+    assert verification_tps(tpcc_run) > tpcc_run.throughput

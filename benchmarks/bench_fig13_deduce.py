@@ -1,0 +1,52 @@
+"""Fig. 13: deducing dependencies from overlapped traces.
+
+Shapes asserted: BlindW-W and BlindW-RW overlaps are fully deduced
+(uniquely-valued blind writes and reads), while SmallBank's duplicate
+values leave an uncertain residue.  The benchmark times the deduction-heavy
+verification of BlindW-W (pure ww tracking, the hard case the paper calls
+out).
+"""
+
+import pytest
+
+from repro import PG_SERIALIZABLE
+
+from conftest import verify_full
+
+
+def deduced_share(report):
+    stats = report.stats
+    if not stats.overlapped_pairs:
+        return 1.0
+    return stats.deduced_overlapped_pairs / stats.overlapped_pairs
+
+
+def test_fig13_blindw_w_fully_deduced(blindw_w_run):
+    report = verify_full(blindw_w_run, PG_SERIALIZABLE)
+    assert report.ok
+    assert deduced_share(report) == pytest.approx(1.0)
+
+
+def test_fig13_blindw_rw_fully_deduced(blindw_rw_run):
+    report = verify_full(blindw_rw_run, PG_SERIALIZABLE)
+    assert report.ok
+    assert deduced_share(report) >= 0.99
+
+
+def test_fig13_smallbank_residue(smallbank_run):
+    report = verify_full(smallbank_run, PG_SERIALIZABLE)
+    assert report.ok
+    # Amalgamate's duplicate zero-writes leave some overlaps undeducible.
+    assert deduced_share(report) < 1.0
+
+
+def test_fig13_beta_small_everywhere(blindw_w_run, blindw_rw_run, smallbank_run):
+    for run in (blindw_w_run, blindw_rw_run, smallbank_run):
+        report = verify_full(run, PG_SERIALIZABLE)
+        assert report.stats.beta < 0.5
+
+
+@pytest.mark.benchmark(group="fig13-deduce")
+def test_fig13_ww_deduction_throughput(benchmark, blindw_w_run):
+    report = benchmark(lambda: verify_full(blindw_w_run, PG_SERIALIZABLE))
+    assert report.ok

@@ -1,0 +1,91 @@
+"""Fig. 14: Leopard vs Cobra on BlindW-RW.
+
+Shapes asserted: Leopard's verification memory stays flat while Cobra
+without GC retains the whole polygraph; Leopard verifies faster than Cobra
+w/o GC at equal history size; and Cobra's time grows superlinearly where
+Leopard's grows linearly.  Benchmark groups time all three checkers on the
+same history.
+"""
+
+import time
+
+import pytest
+
+from repro import PG_SERIALIZABLE, Verifier, pipeline_from_client_streams
+from repro.baselines import CobraChecker, history_from_traces
+from repro.workloads import BlindW, run_workload
+
+from conftest import scaled, verify_full
+
+
+@pytest.fixture(scope="module")
+def history(blindw_rw_run):
+    return history_from_traces(blindw_rw_run.all_traces_sorted())
+
+
+@pytest.mark.benchmark(group="fig14-checkers")
+def test_fig14_leopard(benchmark, blindw_rw_run):
+    report = benchmark(lambda: verify_full(blindw_rw_run, PG_SERIALIZABLE))
+    assert report.ok
+
+
+@pytest.mark.benchmark(group="fig14-checkers")
+def test_fig14_cobra_with_gc(benchmark, blindw_rw_run, history):
+    result = benchmark.pedantic(
+        lambda: CobraChecker(fence_every=20).check(
+            history, blindw_rw_run.initial_db
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.ok
+
+
+@pytest.mark.benchmark(group="fig14-checkers")
+def test_fig14_cobra_without_gc(benchmark, blindw_rw_run, history):
+    result = benchmark.pedantic(
+        lambda: CobraChecker(fence_every=None).check(
+            history, blindw_rw_run.initial_db
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.ok
+
+
+def test_fig14_memory_shape(blindw_rw_run, history):
+    verifier = Verifier(spec=PG_SERIALIZABLE, initial_db=blindw_rw_run.initial_db)
+    peak = 0
+    for i, trace in enumerate(
+        pipeline_from_client_streams(blindw_rw_run.client_streams)
+    ):
+        verifier.process(trace)
+        if i % 200 == 0:
+            peak = max(peak, verifier.state.live_structure_count())
+    verifier.finish()
+    nogc = CobraChecker(fence_every=None).check(history, blindw_rw_run.initial_db)
+    gc = CobraChecker(fence_every=20).check(history, blindw_rw_run.initial_db)
+    assert peak < nogc.peak_structures
+    assert gc.peak_structures < nogc.peak_structures
+
+
+def test_fig14_time_scaling_shapes():
+    """Leopard linear, Cobra w/o GC superlinear: doubling the history must
+    inflate Cobra's *per-txn* cost markedly more than Leopard's."""
+    sizes = (scaled(300, floor=150), scaled(600, floor=300))
+    leopard, cobra = {}, {}
+    for txns in sizes:
+        run = run_workload(
+            BlindW.rw(keys=2048), PG_SERIALIZABLE, clients=24, txns=txns, seed=5
+        )
+        start = time.perf_counter()
+        verify_full(run, PG_SERIALIZABLE)
+        leopard[txns] = (time.perf_counter() - start) / txns
+        history = history_from_traces(run.all_traces_sorted())
+        start = time.perf_counter()
+        CobraChecker(fence_every=None).check(history, run.initial_db)
+        cobra[txns] = (time.perf_counter() - start) / txns
+    small, large = sizes
+    leopard_growth = leopard[large] / leopard[small]
+    cobra_growth = cobra[large] / cobra[small]
+    assert cobra_growth > leopard_growth

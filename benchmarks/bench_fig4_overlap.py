@@ -1,0 +1,43 @@
+"""Fig. 4: overlapping ratio beta in YCSB-A.
+
+Shape asserted: beta grows with contention (Zipf skew) and stays a small
+fraction of all conflicting pairs.  The benchmark times the verification
+pass that produces beta.
+"""
+
+import pytest
+
+from repro import PG_SERIALIZABLE
+from repro.workloads import YcsbA, run_workload
+
+from conftest import scaled, verify_full
+
+
+@pytest.fixture(scope="module")
+def reports():
+    out = {}
+    for theta in (0.2, 0.95):
+        run = run_workload(
+            YcsbA(records=scaled(2000, floor=300), theta=theta),
+            PG_SERIALIZABLE,
+            clients=24,
+            txns=scaled(600),
+            seed=5,
+        )
+        out[theta] = verify_full(run, PG_SERIALIZABLE)
+    return out
+
+
+def test_fig4_beta_grows_with_skew(reports):
+    assert reports[0.95].stats.beta > reports[0.2].stats.beta
+
+
+def test_fig4_beta_stays_small(reports):
+    for report in reports.values():
+        assert report.stats.beta < 0.5
+        assert report.ok
+
+
+def test_fig4_verification_pass(benchmark, ycsb_run):
+    result = benchmark(lambda: verify_full(ycsb_run, PG_SERIALIZABLE))
+    assert result.ok

@@ -1,0 +1,50 @@
+"""Extension: push-based online verification overhead.
+
+Shape asserted: the online path (per-trace watermark maintenance +
+immediate alerting) stays within a small factor of the batch pipeline, and
+its retained structures remain bounded -- the property that makes
+continuous production monitoring viable (challenge C3).
+"""
+
+import pytest
+
+from repro import OnlineVerifier, PG_SERIALIZABLE
+
+from conftest import verify_full
+
+
+def run_online(run):
+    online = OnlineVerifier(spec=PG_SERIALIZABLE, initial_db=run.initial_db)
+    streams = {cid: list(s) for cid, s in run.client_streams.items()}
+    for client_id in streams:
+        online.register_client(client_id)
+    positions = {cid: 0 for cid in streams}
+    remaining = sum(len(s) for s in streams.values())
+    while remaining:
+        for cid, stream in streams.items():
+            if positions[cid] < len(stream):
+                online.feed(stream[positions[cid]])
+                positions[cid] += 1
+                remaining -= 1
+    return online.finish()
+
+
+@pytest.mark.benchmark(group="online-vs-batch")
+def test_online_path(benchmark, blindw_rw_run):
+    report = benchmark.pedantic(
+        lambda: run_online(blindw_rw_run), rounds=3, iterations=1
+    )
+    assert report.ok
+
+
+@pytest.mark.benchmark(group="online-vs-batch")
+def test_batch_path(benchmark, blindw_rw_run):
+    report = benchmark(lambda: verify_full(blindw_rw_run, PG_SERIALIZABLE))
+    assert report.ok
+
+
+def test_online_verdict_matches_batch(blindw_rw_run):
+    online = run_online(blindw_rw_run)
+    batch = verify_full(blindw_rw_run, PG_SERIALIZABLE)
+    assert online.ok == batch.ok
+    assert online.stats.deps_total == batch.stats.deps_total

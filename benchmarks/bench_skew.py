@@ -1,0 +1,46 @@
+"""Extension: clock-synchronisation sensitivity.
+
+Shape asserted: interval-based verification absorbs NTP-class clock error
+(tens of microseconds) without false positives; only offsets far beyond the
+operation latency can invert intervals.  The benchmark times verification
+of a skewed-clock capture (skew must not slow the verifier down).
+"""
+
+import pytest
+
+from repro import PG_SERIALIZABLE
+from repro.workloads import BlindW, run_workload
+
+from conftest import scaled, verify_full
+
+
+def skewed_run(offset_s, jitter_s, seed=5):
+    return run_workload(
+        BlindW.rw(keys=1024),
+        PG_SERIALIZABLE,
+        clients=16,
+        txns=scaled(500, floor=200),
+        seed=seed,
+        clock_skew=offset_s,
+        clock_jitter=jitter_s,
+    )
+
+
+def test_skew_ntp_class_no_false_positives():
+    for offset_us in (10, 50, 100):
+        run = skewed_run(offset_us * 1e-6, offset_us * 1e-7)
+        report = verify_full(run, PG_SERIALIZABLE)
+        assert report.ok, f"{offset_us}us skew produced false positives"
+
+
+def test_skew_does_not_reduce_dependency_coverage_catastrophically():
+    clean = verify_full(skewed_run(0, 0), PG_SERIALIZABLE)
+    skewed = verify_full(skewed_run(1e-4, 1e-5), PG_SERIALIZABLE)
+    assert skewed.stats.deps_total > clean.stats.deps_total * 0.5
+
+
+@pytest.mark.benchmark(group="skew")
+def test_skew_verification_cost(benchmark):
+    run = skewed_run(5e-5, 5e-6)
+    report = benchmark(lambda: verify_full(run, PG_SERIALIZABLE))
+    assert report.ok

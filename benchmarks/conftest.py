@@ -1,0 +1,98 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_fig*.py`` file regenerates one table/figure of the paper at
+benchmark scale: the workload run is prepared once per session (it is the
+substrate, not the thing under test) and the *checking* work -- pipeline
+dispatch, mechanism-mirrored verification, baseline checkers -- is what
+``benchmark`` times.  Full paper-scale tables come from
+``python -m repro.bench all``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import PG_SERIALIZABLE, Verifier, pipeline_from_client_streams
+from repro.workloads import BlindW, SmallBank, TpcC, YcsbA, run_workload
+
+#: scale multiplier for benchmark workloads (override: REPRO_BENCH_SCALE).
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(n: int, floor: int = 50) -> int:
+    return max(floor, int(n * BENCH_SCALE))
+
+
+def verify_full(run, spec=PG_SERIALIZABLE, **kwargs):
+    verifier = Verifier(spec=spec, initial_db=run.initial_db, **kwargs)
+    for trace in pipeline_from_client_streams(run.client_streams):
+        verifier.process(trace)
+    return verifier.finish()
+
+
+@pytest.fixture(scope="session")
+def blindw_rw_run():
+    return run_workload(
+        BlindW.rw(keys=2048),
+        PG_SERIALIZABLE,
+        clients=24,
+        txns=scaled(1000),
+        seed=5,
+    )
+
+
+@pytest.fixture(scope="session")
+def blindw_rw_plus_run():
+    return run_workload(
+        BlindW.rw_plus(keys=2048),
+        PG_SERIALIZABLE,
+        clients=24,
+        txns=scaled(800),
+        seed=5,
+    )
+
+
+@pytest.fixture(scope="session")
+def blindw_w_run():
+    return run_workload(
+        BlindW.w(keys=2048),
+        PG_SERIALIZABLE,
+        clients=24,
+        txns=scaled(800),
+        seed=5,
+    )
+
+
+@pytest.fixture(scope="session")
+def smallbank_run():
+    return run_workload(
+        SmallBank(scale_factor=0.2),
+        PG_SERIALIZABLE,
+        clients=24,
+        txns=scaled(800),
+        seed=5,
+    )
+
+
+@pytest.fixture(scope="session")
+def tpcc_run():
+    return run_workload(
+        TpcC(scale_factor=1),
+        PG_SERIALIZABLE,
+        clients=16,
+        txns=scaled(500),
+        seed=5,
+    )
+
+
+@pytest.fixture(scope="session")
+def ycsb_run():
+    return run_workload(
+        YcsbA(records=scaled(4000, floor=500), theta=0.8),
+        PG_SERIALIZABLE,
+        clients=16,
+        txns=scaled(800),
+        seed=5,
+    )

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Verify various isolation levels across the Fig. 1 DBMS profiles.
+
+Demonstrates Leopard's generality (challenge C2): the *same* verifier,
+configured only with the mechanism assembly a DBMS documents, verifies
+SmallBank runs on engines as different as PostgreSQL (2PL+MVCC+SSI),
+SQLite (pure 2PL) and CockroachDB (certifier-only).
+
+The second half shows the other direction: running a *weaker* engine than
+claimed makes the corresponding mechanism verifier light up -- e.g. an
+engine without first-updater-wins cannot honestly claim snapshot
+isolation.
+"""
+
+from repro import IsolationLevel, Verifier, pipeline_from_client_streams, profile
+from repro.core.spec import PG_REPEATABLE_READ, PG_SERIALIZABLE
+from repro.dbsim import SimulatedDBMS
+from repro.workloads import SmallBank, WorkloadRunner
+
+
+def run_and_verify(spec, claim=None, txns=1200, seed=21):
+    """Run SmallBank on an engine implementing ``spec`` and verify the
+    traces against ``claim`` (defaults to the same spec)."""
+    claim = claim or spec
+    db = SimulatedDBMS(spec=spec, seed=seed)
+    run = WorkloadRunner(
+        db, SmallBank(scale_factor=0.1, seed=seed), clients=12, seed=seed
+    ).run(txns=txns)
+    verifier = Verifier(spec=claim, initial_db=run.initial_db)
+    for trace in pipeline_from_client_streams(run.client_streams):
+        verifier.process(trace)
+    return run, verifier.finish()
+
+
+def main() -> None:
+    print("=== engines verified against their own documented level ===")
+    profiles = [
+        profile("postgresql", IsolationLevel.SERIALIZABLE),
+        profile("postgresql", IsolationLevel.SNAPSHOT_ISOLATION),
+        profile("postgresql", IsolationLevel.READ_COMMITTED),
+        profile("innodb", IsolationLevel.REPEATABLE_READ),
+        profile("sqlite", IsolationLevel.SERIALIZABLE),
+        profile("cockroachdb", IsolationLevel.SERIALIZABLE),
+        profile("tidb", IsolationLevel.SNAPSHOT_ISOLATION),
+    ]
+    for spec in profiles:
+        run, report = run_and_verify(spec)
+        print(
+            f"{spec.name:18s} mechanisms={'+'.join(spec.mechanisms()):15s} "
+            f"committed={run.committed:5d} aborted={run.aborted:4d} "
+            f"-> {'clean' if report.ok else 'VIOLATIONS'}"
+        )
+
+    print()
+    print("=== a weaker engine verified against a stronger claim ===")
+    # Engine actually provides read committed, but the operator *claims*
+    # snapshot isolation: CR and FUW violations must surface.
+    weak = profile("postgresql", IsolationLevel.READ_COMMITTED)
+    run, report = run_and_verify(weak, claim=PG_REPEATABLE_READ)
+    print(f"engine={weak.name}, claim={PG_REPEATABLE_READ.name}:")
+    for violation in report.violations[:5]:
+        print(f"  {violation}")
+    print(f"  ... {len(report.violations)} distinct violations in total")
+
+    # Engine provides snapshot isolation but claims full serializability.
+    si = profile("postgresql", IsolationLevel.SNAPSHOT_ISOLATION)
+    run, report = run_and_verify(si, claim=PG_SERIALIZABLE, txns=3000)
+    print(f"engine={si.name}, claim={PG_SERIALIZABLE.name}:")
+    if report.ok:
+        print("  no write skew materialised in this run (SI anomalies are rare)")
+    for violation in report.violations[:5]:
+        print(f"  {violation}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,236 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands
+-----------
+``run``
+    Run a workload on the simulated DBMS and capture per-client trace
+    files (JSONL) plus the initial database image.
+``verify``
+    Verify a captured trace directory against an isolation spec and print
+    the verification report.
+``profiles``
+    Print the Fig. 1 registry of DBMS isolation-level implementations.
+``bench``
+    Regenerate the paper's tables/figures (same as ``python -m repro.bench``).
+
+A typical round trip::
+
+    python -m repro run --workload smallbank --dbms postgresql --level SR \
+        --txns 2000 --clients 16 --out /tmp/capture
+    python -m repro verify /tmp/capture --dbms postgresql --level SR
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .core.io import (
+    dump_client_streams,
+    dump_initial_db,
+    load_client_streams,
+    load_initial_db,
+)
+from .core.pipeline import pipeline_from_client_streams
+from .core.spec import IsolationLevel, IsolationSpec, profile, supported_dbms
+from .core.verifier import Verifier
+from .dbsim.engine import SimulatedDBMS
+from .dbsim.faults import FaultPlan
+
+
+def _build_workload(name: str, seed: int):
+    from .workloads import (
+        BlindW,
+        InsertScanWorkload,
+        ListAppendWorkload,
+        LostUpdateWorkload,
+        SmallBank,
+        TpcC,
+        WriteSkewWorkload,
+        YcsbA,
+    )
+
+    factories = {
+        "blindw-w": lambda: BlindW.w(seed=seed),
+        "blindw-rw": lambda: BlindW.rw(seed=seed),
+        "blindw-rw+": lambda: BlindW.rw_plus(seed=seed),
+        "smallbank": lambda: SmallBank(scale_factor=0.5, seed=seed),
+        "tpcc": lambda: TpcC(scale_factor=1, seed=seed),
+        "ycsb-a": lambda: YcsbA(seed=seed),
+        "ycsb-b": lambda: YcsbA.b(seed=seed),
+        "ycsb-c": lambda: YcsbA.c(seed=seed),
+        "ycsb-f": lambda: YcsbA.f(seed=seed),
+        "list-append": lambda: ListAppendWorkload(seed=seed),
+        "insert-scan": lambda: InsertScanWorkload(
+            initial_rows=50, insert_ratio=0.35, delete_ratio=0.15, seed=seed
+        ),
+        "write-skew": lambda: WriteSkewWorkload(seed=seed),
+        "lost-update": lambda: LostUpdateWorkload(seed=seed),
+    }
+    try:
+        return factories[name]()
+    except KeyError:
+        known = ", ".join(sorted(factories))
+        raise SystemExit(f"unknown workload {name!r}; known: {known}")
+
+
+def _resolve_spec(dbms: str, level: str) -> IsolationSpec:
+    try:
+        iso_level = IsolationLevel(level.upper())
+    except ValueError:
+        options = ", ".join(l.value for l in IsolationLevel)
+        raise SystemExit(f"unknown isolation level {level!r}; known: {options}")
+    try:
+        return profile(dbms, iso_level)
+    except KeyError as exc:
+        raise SystemExit(str(exc))
+
+
+def _fault_plan(args) -> FaultPlan:
+    return FaultPlan(
+        skip_lock_on_noop_update="noop-lock" in args.inject,
+        stale_read_prob=0.05 if "stale-read" in args.inject else 0.0,
+        forget_write_lock_prob=0.5 if "forget-lock" in args.inject else 0.0,
+        ignore_own_write_prob=0.5 if "ignore-own-write" in args.inject else 0.0,
+        dirty_read_prob=0.05 if "dirty-read" in args.inject else 0.0,
+        future_read_prob=0.1 if "future-read" in args.inject else 0.0,
+        phantom_skip_prob=0.05 if "phantom" in args.inject else 0.0,
+        disable_fuw="no-fuw" in args.inject,
+        disable_ssi="no-ssi" in args.inject,
+        disable_write_locks="no-locks" in args.inject,
+        seed=args.seed,
+    )
+
+
+def cmd_run(args) -> int:
+    from .workloads import WorkloadRunner
+
+    spec = _resolve_spec(args.dbms, args.level)
+    workload = _build_workload(args.workload, args.seed)
+    db = SimulatedDBMS(spec=spec, seed=args.seed, faults=_fault_plan(args))
+    runner = WorkloadRunner(
+        db,
+        workload,
+        clients=args.clients,
+        seed=args.seed,
+        clock_skew=args.clock_skew,
+        clock_jitter=args.clock_jitter,
+    )
+    run = runner.run(txns=args.txns)
+    out = Path(args.out)
+    dump_client_streams(run.client_streams, out)
+    dump_initial_db(run.initial_db, out / "initial_db.json")
+    print(
+        f"{run.workload} on {spec.name}: {run.committed} committed, "
+        f"{run.aborted} aborted, {run.trace_count} traces -> {out}"
+    )
+    return 0
+
+
+def cmd_verify(args) -> int:
+    spec = _resolve_spec(args.dbms, args.level)
+    capture = Path(args.capture)
+    streams = load_client_streams(capture)
+    initial_path = capture / "initial_db.json"
+    initial_db = load_initial_db(initial_path) if initial_path.exists() else None
+    verifier = Verifier(
+        spec=spec,
+        initial_db=initial_db,
+        gc_every=args.gc_every,
+        exchange_dependencies=not args.no_exchange,
+        minimize_candidates=not args.naive_candidates,
+    )
+    for trace in pipeline_from_client_streams(streams):
+        verifier.process(trace)
+    report = verifier.finish()
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def cmd_profiles(args) -> int:
+    from .bench.experiments import fig1_profiles
+
+    print(fig1_profiles().render())
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from .bench.harness import main as bench_main
+
+    return bench_main(args.bench_args)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Black-box isolation-level verification (Leopard reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run a workload and capture traces")
+    run_p.add_argument("--workload", default="blindw-rw")
+    run_p.add_argument("--dbms", default="postgresql", choices=supported_dbms())
+    run_p.add_argument("--level", default="SR")
+    run_p.add_argument("--txns", type=int, default=2000)
+    run_p.add_argument("--clients", type=int, default=8)
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--clock-skew", type=float, default=0.0)
+    run_p.add_argument("--clock-jitter", type=float, default=0.0)
+    run_p.add_argument(
+        "--inject",
+        nargs="*",
+        default=[],
+        choices=[
+            "noop-lock",
+            "stale-read",
+            "forget-lock",
+            "ignore-own-write",
+            "dirty-read",
+            "future-read",
+            "phantom",
+            "no-fuw",
+            "no-ssi",
+            "no-locks",
+        ],
+        help="fault classes to inject into the engine",
+    )
+    run_p.add_argument("--out", required=True, help="capture directory")
+    run_p.set_defaults(fn=cmd_run)
+
+    verify_p = sub.add_parser("verify", help="verify a captured trace directory")
+    verify_p.add_argument("capture", help="directory written by `run`")
+    verify_p.add_argument("--dbms", default="postgresql", choices=supported_dbms())
+    verify_p.add_argument("--level", default="SR")
+    verify_p.add_argument("--gc-every", type=int, default=512)
+    verify_p.add_argument("--no-exchange", action="store_true")
+    verify_p.add_argument("--naive-candidates", action="store_true")
+    verify_p.set_defaults(fn=cmd_verify)
+
+    profiles_p = sub.add_parser("profiles", help="print the Fig. 1 registry")
+    profiles_p.set_defaults(fn=cmd_profiles)
+
+    bench_p = sub.add_parser("bench", help="regenerate paper tables/figures")
+    bench_p.add_argument("bench_args", nargs=argparse.REMAINDER)
+    bench_p.set_defaults(fn=cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if argv and argv[0] == "bench":
+        # Hand the whole tail to the bench harness untouched (argparse's
+        # REMAINDER mishandles leading options like ``--list``).
+        from .bench.harness import main as bench_main
+
+        return bench_main(argv[1:])
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

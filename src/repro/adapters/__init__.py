@@ -1,0 +1,12 @@
+"""Adapters for tracing real database clients (the deployment-side Tracer)."""
+
+from .base import Backend, BackendError, TracedTransaction, TracingClient
+from .memory import DictBackend
+
+__all__ = [
+    "Backend",
+    "BackendError",
+    "TracedTransaction",
+    "TracingClient",
+    "DictBackend",
+]

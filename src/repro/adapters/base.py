@@ -1,0 +1,258 @@
+"""Tracing adapter: wrap any real database client to produce traces.
+
+This is the deployment story of the paper's *Tracer*: the application keeps
+calling its database driver; a thin wrapper timestamps each call before and
+after and appends an interval-based trace.  Nothing about the application
+logic or the database changes (challenge C1).
+
+To integrate a real system, implement :class:`Backend` over your driver::
+
+    class PostgresBackend(Backend):
+        def __init__(self, conn):
+            self._conn = conn
+        def begin(self):
+            self._conn.autocommit = False
+        def read(self, keys, for_update=False):
+            rows = {}
+            for table, pk in keys:
+                cur = self._conn.execute(
+                    f"SELECT * FROM {table} WHERE id = %s"
+                    + (" FOR UPDATE" if for_update else ""),
+                    (pk,),
+                )
+                row = cur.fetchone()
+                rows[(table, pk)] = dict(row) if row else None
+            return rows
+        def write(self, writes): ...
+        def commit(self): self._conn.commit()
+        def abort(self): self._conn.rollback()
+
+then drive transactions through :class:`TracingClient` and feed the
+recorded streams to the verifier.  :class:`repro.adapters.memory.DictBackend`
+is a self-contained reference backend used by the tests and examples.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..core.trace import Key, OpStatus, Trace, as_columns
+
+
+class BackendError(Exception):
+    """Raised by a backend when an operation fails (e.g. serialization
+    failure).  The tracing client records a FAILED trace and rolls back."""
+
+
+class Backend(abc.ABC):
+    """Driver-facing interface the tracing client wraps."""
+
+    @abc.abstractmethod
+    def begin(self) -> None:
+        """Start a transaction on the underlying connection."""
+
+    @abc.abstractmethod
+    def read(
+        self, keys: Sequence[Key], for_update: bool = False
+    ) -> Dict[Key, Optional[Mapping[str, object]]]:
+        """Read records; return ``None`` for missing keys."""
+
+    @abc.abstractmethod
+    def write(self, writes: Mapping[Key, Mapping[str, object]]) -> None:
+        """Apply column writes within the current transaction."""
+
+    @abc.abstractmethod
+    def commit(self) -> None:
+        """Commit; raise :class:`BackendError` on failure."""
+
+    @abc.abstractmethod
+    def abort(self) -> None:
+        """Roll back the current transaction."""
+
+
+class TracingClient:
+    """One traced client connection.
+
+    Use as a context manager per transaction::
+
+        client = TracingClient(backend, client_id=0)
+        with client.transaction() as txn:
+            row = txn.read(["x"])["x"]
+            txn.write({"x": row["v"] + 1})
+        # traces for read/write/commit recorded in client.traces
+
+    Raising inside the block (or a :class:`BackendError` from the backend)
+    rolls the transaction back and records the abort trace.
+    """
+
+    def __init__(
+        self,
+        backend: Backend,
+        client_id: int = 0,
+        clock: Callable[[], float] = time.monotonic,
+        txn_prefix: Optional[str] = None,
+    ):
+        self._backend = backend
+        self.client_id = client_id
+        self._clock = clock
+        self._txn_prefix = txn_prefix or f"c{client_id}"
+        self._txn_counter = 0
+        self.traces: List[Trace] = []
+
+    def transaction(self) -> "TracedTransaction":
+        self._txn_counter += 1
+        txn_id = f"{self._txn_prefix}-{self._txn_counter}"
+        return TracedTransaction(self, txn_id)
+
+    # -- internal trace recording -------------------------------------------------
+
+    def _record(self, factory, txn_id, op_index, payload, **kwargs) -> None:
+        self.traces.append(
+            factory(
+                kwargs.pop("ts_bef"),
+                kwargs.pop("ts_aft"),
+                txn_id,
+                *([] if payload is None else [payload]),
+                client_id=self.client_id,
+                op_index=op_index,
+                **kwargs,
+            )
+        )
+
+
+class TracedTransaction:
+    """Context manager wrapping one backend transaction with tracing."""
+
+    def __init__(self, client: TracingClient, txn_id: str):
+        self._client = client
+        self.txn_id = txn_id
+        self._op_index = 0
+        self._finished = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def __enter__(self) -> "TracedTransaction":
+        self._client._backend.begin()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._finished:
+            return exc_type is None or issubclass(exc_type, BackendError)
+        if exc_type is None:
+            self.commit()
+            return True
+        self.abort()
+        # Backend errors are part of normal operation (serialization
+        # failures); anything else propagates.
+        return issubclass(exc_type, BackendError)
+
+    # -- operations ----------------------------------------------------------------
+
+    def _stamp(self) -> float:
+        return self._client._clock()
+
+    def read(
+        self, keys: Sequence[Key], for_update: bool = False
+    ) -> Dict[Key, Optional[Dict[str, object]]]:
+        ts_bef = self._stamp()
+        try:
+            values = self._client._backend.read(keys, for_update=for_update)
+        except BackendError:
+            self._record_failed(Trace.read, ts_bef, for_update=for_update)
+            raise
+        ts_aft = self._stamp()
+        observed = {
+            key: (dict(value) if value is not None else {})
+            for key, value in values.items()
+        }
+        self._client._record(
+            Trace.read,
+            self.txn_id,
+            self._op_index,
+            observed,
+            ts_bef=ts_bef,
+            ts_aft=ts_aft,
+            for_update=for_update,
+        )
+        self._op_index += 1
+        return {
+            key: (dict(value) if value is not None else None)
+            for key, value in values.items()
+        }
+
+    def write(self, writes: Mapping[Key, object]) -> None:
+        normalised = {key: as_columns(value) for key, value in writes.items()}
+        ts_bef = self._stamp()
+        try:
+            self._client._backend.write(normalised)
+        except BackendError:
+            self._record_failed(Trace.write, ts_bef)
+            raise
+        ts_aft = self._stamp()
+        self._client._record(
+            Trace.write,
+            self.txn_id,
+            self._op_index,
+            normalised,
+            ts_bef=ts_bef,
+            ts_aft=ts_aft,
+        )
+        self._op_index += 1
+
+    def commit(self) -> None:
+        ts_bef = self._stamp()
+        try:
+            self._client._backend.commit()
+        except BackendError:
+            # A failed commit is a rollback: record the abort terminal.
+            ts_aft = self._stamp()
+            self._client._record(
+                Trace.abort,
+                self.txn_id,
+                self._op_index,
+                None,
+                ts_bef=ts_bef,
+                ts_aft=ts_aft,
+            )
+            self._finished = True
+            raise
+        ts_aft = self._stamp()
+        self._client._record(
+            Trace.commit,
+            self.txn_id,
+            self._op_index,
+            None,
+            ts_bef=ts_bef,
+            ts_aft=ts_aft,
+        )
+        self._finished = True
+
+    def abort(self) -> None:
+        ts_bef = self._stamp()
+        self._client._backend.abort()
+        ts_aft = self._stamp()
+        self._client._record(
+            Trace.abort,
+            self.txn_id,
+            self._op_index,
+            None,
+            ts_bef=ts_bef,
+            ts_aft=ts_aft,
+        )
+        self._finished = True
+
+    def _record_failed(self, factory, ts_bef: float, **kwargs) -> None:
+        ts_aft = self._stamp()
+        self._client._record(
+            factory,
+            self.txn_id,
+            self._op_index,
+            {},
+            ts_bef=ts_bef,
+            ts_aft=ts_aft,
+            status=OpStatus.FAILED,
+            **kwargs,
+        )
+        self._op_index += 1

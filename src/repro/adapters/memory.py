@@ -1,0 +1,101 @@
+"""Reference in-memory backend for the tracing adapter.
+
+A minimal transactional store with two selectable disciplines:
+
+* ``"serial"`` -- a single global mutex serialises whole transactions
+  (trivially serializable; the backend every history from it must verify
+  clean against);
+* ``"chaos"``  -- no concurrency control at all: transactions read the
+  latest state and buffer writes until commit, so concurrent read-modify-
+  write cycles produce genuine lost updates and dirty-adjacent anomalies.
+  Used by tests and examples to show the adapter + verifier catching a
+  *real* (non-simulated) broken store.
+
+Both run fine under real Python threads: the store itself is protected by
+a lock; only the *transactional* guarantees differ.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Mapping, Optional, Sequence
+
+from ..core.trace import Key
+from .base import Backend, BackendError
+
+
+class DictBackend:
+    """Shared store; create one per database, then one :meth:`session`
+    (a :class:`~repro.adapters.base.Backend`) per thread/client."""
+
+    def __init__(self, initial: Optional[Mapping[Key, Mapping[str, object]]] = None,
+                 discipline: str = "serial"):
+        if discipline not in ("serial", "chaos"):
+            raise ValueError(f"unknown discipline {discipline!r}")
+        from ..core.trace import as_columns
+
+        self.discipline = discipline
+        self._data: Dict[Key, Dict[str, object]] = {
+            key: as_columns(image) for key, image in (initial or {}).items()
+        }
+        self._store_lock = threading.Lock()
+        self._txn_lock = threading.Lock()
+        self.initial_db = {key: dict(image) for key, image in self._data.items()}
+
+    def session(self) -> "_DictSession":
+        return _DictSession(self)
+
+    # -- store primitives (always under the store lock) ----------------------
+
+    def _snapshot(self, keys: Sequence[Key]):
+        with self._store_lock:
+            return {
+                key: (dict(self._data[key]) if key in self._data else None)
+                for key in keys
+            }
+
+    def _apply(self, staged: Mapping[Key, Mapping[str, object]]) -> None:
+        with self._store_lock:
+            for key, columns in staged.items():
+                self._data.setdefault(key, {}).update(columns)
+
+
+class _DictSession(Backend):
+    """Per-client backend instance sharing one :class:`DictBackend`."""
+
+    def __init__(self, shared: DictBackend):
+        self._shared = shared
+        self._staged: Dict[Key, Dict[str, object]] = {}
+        self._holds_txn_lock = False
+
+    def begin(self) -> None:
+        self._staged = {}
+        if self._shared.discipline == "serial":
+            self._shared._txn_lock.acquire()
+            self._holds_txn_lock = True
+
+    def read(self, keys, for_update: bool = False):
+        values = self._shared._snapshot(keys)
+        for key in keys:
+            if key in self._staged:
+                merged = dict(values[key] or {})
+                merged.update(self._staged[key])
+                values[key] = merged
+        return values
+
+    def write(self, writes) -> None:
+        for key, columns in writes.items():
+            self._staged.setdefault(key, {}).update(columns)
+
+    def commit(self) -> None:
+        self._shared._apply(self._staged)
+        self._end()
+
+    def abort(self) -> None:
+        self._end()
+
+    def _end(self) -> None:
+        self._staged = {}
+        if self._holds_txn_lock:
+            self._shared._txn_lock.release()
+            self._holds_txn_lock = False

@@ -1,0 +1,27 @@
+"""Baseline checkers the paper compares against (Sections VI-B/E/F)."""
+
+from .cobra import CobraChecker, CobraResult
+from .cyclesearch import NaiveCycleSearchChecker
+from .elle import ElleAnomaly, ElleChecker, ElleResult, InapplicableWorkload
+from .history import (
+    HistoryTxn,
+    flatten_value,
+    history_from_traces,
+    initial_history_txn,
+    values_are_unique,
+)
+
+__all__ = [
+    "CobraChecker",
+    "CobraResult",
+    "NaiveCycleSearchChecker",
+    "ElleAnomaly",
+    "ElleChecker",
+    "ElleResult",
+    "InapplicableWorkload",
+    "HistoryTxn",
+    "flatten_value",
+    "history_from_traces",
+    "initial_history_txn",
+    "values_are_unique",
+]

@@ -1,0 +1,363 @@
+"""Elle-like isolation checker (the Section VI-F comparison).
+
+Elle (Alvaro & Kingsbury, VLDB 2020) infers anomalies from histories whose
+workloads make version orders *manifest* -- e.g. unique register writes
+with read-modify-write chains, or list-append.  This reimplementation keeps
+Elle's essential properties, including the limitations the paper
+demonstrates:
+
+* it refuses histories whose written values are not unique (TPC-C,
+  SmallBank), since its version-order inference is undefined there;
+* it detects only anomalies visible as *cycles* (or direct read aberrations
+  G1a/G1b) in its inferred dependency graph -- bugs that create no cycle,
+  such as the paper's Bug 1 (a dirty write that left no cyclic evidence),
+  go unreported;
+* it runs offline over the complete history.
+
+Anomalies are named using Adya's taxonomy, as Elle does: G0 (write cycle),
+G1a (aborted read), G1b (intermediate read), G1c (cyclic information flow),
+G-single (one anti-dependency edge in a cycle), G2 (multiple
+anti-dependency edges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..core.trace import OpKind, OpStatus, Trace
+from .history import (
+    HistoryTxn,
+    Value,
+    flatten_value,
+    history_from_traces,
+    initial_history_txn,
+    values_are_unique,
+)
+
+Key = Hashable
+
+
+class InapplicableWorkload(Exception):
+    """Raised when the history does not manifest version orders."""
+
+
+def _sequence_of(value: Value):
+    """Extract the element sequence from a flattened single-column value
+    whose payload is a list/tuple, else None."""
+    if len(value) != 1:
+        return None
+    _, payload = value[0]
+    if isinstance(payload, (list, tuple)):
+        return tuple(payload)
+    return None
+
+
+def _list_append_chain(values, initial_seq=()) -> Optional[List[Value]]:
+    """If every written value of a key is a sequence and, sorted by length,
+    each strictly extends the previous one (the list-append datatype growing
+    from ``initial_seq``; multi-element jumps are transactions that appended
+    several times, whose intermediate states never committed), return the
+    values in version order; else None."""
+    decoded = []
+    for value in values:
+        seq = _sequence_of(value)
+        if seq is None:
+            return None
+        decoded.append((seq, value))
+    decoded.sort(key=lambda pair: len(pair[0]))
+    previous = tuple(initial_seq)
+    chain: List[Value] = []
+    for seq, value in decoded:
+        if len(seq) <= len(previous) or seq[: len(previous)] != previous:
+            return None
+        chain.append(value)
+        previous = seq
+    return chain
+
+
+@dataclass
+class ElleAnomaly:
+    name: str
+    txns: Tuple[str, ...]
+    details: str
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        return f"{self.name}: {','.join(self.txns)} ({self.details})"
+
+
+@dataclass
+class ElleResult:
+    ok: bool
+    anomalies: List[ElleAnomaly] = field(default_factory=list)
+    txns: int = 0
+    cycles_examined: int = 0
+
+    def anomaly_names(self) -> Set[str]:
+        return {a.name for a in self.anomalies}
+
+
+class ElleChecker:
+    """Offline anomaly inference over a unique-value register history."""
+
+    def __init__(self, max_cycles: int = 10_000):
+        self.max_cycles = max_cycles
+
+    # -- entry points ------------------------------------------------------------
+
+    def check_traces(
+        self,
+        traces: Sequence[Trace],
+        initial_db: Optional[Mapping[Key, Mapping[str, object]]] = None,
+    ) -> ElleResult:
+        history = history_from_traces(traces)
+        aborted = self._aborted_writes(traces)
+        intermediate = self._intermediate_writes(traces)
+        return self.check(
+            history,
+            initial_db=initial_db,
+            aborted_writes=aborted,
+            intermediate_writes=intermediate,
+        )
+
+    def check(
+        self,
+        history: Sequence[HistoryTxn],
+        initial_db: Optional[Mapping[Key, Mapping[str, object]]] = None,
+        aborted_writes: Optional[Dict[Tuple[Key, Value], str]] = None,
+        intermediate_writes: Optional[Dict[Tuple[Key, Value], str]] = None,
+    ) -> ElleResult:
+        history = list(history)
+        if not values_are_unique(history):
+            raise InapplicableWorkload(
+                "history writes duplicate values: Elle's register inference "
+                "requires a version-manifesting workload"
+            )
+        result = ElleResult(ok=True, txns=len(history))
+        init = initial_history_txn(initial_db or {})
+        writer_of_value: Dict[Tuple[Key, Value], str] = {
+            (key, value): init.txn_id for key, value in init.writes.items()
+        }
+        version_parents = self._infer_version_orders(
+            history, writer_of_value, result
+        )
+        graph = self._dependency_graph(
+            history,
+            init,
+            writer_of_value,
+            version_parents,
+            aborted_writes or {},
+            intermediate_writes or {},
+            result,
+        )
+        self._find_cycle_anomalies(graph, result)
+        result.ok = not result.anomalies
+        return result
+
+    # -- history side-channels (aborted / intermediate values) ---------------------------
+
+    @staticmethod
+    def _aborted_writes(traces: Sequence[Trace]) -> Dict[Tuple[Key, Value], str]:
+        status: Dict[str, bool] = {}
+        writes: Dict[str, List[Tuple[Key, Value]]] = {}
+        for trace in traces:
+            if trace.kind is OpKind.WRITE and trace.status is OpStatus.OK:
+                for key, columns in trace.writes.items():
+                    writes.setdefault(trace.txn_id, []).append(
+                        (key, flatten_value(columns))
+                    )
+            elif trace.is_terminal:
+                status[trace.txn_id] = trace.kind is OpKind.COMMIT
+        return {
+            pair: txn_id
+            for txn_id, pairs in writes.items()
+            if not status.get(txn_id, False)
+            for pair in pairs
+        }
+
+    @staticmethod
+    def _intermediate_writes(
+        traces: Sequence[Trace],
+    ) -> Dict[Tuple[Key, Value], str]:
+        """Values overwritten later by the same transaction."""
+        last: Dict[Tuple[str, Key], Value] = {}
+        all_writes: List[Tuple[str, Key, Value]] = []
+        for trace in sorted(traces, key=Trace.sort_key):
+            if trace.kind is OpKind.WRITE and trace.status is OpStatus.OK:
+                for key, columns in trace.writes.items():
+                    value = flatten_value(columns)
+                    all_writes.append((trace.txn_id, key, value))
+                    last[(trace.txn_id, key)] = value
+        return {
+            (key, value): txn_id
+            for txn_id, key, value in all_writes
+            if last[(txn_id, key)] != value
+        }
+
+    # -- version order inference -----------------------------------------------------------
+
+    def _infer_version_orders(
+        self,
+        history: Sequence[HistoryTxn],
+        writer_of_value: Dict[Tuple[Key, Value], str],
+        result: ElleResult,
+    ) -> Dict[Tuple[Key, Value], Tuple[Key, Value]]:
+        """Infer per-key version orders.
+
+        Two sources of manifest order, as in Elle:
+
+        * **rmw traceability** for registers -- a txn that read v and wrote
+          v' proves v is v's direct predecessor;
+        * **prefix traceability** for list-append values -- when every
+          written value of a key is a strictly growing sequence (the
+          list-append datatype), the version order is the total order by
+          length, and *every* adjacent pair is manifest, not only the
+          rmw-observed ones.
+        """
+        parents: Dict[Tuple[Key, Value], Tuple[Key, Value]] = {}
+        # At this point writer_of_value holds only the initial database
+        # entries; remember the keys whose initial values are sequences.
+        initial_values: Dict[Key, Value] = {
+            key: value for (key, value) in writer_of_value
+        }
+        values_by_key: Dict[Key, List[Value]] = {}
+        for txn in history:
+            for key, value in txn.writes.items():
+                writer_of_value[(key, value)] = txn.txn_id
+                values_by_key.setdefault(key, []).append(value)
+            for key, read_value, written_value in txn.rmw:
+                parents[(key, written_value)] = (key, read_value)
+        for key, values in values_by_key.items():
+            initial_value = initial_values.get(key)
+            initial_seq = (
+                _sequence_of(initial_value) if initial_value is not None else ()
+            )
+            if initial_seq is None:
+                continue
+            chain = _list_append_chain(values, initial_seq)
+            if chain is None:
+                # All-sequence values that do not form a single chain mean
+                # the list-append datatype's invariant broke: two writers
+                # extended the same prefix (a lost append) -- Elle's
+                # "incompatible order" anomaly.
+                if all(_sequence_of(v) is not None for v in values) and len(values) > 1:
+                    writers = tuple(
+                        sorted({writer_of_value[(key, v)] for v in values})
+                    )
+                    result.anomalies.append(
+                        ElleAnomaly(
+                            name="incompatible-order",
+                            txns=writers[:8],
+                            details=(
+                                f"list versions of {key!r} diverge: no single "
+                                "append chain explains them"
+                            ),
+                        )
+                    )
+                continue
+            previous = initial_value
+            for value in chain:
+                if previous is not None:
+                    parents[(key, value)] = (key, previous)
+                previous = value
+        return parents
+
+    # -- dependency graph ---------------------------------------------------------------------
+
+    def _dependency_graph(
+        self,
+        history: Sequence[HistoryTxn],
+        init: HistoryTxn,
+        writer_of_value: Dict[Tuple[Key, Value], str],
+        version_parents: Dict[Tuple[Key, Value], Tuple[Key, Value]],
+        aborted_writes: Dict[Tuple[Key, Value], str],
+        intermediate_writes: Dict[Tuple[Key, Value], str],
+        result: ElleResult,
+    ) -> nx.DiGraph:
+        graph = nx.DiGraph()
+        committed = {txn.txn_id for txn in history} | {init.txn_id}
+        readers_of_value: Dict[Tuple[Key, Value], List[str]] = {}
+        for txn in history:
+            graph.add_node(txn.txn_id)
+            for key, value in txn.reads.items():
+                pair = (key, value)
+                if pair in aborted_writes:
+                    result.anomalies.append(
+                        ElleAnomaly(
+                            name="G1a",
+                            txns=(txn.txn_id, aborted_writes[pair]),
+                            details=f"read of aborted write on {key!r}",
+                        )
+                    )
+                    continue
+                if pair in intermediate_writes:
+                    result.anomalies.append(
+                        ElleAnomaly(
+                            name="G1b",
+                            txns=(txn.txn_id, intermediate_writes[pair]),
+                            details=f"read of intermediate version on {key!r}",
+                        )
+                    )
+                writer = writer_of_value.get(pair)
+                if writer is None or writer not in committed:
+                    result.anomalies.append(
+                        ElleAnomaly(
+                            name="G1a",
+                            txns=(txn.txn_id,),
+                            details=f"read of unknown value on {key!r}",
+                        )
+                    )
+                    continue
+                if writer != txn.txn_id:
+                    graph.add_edge(writer, txn.txn_id, kind="wr")
+                readers_of_value.setdefault(pair, []).append(txn.txn_id)
+        # ww edges and rw edges from inferred version adjacency.
+        for (key, child_value), (pkey, parent_value) in version_parents.items():
+            child_writer = writer_of_value.get((key, child_value))
+            parent_writer = writer_of_value.get((pkey, parent_value))
+            if child_writer is None or child_writer not in committed:
+                continue
+            if parent_writer is not None and parent_writer in committed:
+                if parent_writer != child_writer:
+                    graph.add_edge(parent_writer, child_writer, kind="ww")
+            for reader in readers_of_value.get((pkey, parent_value), ()):  # rw
+                if reader != child_writer:
+                    graph.add_edge(reader, child_writer, kind="rw")
+        return graph
+
+    # -- cycle classification ----------------------------------------------------------------------
+
+    def _find_cycle_anomalies(self, graph: nx.DiGraph, result: ElleResult) -> None:
+        for component in nx.strongly_connected_components(graph):
+            if len(component) < 2:
+                node = next(iter(component))
+                if not graph.has_edge(node, node):
+                    continue
+            sub = graph.subgraph(component)
+            try:
+                cycle_edges = nx.find_cycle(sub)
+            except nx.NetworkXNoCycle:  # pragma: no cover - defensive
+                continue
+            result.cycles_examined += 1
+            kinds = {graph.edges[u, v].get("kind") for u, v, *_ in cycle_edges}
+            txns = tuple(sorted({u for u, _v, *_ in cycle_edges}))
+            rw_count = sum(
+                1 for u, v, *_ in cycle_edges if graph.edges[u, v].get("kind") == "rw"
+            )
+            if kinds == {"ww"}:
+                name = "G0"
+            elif "rw" not in kinds:
+                name = "G1c"
+            elif rw_count == 1:
+                name = "G-single"
+            else:
+                name = "G2"
+            result.anomalies.append(
+                ElleAnomaly(
+                    name=name,
+                    txns=txns,
+                    details=f"dependency cycle with edge kinds {sorted(k for k in kinds if k)}",
+                )
+            )

@@ -1,0 +1,15 @@
+"""Benchmark harness reproducing the paper's tables and figures."""
+
+from .harness import EXPERIMENTS, ExperimentTable, experiment, run_experiment
+from .metrics import MemorySeries, Timer, TracemallocMeter, time_call
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentTable",
+    "experiment",
+    "run_experiment",
+    "MemorySeries",
+    "Timer",
+    "TracemallocMeter",
+    "time_call",
+]

@@ -1,0 +1,8 @@
+"""CLI: ``python -m repro.bench fig4 fig13 --scale 0.5``."""
+
+import sys
+
+from .harness import main
+
+if __name__ == "__main__":
+    sys.exit(main())

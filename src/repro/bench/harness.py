@@ -1,0 +1,156 @@
+"""Experiment harness: paper-style tables and a CLI entry point.
+
+Every table and figure of the paper's evaluation has a function in
+:mod:`repro.bench.experiments` returning an :class:`ExperimentTable`; this
+module renders them and exposes ``python -m repro.bench`` to regenerate any
+of them from the command line::
+
+    python -m repro.bench --list
+    python -m repro.bench fig4 fig13
+    python -m repro.bench all --scale 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+
+@dataclass
+class ExperimentTable:
+    """One reproduced table/figure, ready to print."""
+
+    exp_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        self.rows.append(values)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        columns = [str(h) for h in self.headers]
+        body = [[_fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(columns[i]), *(len(row[i]) for row in body))
+            if body
+            else len(columns[i])
+            for i in range(len(columns))
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [
+            f"== {self.exp_id}: {self.title} ==",
+            " | ".join(c.ljust(w) for c, w in zip(columns, widths)),
+            sep,
+        ]
+        for row in body:
+            lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        return self.render()
+
+    def column(self, header: str) -> List[object]:
+        index = list(self.headers).index(header)
+        return [row[index] for row in self.rows]
+
+    def to_csv(self, path) -> None:
+        """Write the table as CSV (one plotting-ready file per figure)."""
+        import csv
+        from pathlib import Path
+
+        with Path(path).open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self.headers)
+            for row in self.rows:
+                writer.writerow(row)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 0.001:
+            return f"{value:.2e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+#: registry filled by repro.bench.experiments at import time.
+EXPERIMENTS: Dict[str, Callable[..., ExperimentTable]] = {}
+
+
+def experiment(exp_id: str):
+    """Decorator registering an experiment entry point."""
+
+    def register(fn: Callable[..., ExperimentTable]):
+        EXPERIMENTS[exp_id] = fn
+        return fn
+
+    return register
+
+
+def run_experiment(exp_id: str, scale: float = 1.0, seed: int = 0) -> ExperimentTable:
+    from . import experiments  # noqa: F401 - ensures registration
+
+    try:
+        fn = EXPERIMENTS[exp_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {exp_id!r}; known: {known}") from None
+    return fn(scale=scale, seed=seed)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    from . import experiments  # noqa: F401 - ensures registration
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "exp_ids",
+        nargs="*",
+        help="experiment ids (e.g. fig4 fig10 fig11 fig12 fig13 fig14 "
+        "fig1 bugs ablation) or 'all'",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload scale multiplier (1.0 = defaults used in EXPERIMENTS.md)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also write each table as DIR/<exp_id>.csv",
+    )
+    args = parser.parse_args(argv)
+    if args.list or not args.exp_ids:
+        for exp_id in sorted(EXPERIMENTS):
+            print(exp_id)
+        return 0
+    targets = (
+        sorted(EXPERIMENTS) if args.exp_ids == ["all"] else list(args.exp_ids)
+    )
+    if args.csv:
+        from pathlib import Path
+
+        Path(args.csv).mkdir(parents=True, exist_ok=True)
+    for exp_id in targets:
+        table = run_experiment(exp_id, scale=args.scale, seed=args.seed)
+        print(table.render())
+        print()
+        if args.csv:
+            from pathlib import Path
+
+            table.to_csv(Path(args.csv) / f"{exp_id}.csv")
+    return 0

@@ -1,0 +1,83 @@
+"""Measurement utilities for the experiment harness.
+
+The paper measures wall-clock verification time and process memory.  We
+measure wall-clock time of the Python implementation directly, and for
+memory we count *live verifier structures* (versions, locks, graph nodes
+and edges, buffered traces) -- the quantity Leopard's garbage collection
+controls, and the one whose growth curve Figs. 10 and 14 plot.  An
+optional tracemalloc-based byte meter is provided for absolute numbers.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+class Timer:
+    """Context manager measuring wall-clock seconds."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+    def start(self) -> None:
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        self.elapsed = time.perf_counter() - self._start
+        return self.elapsed
+
+
+@dataclass
+class MemorySeries:
+    """Periodic samples of a structure-count callable."""
+
+    sample_every: int = 256
+    samples: List[int] = field(default_factory=list)
+    _since: int = 0
+
+    def observe(self, probe: Callable[[], int]) -> None:
+        self._since += 1
+        if self._since >= self.sample_every:
+            self._since = 0
+            self.samples.append(probe())
+
+    def finish(self, probe: Callable[[], int]) -> None:
+        self.samples.append(probe())
+
+    @property
+    def peak(self) -> int:
+        return max(self.samples) if self.samples else 0
+
+    @property
+    def final(self) -> int:
+        return self.samples[-1] if self.samples else 0
+
+
+class TracemallocMeter:
+    """Optional absolute-bytes meter (slower; off by default in benches)."""
+
+    def __enter__(self) -> "TracemallocMeter":
+        tracemalloc.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _, self.peak_bytes = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+
+def time_call(fn: Callable[[], object]) -> tuple:
+    """Run ``fn`` and return ``(elapsed_seconds, result)``."""
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result

@@ -1,0 +1,107 @@
+"""Leopard core: black-box isolation-level verification.
+
+Public surface of the paper's contribution: interval-based traces, the
+two-level pipeline, and the mechanism-mirrored verifier.
+"""
+
+from .anomalies import Anomaly, AnomalySummary, anomalies_of, classify
+from .intervals import INITIAL_INTERVAL, Interval
+from .io import (
+    dump_client_streams,
+    dump_initial_db,
+    dump_traces,
+    load_client_streams,
+    load_initial_db,
+    load_traces,
+)
+from .dependencies import Dependency, DependencyGraph, DepType
+from .online import OnlineVerifier
+from .pipeline import (
+    ClientFeed,
+    NaiveGlobalSorter,
+    TwoLevelPipeline,
+    pipeline_from_client_streams,
+    sorted_traces,
+)
+from .report import (
+    BugDescriptor,
+    Mechanism,
+    VerificationReport,
+    VerificationStats,
+    Violation,
+    ViolationKind,
+)
+from .spec import (
+    DBMS_PROFILES,
+    CertifierKind,
+    CRLevel,
+    IsolationLevel,
+    IsolationSpec,
+    PG_READ_COMMITTED,
+    PG_REPEATABLE_READ,
+    PG_SERIALIZABLE,
+    READ_COMMITTED,
+    SERIALIZABLE,
+    SNAPSHOT_ISOLATION,
+    profile,
+    profiles_for,
+    supported_dbms,
+)
+from .trace import KeyRange, OpKind, OpStatus, Trace, apply_delta, is_tombstone, tombstone
+from .verifier import Verifier, verify_traces
+from .versions import Version, VersionChain
+
+__all__ = [
+    "Anomaly",
+    "AnomalySummary",
+    "anomalies_of",
+    "classify",
+    "dump_client_streams",
+    "dump_initial_db",
+    "dump_traces",
+    "load_client_streams",
+    "load_initial_db",
+    "load_traces",
+    "INITIAL_INTERVAL",
+    "Interval",
+    "Dependency",
+    "DependencyGraph",
+    "DepType",
+    "OnlineVerifier",
+    "ClientFeed",
+    "NaiveGlobalSorter",
+    "TwoLevelPipeline",
+    "pipeline_from_client_streams",
+    "sorted_traces",
+    "BugDescriptor",
+    "Mechanism",
+    "VerificationReport",
+    "VerificationStats",
+    "Violation",
+    "ViolationKind",
+    "DBMS_PROFILES",
+    "CertifierKind",
+    "CRLevel",
+    "IsolationLevel",
+    "IsolationSpec",
+    "PG_READ_COMMITTED",
+    "PG_REPEATABLE_READ",
+    "PG_SERIALIZABLE",
+    "READ_COMMITTED",
+    "SERIALIZABLE",
+    "SNAPSHOT_ISOLATION",
+    "profile",
+    "profiles_for",
+    "supported_dbms",
+    "KeyRange",
+    "apply_delta",
+    "is_tombstone",
+    "tombstone",
+    "OpKind",
+    "OpStatus",
+    "Trace",
+    "Verifier",
+    "verify_traces",
+    "Version",
+    "VersionChain",
+]

@@ -1,0 +1,314 @@
+"""Consistent-read verification (Algorithm 2, lines 1-9).
+
+For every read the mechanism computes the minimal candidate version set of
+the record against the read's snapshot-generation interval (transaction- or
+statement-level, per the spec) and checks that the observation matches at
+least one candidate -- additionally folding in the transaction's own
+earlier writes, the first CR case of Section V-A.
+
+Reads are checked when their transaction's terminal trace arrives.  By
+Theorem 1 the dispatch order is monotone in before-timestamps, and every
+write whose version could fall in the candidate set has a before-timestamp
+smaller than the reader's terminal before-timestamp, so deferral makes the
+check complete without ever waiting on a timeout.
+
+Besides detecting violations the mechanism *deduces* ``wr`` dependencies:
+when exactly one candidate matches, the write that installed it must have
+happened before the read even if their trace intervals overlap.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .dependencies import Dependency, DepType
+from .intervals import Interval
+from .report import Mechanism, Violation, ViolationKind
+from .spec import CRLevel, IsolationSpec
+from .state import PendingRead, PendingScan, TxnState, VerifierState
+from .trace import INIT_TXN, Trace, apply_delta, is_tombstone
+from .versions import Version
+
+EmitFn = Callable[[Dependency], None]
+
+
+class ConsistentReadVerifier:
+    """Mirrors the consistent-read mechanism of the DBMS under test."""
+
+    def __init__(
+        self,
+        state: VerifierState,
+        spec: IsolationSpec,
+        emit: EmitFn,
+        on_read_match=None,
+        minimal: bool = True,
+    ):
+        self._state = state
+        self._spec = spec
+        self._emit = emit
+        #: use the Fig. 6 minimal candidate set (False = naive ablation:
+        #: every committed version is a candidate, weakening the check).
+        self._minimal = minimal
+        #: called with (version, reader_txn_id) when a read is uniquely
+        #: matched to a version; the verifier uses it to record the wr
+        #: dependency and derive the rw anti-dependency of Fig. 9.
+        self._on_read_match = on_read_match
+        #: stale/future reads are violations only when the spec claims CR;
+        #: dirty reads and reads of never-written values are always bugs.
+        self._flag_stale = spec.uses_cr
+
+    # -- trace handlers ---------------------------------------------------------
+
+    def on_read(self, trace: Trace, txn: TxnState) -> None:
+        """Defer the read until the transaction finishes, capturing the
+        own-write context visible at this point of the program."""
+        for key, observed in trace.reads.items():
+            txn.pending_reads.append(
+                PendingRead(
+                    trace=trace,
+                    key=key,
+                    observed=observed,
+                    own_delta=txn.own_delta_for(key),
+                )
+            )
+        if trace.predicate is not None:
+            txn.pending_scans.append(
+                PendingScan(
+                    trace=trace, observed_keys=frozenset(trace.reads)
+                )
+            )
+
+    def on_terminal(self, txn: TxnState) -> None:
+        for pending in txn.pending_reads:
+            self._check_read(txn, pending)
+        txn.pending_reads.clear()
+        for scan in txn.pending_scans:
+            self._check_scan(txn, scan)
+        txn.pending_scans.clear()
+
+    # -- the CR check -------------------------------------------------------------
+
+    def _snapshot_interval(self, txn: TxnState, pending: PendingRead) -> Interval:
+        if self._spec.cr is CRLevel.TRANSACTION and txn.first_interval is not None:
+            return txn.first_interval
+        # Statement-level CR, and the fallback when no CR is claimed: the
+        # snapshot is generated during the read operation itself.
+        return pending.trace.interval
+
+    def _check_read(self, txn: TxnState, pending: PendingRead) -> None:
+        self._state.stats.reads_checked += 1
+        snapshot = self._snapshot_interval(txn, pending)
+        observed = pending.observed
+        own_delta = pending.own_delta
+
+        # First CR case: columns covered by the transaction's own earlier
+        # writes must reflect them exactly.
+        own_covered = own_delta and all(col in own_delta for col in observed)
+        if own_covered:
+            if all(own_delta[col] == val for col, val in observed.items()):
+                return
+            self._violation(
+                ViolationKind.OWN_WRITE_LOST,
+                txn,
+                pending,
+                f"read {dict(observed)!r} but the transaction previously "
+                f"wrote {own_delta!r}",
+            )
+            return
+
+        chain = self._state.chain(pending.key)
+        if is_tombstone(observed) and not chain.committed_versions():
+            # The row never existed and the read observed its absence.
+            return
+        if self._minimal:
+            classification = chain.classify(
+                snapshot, order_oracle=self._state.ww_order
+            )
+            candidates = [
+                version
+                for version in classification.candidates
+                if not self._definitely_invisible(version, snapshot)
+            ]
+        else:
+            candidates = chain.committed_versions()
+        matches = [
+            version
+            for version in candidates
+            if self._matches_with_own(version, observed, own_delta)
+        ]
+        if not matches:
+            self._diagnose_miss(txn, pending, snapshot, chain, observed)
+            return
+        self._state.stats.conflict_pairs += 1
+        overlapped = any(
+            v.effective_install.overlaps(snapshot) for v in matches
+        )
+        if overlapped:
+            self._state.stats.overlapped_pairs += 1
+        if len(matches) == 1:
+            version = matches[0]
+            if overlapped:
+                self._state.stats.deduced_overlapped_pairs += 1
+            # Dependencies are defined between *committed* transactions
+            # (Section II-A); an aborted reader's checks still ran above,
+            # but it contributes no graph node.
+            if txn.committed and self._on_read_match is not None:
+                self._on_read_match(version, txn.txn_id)
+        # More than one match: the read is legal but the exact version read
+        # is uncertain (duplicate values, Fig. 13's SmallBank residue).
+
+    # -- scan completeness (phantom rows) -----------------------------------------
+
+    def _check_scan(self, txn: TxnState, scan: PendingScan) -> None:
+        """Every row *definitely visible* at the scan's snapshot and
+        matching its predicate must appear in the result set; a miss is a
+        phantom-class CR violation (the scan did not evaluate against a
+        consistent snapshot)."""
+        if not self._flag_stale:
+            return  # no CR claim: scan freshness is not promised
+        predicate = scan.trace.predicate
+        snapshot = self._snapshot_interval(
+            txn, PendingRead(trace=scan.trace, key=None, observed={}, own_delta={})
+        )
+        missing = []
+        for key, chain in self._state.chains.items():
+            if key in scan.observed_keys or not predicate.matches(key):
+                continue
+            classification = chain.classify(snapshot)
+            # The row must appear iff its visible version is live in every
+            # possible world: a pivot exists (something is certainly
+            # visible) and no candidate is a tombstone (whatever is
+            # visible, it is live).
+            if classification.pivot is not None and all(
+                not is_tombstone(version.image)
+                for version in classification.candidates
+            ):
+                missing.append((key, classification.pivot.txn_id))
+        for key in self._state.initial_only_keys():
+            if predicate.matches(key) and key not in scan.observed_keys:
+                missing.append((key, "__init__"))
+        for key, writer in missing:
+            self._state.descriptor.record(
+                Violation(
+                    mechanism=Mechanism.CONSISTENT_READ,
+                    kind=ViolationKind.PHANTOM,
+                    txns=tuple(sorted({txn.txn_id, writer})),
+                    key=key,
+                    details=(
+                        f"scan {predicate} missed row {key!r}, whose version "
+                        f"by {writer} was committed before the snapshot "
+                        f"{snapshot}"
+                    ),
+                    evidence={"scan_interval": scan.trace.interval},
+                )
+            )
+
+    @staticmethod
+    def _definitely_invisible(version: Version, snapshot: Interval) -> bool:
+        """A committed version whose commit interval lies entirely after the
+        snapshot-generation interval can never be visible (the snapshot was
+        complete before the version existed)."""
+        return version.commit is not None and snapshot.precedes(version.commit)
+
+    @staticmethod
+    def _matches_with_own(
+        version: Version, observed, own_delta: Dict[str, object]
+    ) -> bool:
+        if not own_delta:
+            return version.matches(observed)
+        from .trace import reads_match
+
+        image = dict(version.image)
+        apply_delta(image, own_delta)
+        return reads_match(observed, image)
+
+    # -- diagnosis ----------------------------------------------------------------
+
+    def _diagnose_miss(
+        self,
+        txn: TxnState,
+        pending: PendingRead,
+        snapshot: Interval,
+        chain,
+        observed,
+    ) -> None:
+        """No candidate matched: name the violation as precisely as the
+        traces allow."""
+        if is_tombstone(observed):
+            # The read claims the row was absent, yet a live version is in
+            # the candidate set (or the row never died): a missing-row
+            # violation of the phantom family.
+            if self._flag_stale:
+                self._violation(
+                    ViolationKind.PHANTOM,
+                    txn,
+                    pending,
+                    "read observed the row as absent although a visible "
+                    "version was committed before the snapshot",
+                )
+            return
+        committed_matches = chain.find_matching_committed(observed)
+        if committed_matches:
+            version = committed_matches[0]
+            if snapshot.precedes(version.effective_install):
+                if self._flag_stale:
+                    self._violation(
+                        ViolationKind.FUTURE_READ,
+                        txn,
+                        pending,
+                        f"read version installed by {version.txn_id} whose "
+                        f"installation {version.install} lies after the "
+                        f"snapshot {snapshot}",
+                        other=version.txn_id,
+                    )
+            else:
+                if self._flag_stale:
+                    self._violation(
+                        ViolationKind.STALE_READ,
+                        txn,
+                        pending,
+                        f"read an overwritten (garbage) version installed "
+                        f"by {version.txn_id}",
+                        other=version.txn_id,
+                    )
+            return
+        pending_matches = chain.find_matching_pending(observed)
+        if pending_matches:
+            version = pending_matches[0]
+            self._violation(
+                ViolationKind.DIRTY_READ,
+                txn,
+                pending,
+                f"read uncommitted/aborted data written by {version.txn_id}",
+                other=version.txn_id,
+            )
+            return
+        self._violation(
+            ViolationKind.UNKNOWN_VERSION,
+            txn,
+            pending,
+            f"observed {dict(observed)!r}, which no traced write produced",
+        )
+
+    def _violation(
+        self,
+        kind: ViolationKind,
+        txn: TxnState,
+        pending: PendingRead,
+        details: str,
+        other: Optional[str] = None,
+    ) -> None:
+        txns = (txn.txn_id,) if other is None else tuple(sorted((txn.txn_id, other)))
+        self._state.descriptor.record(
+            Violation(
+                mechanism=Mechanism.CONSISTENT_READ,
+                kind=kind,
+                txns=txns,
+                key=pending.key,
+                details=details,
+                evidence={
+                    "read_interval": pending.trace.interval,
+                    "observed": dict(pending.observed),
+                },
+            )
+        )

@@ -1,0 +1,140 @@
+"""Garbage collection of mirrored verifier structures.
+
+Long-running workloads grow every mirrored structure without bound; the
+paper prunes asynchronously (Sections V-A, V-B, V-D).  This module
+implements the three pruning rules behind the flat memory curves of
+Figs. 10 and 14:
+
+* **garbage transactions** (Definition 4 / Theorem 5): in-degree zero in
+  the dependency graph and finished before the earliest snapshot timestamp
+  ``S_e`` any unverified trace can still reference -- provably never part
+  of a future cycle;
+* **garbage lock entries**: released definitely before ``S_e`` by a pruned
+  transaction -- they can only ever order *before* future locks, never
+  conflict;
+* **garbage versions** (Fig. 6 applied at the GC horizon): definitely
+  overwritten before any live snapshot; cumulative images keep surviving
+  versions self-contained.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .intervals import Interval
+from .state import VerifierState
+
+
+class GarbageCollector:
+    """Periodic pruner driven by the trace stream."""
+
+    def __init__(
+        self,
+        state: VerifierState,
+        every: int = 512,
+        on_txn_pruned: Optional[Callable[[str], None]] = None,
+    ):
+        if every < 1:
+            raise ValueError("GC period must be positive")
+        self._state = state
+        self._every = every
+        self._since_last = 0
+        self._on_txn_pruned = on_txn_pruned
+
+    def maybe_collect(self) -> bool:
+        """Called once per processed trace; runs a collection every
+        ``every`` traces."""
+        self._since_last += 1
+        if self._since_last < self._every:
+            return False
+        self._since_last = 0
+        self.collect()
+        return True
+
+    def collect(self) -> None:
+        state = self._state
+        horizon_ts = state.earliest_unverified_snapshot()
+        if horizon_ts == float("-inf"):
+            return
+        self._prune_graph(horizon_ts)
+        self._prune_locks(horizon_ts)
+        self._prune_versions(horizon_ts)
+        self._prune_txn_states(horizon_ts)
+
+    # -- Definition 4 / Theorem 5 -------------------------------------------------
+
+    def _prune_graph(self, horizon_ts: float) -> None:
+        state = self._state
+        graph = state.graph
+        # Removing a garbage node deletes its outgoing edges, which can turn
+        # successors into garbage; iterate to a fixpoint.
+        changed = True
+        while changed:
+            changed = False
+            for txn_id in graph.nodes():
+                if graph.in_degree(txn_id) != 0:
+                    continue
+                node = graph.node(txn_id)
+                txn = state.get_txn(txn_id)
+                commit = node.commit_interval
+                if commit is None and txn is not None:
+                    commit = txn.terminal_interval
+                if commit is None or commit.ts_aft > horizon_ts:
+                    continue
+                if txn is not None and not txn.finished:
+                    continue
+                graph.remove_txn(txn_id)
+                if self._on_txn_pruned is not None:
+                    self._on_txn_pruned(txn_id)
+                state.stats.gc_txns_pruned += 1
+                changed = True
+
+    # -- lock table -----------------------------------------------------------------
+
+    def _prune_locks(self, horizon_ts: float) -> None:
+        state = self._state
+
+        def can_prune(txn_id: str) -> bool:
+            if txn_id in state.graph:
+                return False
+            txn = state.get_txn(txn_id)
+            return txn is None or txn.finished
+
+        state.stats.gc_locks_pruned += state.locks.prune(horizon_ts, can_prune)
+
+    # -- version chains ----------------------------------------------------------------
+
+    def _prune_versions(self, horizon_ts: float) -> None:
+        state = self._state
+        horizon = Interval(horizon_ts, horizon_ts)
+
+        def can_prune(txn_id: str) -> bool:
+            if txn_id in state.graph:
+                return False
+            txn = state.get_txn(txn_id)
+            return txn is None or txn.finished
+
+        for chain in state.chains.values():
+            state.stats.gc_versions_pruned += chain.prune_garbage(
+                horizon, can_prune
+            )
+
+    # -- transaction metadata -------------------------------------------------------------
+
+    def _prune_txn_states(self, horizon_ts: float) -> None:
+        """Drop metadata for transactions no mirrored structure references.
+
+        A transaction state is still needed while it is active, while its
+        node sits in the dependency graph (certifier concurrency checks), or
+        while a version it installed could pair with a future FUW check --
+        bounded by its terminal after-timestamp against the horizon.
+        """
+        state = self._state
+        for txn_id in list(state.txns):
+            txn = state.txns[txn_id]
+            if not txn.finished or txn_id in state.graph:
+                continue
+            terminal = txn.terminal_interval
+            if terminal is not None and terminal.ts_aft >= horizon_ts:
+                continue
+            del state.txns[txn_id]

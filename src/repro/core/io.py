@@ -1,0 +1,188 @@
+"""Trace persistence: JSON-lines serialisation of interval traces.
+
+The tracer side of a real deployment runs inside application clients and
+ships traces to the verifier as an append-only stream.  This module defines
+the on-the-wire/on-disk format: one JSON object per line, self-describing,
+ordered per client (each client appends to its own file or stream).
+
+Format (one line per trace)::
+
+    {"k": "read", "t": "t42", "c": 3, "b": 12.000001, "a": 12.000420,
+     "i": 0, "r": {"x": {"v": 1}}, "fu": false}
+
+Keys are shortened because trace volume dominates storage:  ``k`` kind,
+``t`` txn id, ``c`` client id, ``b``/``a`` before/after timestamps, ``i``
+op index, ``r``/``w`` read/write sets, ``s`` status (omitted when ok),
+``fu`` for-update flag (omitted when false).
+
+Record keys may be any hashable; tuples (the relational convention) are
+encoded as JSON arrays tagged with ``"\\u0000t"`` to round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, IO, Iterable, Iterator, List, Mapping, Optional, Union
+
+from .trace import Key, KeyRange, OpKind, OpStatus, Trace
+
+_TUPLE_TAG = "\u0000t"
+
+
+def _encode_key(key: Key):
+    if isinstance(key, tuple):
+        return [_TUPLE_TAG, *[_encode_key(part) for part in key]]
+    return key
+
+
+def _decode_key(raw) -> Key:
+    if isinstance(raw, list):
+        if raw and raw[0] == _TUPLE_TAG:
+            return tuple(_decode_key(part) for part in raw[1:])
+        return tuple(_decode_key(part) for part in raw)
+    return raw
+
+
+def _encode_sets(sets: Mapping[Key, Mapping[str, object]]) -> List[List]:
+    return [[_encode_key(key), dict(columns)] for key, columns in sets.items()]
+
+
+def _decode_sets(raw) -> Dict[Key, Dict[str, object]]:
+    return {_decode_key(key): dict(columns) for key, columns in raw}
+
+
+def trace_to_dict(trace: Trace) -> dict:
+    """Lower a trace to its JSON-serialisable dictionary form."""
+    payload: dict = {
+        "k": trace.kind.value,
+        "t": trace.txn_id,
+        "c": trace.client_id,
+        "b": trace.ts_bef,
+        "a": trace.ts_aft,
+        "i": trace.op_index,
+    }
+    if trace.reads:
+        payload["r"] = _encode_sets(trace.reads)
+    if trace.writes:
+        payload["w"] = _encode_sets(trace.writes)
+    if trace.status is not OpStatus.OK:
+        payload["s"] = trace.status.value
+    if trace.for_update:
+        payload["fu"] = True
+    if trace.predicate is not None:
+        payload["p"] = [
+            _encode_key(tuple(trace.predicate.prefix)),
+            trace.predicate.lo,
+            trace.predicate.hi,
+        ]
+    return payload
+
+
+def trace_from_dict(payload: Mapping) -> Trace:
+    """Rebuild a trace from its dictionary form."""
+    from .intervals import Interval
+
+    return Trace(
+        interval=Interval(float(payload["b"]), float(payload["a"])),
+        kind=OpKind(payload["k"]),
+        txn_id=str(payload["t"]),
+        client_id=int(payload.get("c", 0)),
+        reads=_decode_sets(payload.get("r", [])),
+        writes=_decode_sets(payload.get("w", [])),
+        status=OpStatus(payload.get("s", OpStatus.OK.value)),
+        for_update=bool(payload.get("fu", False)),
+        predicate=(
+            KeyRange(
+                prefix=_decode_key(payload["p"][0]),
+                lo=int(payload["p"][1]),
+                hi=int(payload["p"][2]),
+            )
+            if "p" in payload
+            else None
+        ),
+        op_index=int(payload.get("i", 0)),
+    )
+
+
+def dump_traces(traces: Iterable[Trace], sink: Union[str, Path, IO[str]]) -> int:
+    """Write traces as JSON lines; returns the number written."""
+    own = isinstance(sink, (str, Path))
+    stream = open(sink, "w", encoding="utf-8") if own else sink
+    count = 0
+    try:
+        for trace in traces:
+            stream.write(json.dumps(trace_to_dict(trace), separators=(",", ":")))
+            stream.write("\n")
+            count += 1
+    finally:
+        if own:
+            stream.close()
+    return count
+
+
+def load_traces(source: Union[str, Path, IO[str]]) -> Iterator[Trace]:
+    """Stream traces back from a JSON-lines file or file object."""
+    own = isinstance(source, (str, Path))
+    stream = open(source, "r", encoding="utf-8") if own else source
+    try:
+        for line_no, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                yield trace_from_dict(json.loads(line))
+            except (ValueError, KeyError) as exc:
+                raise ValueError(
+                    f"malformed trace on line {line_no}: {exc}"
+                ) from exc
+    finally:
+        if own:
+            stream.close()
+
+
+def dump_client_streams(
+    streams: Mapping[int, Iterable[Trace]],
+    directory: Union[str, Path],
+    prefix: str = "client",
+) -> List[Path]:
+    """Write one JSONL file per client (the natural tracer layout)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for client_id, traces in sorted(streams.items()):
+        path = directory / f"{prefix}-{client_id}.jsonl"
+        dump_traces(traces, path)
+        paths.append(path)
+    return paths
+
+
+def load_client_streams(
+    directory: Union[str, Path], prefix: str = "client"
+) -> Dict[int, List[Trace]]:
+    """Read back the per-client layout written by
+    :func:`dump_client_streams`."""
+    directory = Path(directory)
+    streams: Dict[int, List[Trace]] = {}
+    for path in sorted(directory.glob(f"{prefix}-*.jsonl")):
+        client_id = int(path.stem.rsplit("-", 1)[1])
+        streams[client_id] = list(load_traces(path))
+    if not streams:
+        raise FileNotFoundError(
+            f"no {prefix}-*.jsonl files under {directory}"
+        )
+    return streams
+
+
+def dump_initial_db(
+    initial_db: Mapping[Key, Mapping[str, object]],
+    sink: Union[str, Path],
+) -> None:
+    """Persist the initial database image alongside a trace capture."""
+    payload = [[_encode_key(key), dict(image)] for key, image in initial_db.items()]
+    Path(sink).write_text(json.dumps(payload), encoding="utf-8")
+
+
+def load_initial_db(source: Union[str, Path]) -> Dict[Key, Dict[str, object]]:
+    payload = json.loads(Path(source).read_text(encoding="utf-8"))
+    return {_decode_key(key): dict(image) for key, image in payload}

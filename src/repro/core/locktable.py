@@ -1,0 +1,214 @@
+"""Verifier-side interval lock table for mutual-exclusion verification.
+
+ME treats every traced write as acquiring an exclusive lock on each written
+record during the write's trace interval (Definition 3), released during
+the transaction's commit/abort interval.  Engines that run reads under pure
+two-phase locking additionally take shared locks for reads.
+
+Because the exact acquire/release instants are hidden, the table reasons
+over *feasible orders*: for two conflicting locks there are (at most) two
+serial orders -- "t0 releases before t1 acquires" and the converse.  An
+order is feasible iff the corresponding release interval can precede the
+acquire interval (``Interval.can_precede``).  When neither is feasible the
+locks necessarily overlapped: a genuine ME violation.  When exactly one is
+feasible, the order is certain and a ``ww`` dependency is deduced
+(Theorem 3).  When both remain feasible the pair stays *uncertain* -- this
+happens only for near-identical intervals and is counted in the Fig. 13
+uncertainty statistics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from .intervals import Interval, UNFINISHED_INTERVAL
+from .trace import Key
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+    def conflicts_with(self, other: "LockMode") -> bool:
+        return self is LockMode.EXCLUSIVE or other is LockMode.EXCLUSIVE
+
+
+class OrderOutcome(enum.Enum):
+    """Result of enumerating the feasible orders for one lock pair."""
+
+    #: no serial order is feasible -- mutual exclusion was violated.
+    VIOLATION = "violation"
+    #: only "first releases before second acquires" is feasible.
+    FIRST_BEFORE_SECOND = "first-before-second"
+    #: only "second releases before first acquires" is feasible.
+    SECOND_BEFORE_FIRST = "second-before-first"
+    #: both serial orders remain feasible -- order cannot be deduced.
+    UNCERTAIN = "uncertain"
+
+
+@dataclass
+class LockEntry:
+    """One lock acquisition observed in the traces."""
+
+    key: Key
+    txn_id: str
+    mode: LockMode
+    acquire: Interval
+    release: Interval = UNFINISHED_INTERVAL
+    #: whether the owning transaction eventually committed (ww deduction
+    #: only applies between committed transactions).
+    committed: bool = False
+    finished: bool = False
+
+    def close(self, release: Interval, committed: bool) -> None:
+        self.release = release
+        self.committed = committed
+        self.finished = True
+
+
+def classify_pair(first: LockEntry, second: LockEntry) -> OrderOutcome:
+    """Enumerate the feasible serial orders of two conflicting locks.
+
+    Implements the case analysis of Fig. 7: an order ``A before B`` is
+    feasible iff A's release interval can precede B's acquire interval.
+    Unfinished locks have release interval (+inf, +inf), which makes
+    "active txn before anything" infeasible and "anything before active
+    txn" trivially feasible -- matching intuition that an in-flight
+    transaction cannot yet have released its locks.
+    """
+    first_then_second = first.release.can_precede(second.acquire)
+    second_then_first = second.release.can_precede(first.acquire)
+    if first_then_second and second_then_first:
+        return OrderOutcome.UNCERTAIN
+    if first_then_second:
+        return OrderOutcome.FIRST_BEFORE_SECOND
+    if second_then_first:
+        return OrderOutcome.SECOND_BEFORE_FIRST
+    return OrderOutcome.VIOLATION
+
+
+class LockTable:
+    """All lock intervals per record, with insertion-sorted chains.
+
+    The table retains finished locks until garbage collection decides they
+    can no longer conflict with (or order against) anything still active,
+    mirroring the pruning discussion of Section V-B.
+    """
+
+    def __init__(self) -> None:
+        self._by_key: Dict[Key, List[LockEntry]] = {}
+        self._by_txn: Dict[str, List[LockEntry]] = {}
+
+    # -- structure -----------------------------------------------------------
+
+    def entries_for(self, key: Key) -> List[LockEntry]:
+        return list(self._by_key.get(key, ()))
+
+    def entries_of(self, txn_id: str) -> List[LockEntry]:
+        return list(self._by_txn.get(txn_id, ()))
+
+    def live_entry_count(self) -> int:
+        return sum(len(chain) for chain in self._by_key.values())
+
+    def locked_key_count(self) -> int:
+        return len(self._by_key)
+
+    # -- mutation ---------------------------------------------------------------
+
+    def acquire(
+        self, txn_id: str, key: Key, mode: LockMode, interval: Interval
+    ) -> LockEntry:
+        """Record a lock acquisition.
+
+        Repeated acquisitions by the same transaction on the same key are
+        folded into the existing entry, with one exception: an S-to-X
+        *upgrade* adds a second, exclusive entry anchored to the upgrading
+        operation's interval.  The exclusive claim only begins inside that
+        operation (another transaction's shared lock may have legitimately
+        coexisted with the earlier shared phase), so back-dating the X to
+        the original S acquire would produce false ME violations.
+        """
+        chain = self._by_key.setdefault(key, [])
+        for entry in chain:
+            if entry.txn_id == txn_id and not entry.finished:
+                if mode is LockMode.EXCLUSIVE and entry.mode is LockMode.SHARED:
+                    break  # record the upgrade as its own exclusive entry
+                return entry
+        entry = LockEntry(key=key, txn_id=txn_id, mode=mode, acquire=interval)
+        # Insertion sort by acquire after-timestamp (Section V-B).
+        position = len(chain)
+        for idx, existing in enumerate(chain):
+            if interval.ts_aft < existing.acquire.ts_aft:
+                position = idx
+                break
+        chain.insert(position, entry)
+        self._by_txn.setdefault(txn_id, []).append(entry)
+        return entry
+
+    def release_all(
+        self, txn_id: str, release: Interval, committed: bool
+    ) -> List[Tuple[LockEntry, List[LockEntry]]]:
+        """Close every lock of a finishing transaction and pair each with
+        the conflicting locks of *other finished* transactions.
+
+        Pairs where the peer is still active are deferred: they will be
+        produced when the peer itself finishes, so every conflicting pair is
+        examined exactly once (by whichever transaction finishes second).
+        """
+        results: List[Tuple[LockEntry, List[LockEntry]]] = []
+        for entry in self._by_txn.get(txn_id, ()):  # preserves acquire order
+            if entry.finished:
+                continue
+            entry.close(release, committed)
+            conflicts = [
+                other
+                for other in self._by_key.get(entry.key, ())
+                if other.txn_id != txn_id
+                and other.finished
+                and other.mode.conflicts_with(entry.mode)
+            ]
+            results.append((entry, conflicts))
+        return results
+
+    # -- garbage collection ---------------------------------------------------------
+
+    def prune(self, horizon_ts: float, can_prune_txn) -> int:
+        """Drop finished locks that were released definitely before the
+        earliest still-relevant timestamp and whose owner is releasable.
+
+        Such a lock can only produce FIRST_BEFORE_SECOND outcomes against
+        any future lock (its release precedes every future acquire), so it
+        can never witness a violation again; the corresponding ``ww`` edges
+        are covered by the dependency-graph pruning rule (Theorem 5).
+        """
+        pruned = 0
+        for key in list(self._by_key):
+            chain = self._by_key[key]
+            kept = [
+                entry
+                for entry in chain
+                if not (
+                    entry.finished
+                    and entry.release.ts_aft < horizon_ts
+                    and can_prune_txn(entry.txn_id)
+                )
+            ]
+            pruned += len(chain) - len(kept)
+            if kept:
+                self._by_key[key] = kept
+            else:
+                del self._by_key[key]
+        if pruned:
+            for txn_id in list(self._by_txn):
+                kept_txn = [
+                    entry
+                    for entry in self._by_txn[txn_id]
+                    if self._by_key.get(entry.key) and entry in self._by_key[entry.key]
+                ]
+                if kept_txn:
+                    self._by_txn[txn_id] = kept_txn
+                else:
+                    del self._by_txn[txn_id]
+        return pruned

@@ -1,0 +1,168 @@
+"""Online verification: push-based tracing with immediate alerting.
+
+The batch path (:class:`~repro.core.pipeline.TwoLevelPipeline` +
+:class:`~repro.core.verifier.Verifier`) pulls complete client streams.  A
+deployment wants the opposite direction: clients *push* traces as they
+happen and the operator is alerted the moment a violation is detected
+(challenge C3: "bugs can be reported and fixed as soon as possible").
+
+:class:`OnlineVerifier` implements the push side of the two-level pipeline:
+each client feeds its own monotone stream; traces are staged per client,
+and whenever the watermark (the smallest head timestamp across client
+stages) advances, everything older is dispatched to the verifier in sorted
+order.  New violations fire the ``on_violation`` callback immediately after
+the dispatching call that detected them.
+
+A client that stops sending would freeze the watermark; deployments send
+periodic heartbeats (empty progress marks) for idle clients --
+:meth:`heartbeat` models exactly that.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .report import VerificationReport, Violation
+from .spec import IsolationSpec, PG_SERIALIZABLE
+from .trace import Trace
+from .verifier import Verifier
+
+ViolationCallback = Callable[[Violation], None]
+
+
+class OnlineVerifier:
+    """Streaming verification facade with at-dispatch alerting."""
+
+    def __init__(
+        self,
+        spec: IsolationSpec = PG_SERIALIZABLE,
+        initial_db=None,
+        on_violation: Optional[ViolationCallback] = None,
+        **verifier_kwargs,
+    ):
+        self._verifier = Verifier(
+            spec=spec, initial_db=initial_db, **verifier_kwargs
+        )
+        self._on_violation = on_violation
+        #: per-client staged traces (each client's stream is monotone).
+        self._stages: Dict[int, List[Trace]] = {}
+        #: watermark floor per client: last timestamp the client vouched
+        #: that it will never send anything older than.
+        self._floors: Dict[int, float] = {}
+        self._heap: List[Tuple[float, int, Trace]] = []
+        self._alerted = 0
+        self._dispatched = 0
+        self._finished = False
+
+    # -- client-facing ingestion --------------------------------------------------
+
+    def register_client(self, client_id: int) -> None:
+        """Announce a client before its first trace so the watermark can
+        account for it (unregistered clients are registered on first
+        feed)."""
+        self._stages.setdefault(client_id, [])
+        self._floors.setdefault(client_id, float("-inf"))
+
+    def feed(self, trace: Trace) -> int:
+        """Push one trace from its client; returns how many traces the
+        resulting watermark advance dispatched to the verifier."""
+        if self._finished:
+            raise RuntimeError("online verifier already finished")
+        stage = self._stages.setdefault(trace.client_id, [])
+        floor = self._floors.setdefault(trace.client_id, float("-inf"))
+        if trace.ts_bef < floor:
+            raise ValueError(
+                f"client {trace.client_id} pushed trace at {trace.ts_bef} "
+                f"behind its progress mark {floor}"
+            )
+        if stage and trace.ts_bef < stage[-1].ts_bef:
+            raise ValueError(
+                f"client {trace.client_id} stream is not monotone"
+            )
+        stage.append(trace)
+        self._floors[trace.client_id] = trace.ts_bef
+        return self._advance()
+
+    def heartbeat(self, client_id: int, now: float) -> int:
+        """An idle client vouches that all its future traces begin after
+        ``now``; unblocks the watermark without sending data."""
+        if self._finished:
+            raise RuntimeError("online verifier already finished")
+        self.register_client(client_id)
+        self._floors[client_id] = max(self._floors[client_id], now)
+        return self._advance()
+
+    # -- dispatch -------------------------------------------------------------------
+
+    def _watermark(self) -> float:
+        """Smallest timestamp any client could still produce: its staged
+        head if it has one, else its progress floor."""
+        marks = []
+        for client_id, stage in self._stages.items():
+            marks.append(stage[0].ts_bef if stage else self._floors[client_id])
+        return min(marks) if marks else float("-inf")
+
+    def _advance(self) -> int:
+        watermark = self._watermark()
+        for client_id, stage in self._stages.items():
+            keep = []
+            for trace in stage:
+                if trace.ts_bef <= watermark:
+                    heapq.heappush(
+                        self._heap, (trace.ts_bef, trace.trace_id, trace)
+                    )
+                else:
+                    keep.append(trace)
+            self._stages[client_id] = keep
+        dispatched = 0
+        while self._heap and self._heap[0][0] <= watermark:
+            _, _, trace = heapq.heappop(self._heap)
+            self._verifier.process(trace)
+            dispatched += 1
+            self._dispatched += 1
+            self._alert_new()
+        return dispatched
+
+    def _alert_new(self) -> None:
+        violations = self._verifier.state.descriptor.violations
+        while self._alerted < len(violations):
+            violation = violations[self._alerted]
+            self._alerted += 1
+            if self._on_violation is not None:
+                self._on_violation(violation)
+
+    # -- introspection / completion ----------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Traces staged but not yet dispatched (waiting on the watermark)."""
+        return sum(len(s) for s in self._stages.values()) + len(self._heap)
+
+    @property
+    def dispatched(self) -> int:
+        return self._dispatched
+
+    @property
+    def violations_so_far(self) -> List[Violation]:
+        return self._verifier.state.descriptor.violations
+
+    def live_structure_count(self) -> int:
+        return self._verifier.state.live_structure_count()
+
+    def finish(self) -> VerificationReport:
+        """Drain everything staged (all clients are declared done) and
+        return the final report."""
+        self._finished = True
+        remaining: List[Trace] = list(
+            trace for _, _, trace in self._heap
+        )
+        self._heap.clear()
+        for stage in self._stages.values():
+            remaining.extend(stage)
+            stage.clear()
+        remaining.sort(key=Trace.sort_key)
+        for trace in remaining:
+            self._verifier.process(trace)
+            self._alert_new()
+        return self._verifier.finish()

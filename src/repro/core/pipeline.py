@@ -1,0 +1,269 @@
+"""Two-level pipeline for sorting massive trace streams (Section IV-C).
+
+Clients generate traces concurrently; each client's own stream is naturally
+sorted by before-timestamp, but the union is not.  The verifier needs the
+union in monotonically increasing ``ts_bef`` order (Theorem 1).  The paper's
+*two-level pipeline* achieves this with:
+
+* a **local buffer** per client that batches its stream asynchronously, and
+* a **global buffer** (min-heap) that fetches batches from the local buffers
+  round by round, dispatching every trace whose before-timestamp is below
+  the **watermark** -- the smallest before-timestamp still sitting in any
+  local buffer.
+
+Two optimisations from the paper are implemented and individually
+switchable (they are compared in the Fig. 10 experiment):
+
+1. *laggard-first fetching*: fetch from the local buffer with the smallest
+   head timestamp first, so one slow client cannot stall the watermark while
+   traces from fast clients pile up in the heap;
+2. *flow control*: fetch roughly as many traces into the heap as were
+   dispatched out of it, keeping the heap size stable.
+
+A :class:`NaiveGlobalSorter` baseline (collect everything, sort once) is
+provided for the same comparison.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .intervals import POS_INF
+from .trace import Trace
+
+
+class ClientFeed:
+    """Adapter exposing one client's trace stream batch by batch.
+
+    The wrapped iterable must yield traces in non-decreasing ``ts_bef``
+    order -- which is guaranteed for any single client, since a client
+    observes its own operations sequentially.  ``batch_size`` models the
+    paper's slicing of each client stream into batches (the experiments use
+    0.5 s windows; a count works identically for a simulator).
+    """
+
+    def __init__(self, traces: Iterable[Trace], batch_size: int = 64):
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self._iter = iter(traces)
+        self._batch_size = batch_size
+        self._exhausted = False
+        self._last_ts = -POS_INF
+
+    @property
+    def exhausted(self) -> bool:
+        return self._exhausted
+
+    def next_batch(self) -> List[Trace]:
+        """Return up to ``batch_size`` traces; empty means exhausted."""
+        batch: List[Trace] = []
+        for _ in range(self._batch_size):
+            try:
+                trace = next(self._iter)
+            except StopIteration:
+                self._exhausted = True
+                break
+            if trace.ts_bef < self._last_ts:
+                raise ValueError(
+                    "client stream is not sorted by before-timestamp: "
+                    f"{trace.ts_bef} after {self._last_ts}"
+                )
+            self._last_ts = trace.ts_bef
+            batch.append(trace)
+        return batch
+
+
+@dataclass
+class PipelineStats:
+    """Bookkeeping for the Fig. 10 experiment."""
+
+    dispatched: int = 0
+    rounds: int = 0
+    peak_heap_size: int = 0
+    peak_buffered: int = 0
+    fetches: int = 0
+
+    def observe(self, heap_size: int, buffered: int) -> None:
+        self.peak_heap_size = max(self.peak_heap_size, heap_size)
+        self.peak_buffered = max(self.peak_buffered, heap_size + buffered)
+
+
+class _LocalBuffer:
+    """Per-client staging area between the client feed and the heap."""
+
+    __slots__ = ("feed", "pending")
+
+    def __init__(self, feed: ClientFeed):
+        self.feed = feed
+        self.pending: List[Trace] = []
+
+    def refill(self) -> None:
+        if not self.pending and not self.feed.exhausted:
+            self.pending = self.feed.next_batch()
+
+    @property
+    def head_ts(self) -> float:
+        """Before-timestamp of the oldest staged trace (+inf when drained)."""
+        if self.pending:
+            return self.pending[0].ts_bef
+        return POS_INF
+
+    @property
+    def done(self) -> bool:
+        return not self.pending and self.feed.exhausted
+
+
+class TwoLevelPipeline:
+    """Round-by-round trace dispatcher (Algorithm 1).
+
+    Iterating over the pipeline yields all client traces in monotonically
+    non-decreasing ``ts_bef`` order.  ``optimized=False`` disables the
+    laggard-first fetching and flow control (the "w/o Opt" configuration of
+    Fig. 10); the watermark protocol itself is always on, since it is what
+    makes the output order correct.
+    """
+
+    def __init__(
+        self,
+        feeds: Sequence[ClientFeed],
+        optimized: bool = True,
+    ):
+        if not feeds:
+            raise ValueError("pipeline needs at least one client feed")
+        self._locals = [_LocalBuffer(feed) for feed in feeds]
+        self._heap: List[Tuple[float, int, Trace]] = []
+        self._optimized = optimized
+        self._last_dispatched_ts = -POS_INF
+        self._last_round_dispatched = 0
+        self.stats = PipelineStats()
+
+    # -- internals ---------------------------------------------------------
+
+    def _watermark(self) -> float:
+        return min(buf.head_ts for buf in self._locals)
+
+    def _buffered(self) -> int:
+        return sum(len(buf.pending) for buf in self._locals)
+
+    def _push(self, trace: Trace) -> None:
+        heapq.heappush(self._heap, (trace.ts_bef, trace.trace_id, trace))
+
+    def _fetch_round(self) -> None:
+        """One fetch stage: move staged traces into the heap and restage.
+
+        The unoptimised variant drains every local buffer each round.  The
+        optimised variant fetches laggard-first and stops once it has moved
+        roughly as many traces as the previous round dispatched, keeping the
+        heap size bounded by the dispatch rate.
+        """
+        self.stats.rounds += 1
+        buffers = [buf for buf in self._locals if not buf.done]
+        for buf in buffers:
+            buf.refill()
+        buffers = [buf for buf in self._locals if buf.pending]
+        if self._optimized:
+            buffers.sort(key=lambda buf: buf.head_ts)
+            budget = max(self._last_round_dispatched, 1)
+            fetched = 0
+            for buf in buffers:
+                take = buf.pending
+                buf.pending = []
+                for trace in take:
+                    self._push(trace)
+                fetched += len(take)
+                self.stats.fetches += 1
+                buf.refill()
+                if fetched >= budget:
+                    break
+        else:
+            for buf in buffers:
+                for trace in buf.pending:
+                    self._push(trace)
+                self.stats.fetches += 1
+                buf.pending = []
+                buf.refill()
+        self.stats.observe(len(self._heap), self._buffered())
+        self._last_round_dispatched = 0
+
+    def _all_done(self) -> bool:
+        return all(buf.done for buf in self._locals)
+
+    # -- public API ---------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Trace]:
+        # Prime the local buffers so the first watermark is meaningful.
+        for buf in self._locals:
+            buf.refill()
+        self.stats.observe(len(self._heap), self._buffered())
+        while True:
+            watermark = self._watermark()
+            while self._heap and self._heap[0][0] <= watermark:
+                _, _, trace = heapq.heappop(self._heap)
+                if trace.ts_bef < self._last_dispatched_ts:
+                    raise AssertionError(
+                        "pipeline dispatched out of order"
+                    )  # pragma: no cover - guarded by Theorem 1
+                self._last_dispatched_ts = trace.ts_bef
+                self.stats.dispatched += 1
+                self._last_round_dispatched += 1
+                yield trace
+            if self._all_done():
+                # Drain: nothing remains in any local buffer or client.
+                while self._heap:
+                    _, _, trace = heapq.heappop(self._heap)
+                    self._last_dispatched_ts = trace.ts_bef
+                    self.stats.dispatched += 1
+                    yield trace
+                return
+            self._fetch_round()
+
+
+class NaiveGlobalSorter:
+    """Baseline of Section VI-A: buffer every trace, sort once, replay.
+
+    Memory is proportional to the whole history and nothing can be
+    dispatched until every client stream has terminated -- the two
+    properties Fig. 10 shows the pipeline avoiding.
+    """
+
+    def __init__(self, feeds: Sequence[ClientFeed]):
+        self._feeds = list(feeds)
+        self.stats = PipelineStats()
+
+    def __iter__(self) -> Iterator[Trace]:
+        everything: List[Trace] = []
+        for feed in self._feeds:
+            while not feed.exhausted:
+                everything.extend(feed.next_batch())
+                self.stats.fetches += 1
+        self.stats.peak_heap_size = len(everything)
+        self.stats.peak_buffered = len(everything)
+        everything.sort(key=Trace.sort_key)
+        self.stats.rounds = 1
+        for trace in everything:
+            self.stats.dispatched += 1
+            yield trace
+
+
+def pipeline_from_client_streams(
+    streams: Dict[int, Sequence[Trace]],
+    batch_size: int = 64,
+    optimized: bool = True,
+) -> TwoLevelPipeline:
+    """Convenience constructor from ``{client_id: [traces...]}``."""
+    feeds = [
+        ClientFeed(traces, batch_size=batch_size)
+        for _, traces in sorted(streams.items())
+    ]
+    return TwoLevelPipeline(feeds, optimized=optimized)
+
+
+def sorted_traces(streams: Dict[int, Sequence[Trace]]) -> List[Trace]:
+    """Eagerly sort all traces (test helper / tiny histories)."""
+    merged: List[Trace] = []
+    for traces in streams.values():
+        merged.extend(traces)
+    merged.sort(key=Trace.sort_key)
+    return merged

@@ -1,0 +1,231 @@
+"""Isolation specifications and the Fig. 1 DBMS profile registry.
+
+The paper's key generalisation is that every isolation level shipped by a
+commercial DBMS is assembled from four mechanisms -- consistent read (CR),
+mutual exclusion (ME), first updater wins (FUW) and serialization certifier
+(SC).  An :class:`IsolationSpec` captures one such assembly; the
+:data:`DBMS_PROFILES` registry reproduces Fig. 1's table of which DBMS
+implements which level with which mechanisms.
+
+The same spec object drives both sides of this repository:
+
+* ``repro.dbsim.engine`` *implements* the spec (the simulated DBMS), and
+* ``repro.core.verifier`` *verifies* the spec against black-box traces.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+
+class IsolationLevel(enum.Enum):
+    READ_COMMITTED = "RC"
+    REPEATABLE_READ = "RR"
+    SNAPSHOT_ISOLATION = "SI"
+    SERIALIZABLE = "SR"
+
+
+class CRLevel(enum.Enum):
+    """Consistent-read granularity (Section II-B)."""
+
+    NONE = "none"
+    #: snapshot taken at the beginning of each statement (read committed).
+    STATEMENT = "statement"
+    #: snapshot taken at the beginning of the transaction (RR/SI/SR).
+    TRANSACTION = "transaction"
+
+
+class CertifierKind(enum.Enum):
+    """Which certifier the SC mechanism mirrors (Section V-D)."""
+
+    NONE = "none"
+    #: SSI: prohibit two consecutive rw anti-dependencies (PostgreSQL).
+    SSI = "ssi"
+    #: generic conflict-serializability: dependency cycles are prohibited
+    #: (mirrors OCC validation and timestamp-ordering engines, whose
+    #: committed histories are cycle-free by construction).
+    CYCLE = "cycle"
+    #: first-committer-wins write certification (Percolator-style SI).
+    FIRST_COMMITTER = "first-committer"
+
+
+@dataclass(frozen=True)
+class IsolationSpec:
+    """One assembly of the four mechanisms."""
+
+    name: str
+    level: IsolationLevel
+    cr: CRLevel = CRLevel.NONE
+    me: bool = False
+    #: whether reads also take (shared) locks -- pure 2PL engines only.
+    me_read_locks: bool = False
+    fuw: bool = False
+    certifier: CertifierKind = CertifierKind.NONE
+
+    @property
+    def uses_cr(self) -> bool:
+        return self.cr is not CRLevel.NONE
+
+    @property
+    def uses_sc(self) -> bool:
+        return self.certifier is not CertifierKind.NONE
+
+    def mechanisms(self) -> Tuple[str, ...]:
+        """Checkmark row as in Fig. 1."""
+        marks: List[str] = []
+        if self.me:
+            marks.append("ME")
+        if self.uses_cr:
+            marks.append("CR")
+        if self.fuw:
+            marks.append("FUW")
+        if self.uses_sc:
+            marks.append("SC")
+        return tuple(marks)
+
+    def without(self, mechanism: str) -> "IsolationSpec":
+        """A copy with one mechanism disabled -- used for fault injection
+        (run the engine on the weakened spec, verify against the full one)
+        and ablation benches."""
+        mechanism = mechanism.upper()
+        if mechanism == "ME":
+            return replace(self, me=False, me_read_locks=False)
+        if mechanism == "CR":
+            return replace(self, cr=CRLevel.NONE)
+        if mechanism == "FUW":
+            return replace(self, fuw=False)
+        if mechanism == "SC":
+            return replace(self, certifier=CertifierKind.NONE)
+        raise ValueError(f"unknown mechanism {mechanism!r}")
+
+
+# ---------------------------------------------------------------------------
+# Canonical specs (PostgreSQL naming, used as defaults throughout).
+# ---------------------------------------------------------------------------
+
+PG_READ_COMMITTED = IsolationSpec(
+    name="postgresql/RC",
+    level=IsolationLevel.READ_COMMITTED,
+    cr=CRLevel.STATEMENT,
+    me=True,
+)
+PG_REPEATABLE_READ = IsolationSpec(
+    # PostgreSQL's REPEATABLE READ is snapshot isolation: txn-level CR + FUW.
+    name="postgresql/SI",
+    level=IsolationLevel.SNAPSHOT_ISOLATION,
+    cr=CRLevel.TRANSACTION,
+    me=True,
+    fuw=True,
+)
+PG_SERIALIZABLE = IsolationSpec(
+    name="postgresql/SR",
+    level=IsolationLevel.SERIALIZABLE,
+    cr=CRLevel.TRANSACTION,
+    me=True,
+    fuw=True,
+    certifier=CertifierKind.SSI,
+)
+
+SERIALIZABLE = PG_SERIALIZABLE
+SNAPSHOT_ISOLATION = PG_REPEATABLE_READ
+READ_COMMITTED = PG_READ_COMMITTED
+
+
+def _spec(
+    dbms: str,
+    level: IsolationLevel,
+    cr: CRLevel,
+    me: bool,
+    fuw: bool,
+    certifier: CertifierKind,
+    me_read_locks: bool = False,
+) -> IsolationSpec:
+    return IsolationSpec(
+        name=f"{dbms}/{level.value}",
+        level=level,
+        cr=cr,
+        me=me,
+        me_read_locks=me_read_locks,
+        fuw=fuw,
+        certifier=certifier,
+    )
+
+
+IL = IsolationLevel
+_T, _S, _N = CRLevel.TRANSACTION, CRLevel.STATEMENT, CRLevel.NONE
+_NONE, _SSI, _CYC, _FCW = (
+    CertifierKind.NONE,
+    CertifierKind.SSI,
+    CertifierKind.CYCLE,
+    CertifierKind.FIRST_COMMITTER,
+)
+
+#: Reproduction of Fig. 1: (dbms, level) -> mechanisms.  Where Fig. 1 lists
+#: several DBMSs on one row they share the entry.
+DBMS_PROFILES: Dict[Tuple[str, IsolationLevel], IsolationSpec] = {
+    # PostgreSQL / OpenGauss: 2PL + MVCC + SSI.
+    ("postgresql", IL.SERIALIZABLE): _spec("postgresql", IL.SERIALIZABLE, _T, True, True, _SSI),
+    ("postgresql", IL.SNAPSHOT_ISOLATION): _spec("postgresql", IL.SNAPSHOT_ISOLATION, _T, True, True, _NONE),
+    ("postgresql", IL.READ_COMMITTED): _spec("postgresql", IL.READ_COMMITTED, _S, True, False, _NONE),
+    ("opengauss", IL.SERIALIZABLE): _spec("opengauss", IL.SERIALIZABLE, _T, True, True, _SSI),
+    ("opengauss", IL.SNAPSHOT_ISOLATION): _spec("opengauss", IL.SNAPSHOT_ISOLATION, _T, True, True, _NONE),
+    ("opengauss", IL.READ_COMMITTED): _spec("opengauss", IL.READ_COMMITTED, _S, True, False, _NONE),
+    # InnoDB / Aurora / PolarDB / SQL Server: 2PL + MVCC (no FUW: lost
+    # updates are possible under RR, as the paper notes in the intro).
+    ("innodb", IL.SERIALIZABLE): _spec("innodb", IL.SERIALIZABLE, _T, True, False, _NONE, me_read_locks=True),
+    ("innodb", IL.REPEATABLE_READ): _spec("innodb", IL.REPEATABLE_READ, _T, True, False, _NONE),
+    ("innodb", IL.READ_COMMITTED): _spec("innodb", IL.READ_COMMITTED, _S, True, False, _NONE),
+    ("sqlserver", IL.SERIALIZABLE): _spec("sqlserver", IL.SERIALIZABLE, _T, True, False, _NONE, me_read_locks=True),
+    ("sqlserver", IL.REPEATABLE_READ): _spec("sqlserver", IL.REPEATABLE_READ, _T, True, False, _NONE),
+    ("sqlserver", IL.READ_COMMITTED): _spec("sqlserver", IL.READ_COMMITTED, _S, True, False, _NONE),
+    # TiDB: 2PL + MVCC for RR/RC; Percolator for SI.
+    ("tidb", IL.REPEATABLE_READ): _spec("tidb", IL.REPEATABLE_READ, _T, True, False, _NONE),
+    ("tidb", IL.READ_COMMITTED): _spec("tidb", IL.READ_COMMITTED, _S, True, False, _NONE),
+    ("tidb", IL.SNAPSHOT_ISOLATION): _spec("tidb", IL.SNAPSHOT_ISOLATION, _T, False, False, _FCW),
+    # RocksDB: pessimistic (2PL+MVCC) or optimistic (OCC+MVCC) transactions.
+    ("rocksdb", IL.SERIALIZABLE): _spec("rocksdb", IL.SERIALIZABLE, _T, True, False, _NONE, me_read_locks=True),
+    ("rocksdb-occ", IL.SERIALIZABLE): _spec("rocksdb-occ", IL.SERIALIZABLE, _T, False, False, _CYC),
+    # SQLite: whole-database 2PL, no MVCC.
+    ("sqlite", IL.SERIALIZABLE): _spec("sqlite", IL.SERIALIZABLE, _N, True, False, _NONE, me_read_locks=True),
+    # FoundationDB: OCC + MVCC.
+    ("foundationdb", IL.SERIALIZABLE): _spec("foundationdb", IL.SERIALIZABLE, _T, False, False, _CYC),
+    # SingleStore.
+    ("singlestore", IL.READ_COMMITTED): _spec("singlestore", IL.READ_COMMITTED, _S, True, False, _NONE),
+    # CockroachDB: timestamp ordering + MVCC.
+    ("cockroachdb", IL.SERIALIZABLE): _spec("cockroachdb", IL.SERIALIZABLE, _T, False, False, _CYC),
+    # Spanner: 2PL + MVCC.
+    ("spanner", IL.SERIALIZABLE): _spec("spanner", IL.SERIALIZABLE, _T, True, False, _NONE, me_read_locks=True),
+    # YugabyteDB: all four mechanisms.
+    ("yugabytedb", IL.SERIALIZABLE): _spec("yugabytedb", IL.SERIALIZABLE, _T, True, True, _SSI),
+    ("yugabytedb", IL.REPEATABLE_READ): _spec("yugabytedb", IL.REPEATABLE_READ, _T, True, True, _NONE),
+    ("yugabytedb", IL.READ_COMMITTED): _spec("yugabytedb", IL.READ_COMMITTED, _S, True, False, _NONE),
+    # Oracle / NuoDB / SAP HANA.
+    ("oracle", IL.SNAPSHOT_ISOLATION): _spec("oracle", IL.SNAPSHOT_ISOLATION, _T, True, True, _NONE),
+    ("oracle", IL.READ_COMMITTED): _spec("oracle", IL.READ_COMMITTED, _S, True, False, _NONE),
+    ("nuodb", IL.SNAPSHOT_ISOLATION): _spec("nuodb", IL.SNAPSHOT_ISOLATION, _T, True, True, _NONE),
+    ("saphana", IL.SNAPSHOT_ISOLATION): _spec("saphana", IL.SNAPSHOT_ISOLATION, _T, True, True, _NONE),
+    ("saphana", IL.READ_COMMITTED): _spec("saphana", IL.READ_COMMITTED, _S, True, False, _NONE),
+}
+
+
+def profile(dbms: str, level: IsolationLevel) -> IsolationSpec:
+    """Look up the Fig. 1 mechanism assembly for a DBMS and level."""
+    try:
+        return DBMS_PROFILES[(dbms.lower(), level)]
+    except KeyError:
+        raise KeyError(
+            f"{dbms!r} does not document isolation level {level.value} "
+            "in the Fig. 1 registry"
+        ) from None
+
+
+def profiles_for(dbms: str) -> List[IsolationSpec]:
+    return [
+        spec for (name, _), spec in DBMS_PROFILES.items() if name == dbms.lower()
+    ]
+
+
+def supported_dbms() -> List[str]:
+    return sorted({name for name, _ in DBMS_PROFILES})

@@ -1,0 +1,187 @@
+"""Shared mutable state of a verification run.
+
+The four mechanisms of Algorithm 2 run against the same mirrored internal
+state -- version chains, lock table, dependency graph, per-transaction
+metadata -- and continuously exchange the dependencies they deduce
+(Section V-A, "we verify the four mechanisms in parallel and continuously
+transfer the deduced dependencies between them").  This module holds that
+state; the mechanism modules operate on it and the verifier orchestrates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .dependencies import DependencyGraph
+from .intervals import Interval
+from .locktable import LockTable
+from .report import BugDescriptor, VerificationStats
+from .trace import ColumnMap, Key, Trace, apply_delta
+from .versions import Version, VersionChain
+
+
+class TxnStatus(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class PendingRead:
+    """A read deferred until its transaction's terminal trace.
+
+    Deferral guarantees that every write trace able to influence the read's
+    candidate version set has already been dispatched (its before-timestamp
+    is provably smaller than the reader's terminal before-timestamp).
+    """
+
+    trace: Trace
+    key: Key
+    observed: ColumnMap
+    #: merged own-transaction writes to this key at the moment of the read
+    #: (first CR case: a transaction sees its own earlier changes).
+    own_delta: Dict[str, object]
+
+
+@dataclass
+class PendingScan:
+    """A predicate read deferred until its transaction's terminal trace,
+    for the scan-completeness (phantom) check."""
+
+    trace: Trace
+    observed_keys: frozenset
+
+
+@dataclass
+class TxnState:
+    """Everything the verifier mirrors about one transaction."""
+
+    txn_id: str
+    client_id: int
+    first_interval: Optional[Interval] = None
+    status: TxnStatus = TxnStatus.ACTIVE
+    terminal_interval: Optional[Interval] = None
+    pending_reads: List[PendingRead] = field(default_factory=list)
+    pending_scans: List["PendingScan"] = field(default_factory=list)
+    #: keys written, with the staged Version objects.
+    staged_versions: List[Version] = field(default_factory=list)
+    #: running merge of own writes per key (for own-read visibility).
+    own_images: Dict[Key, Dict[str, object]] = field(default_factory=dict)
+    op_count: int = 0
+
+    @property
+    def finished(self) -> bool:
+        return self.status is not TxnStatus.ACTIVE
+
+    @property
+    def committed(self) -> bool:
+        return self.status is TxnStatus.COMMITTED
+
+    def snapshot_interval(self) -> Optional[Interval]:
+        """Transaction-level snapshot generation interval (Definition 2):
+        the interval of the transaction's first operation."""
+        return self.first_interval
+
+    def note_operation(self, trace: Trace) -> None:
+        if self.first_interval is None:
+            self.first_interval = trace.interval
+        self.op_count += 1
+
+    def own_delta_for(self, key: Key) -> Dict[str, object]:
+        return dict(self.own_images.get(key, ()))
+
+    def merge_own_write(self, key: Key, columns: Mapping[str, object]) -> None:
+        apply_delta(self.own_images.setdefault(key, {}), columns)
+
+
+class VerifierState:
+    """The mirrored internal state shared by all four mechanisms."""
+
+    def __init__(
+        self,
+        initial_db: Optional[Mapping[Key, Mapping[str, object]]] = None,
+        incremental_graph: bool = True,
+    ):
+        self.chains: Dict[Key, VersionChain] = {}
+        self.locks = LockTable()
+        self.graph = DependencyGraph(incremental=incremental_graph)
+        self.txns: Dict[str, TxnState] = {}
+        self.descriptor = BugDescriptor()
+        self.stats = VerificationStats()
+        #: before-timestamp of the most recently processed trace; the
+        #: monotone dispatch order makes this a watermark over all clients.
+        self.watermark: float = float("-inf")
+        self._initial_db = dict(initial_db or {})
+
+    # -- accessors -----------------------------------------------------------
+
+    def initial_only_keys(self):
+        """Keys present in the initial database that no trace has touched
+        yet (they have no chain object, but their initial version is
+        definitely visible to every snapshot)."""
+        return [key for key in self._initial_db if key not in self.chains]
+
+    def chain(self, key: Key) -> VersionChain:
+        existing = self.chains.get(key)
+        if existing is None:
+            initial = self._initial_db.get(key)
+            existing = VersionChain(key, initial_image=initial)
+            self.chains[key] = existing
+        return existing
+
+    def txn(self, trace: Trace) -> TxnState:
+        state = self.txns.get(trace.txn_id)
+        if state is None:
+            state = TxnState(txn_id=trace.txn_id, client_id=trace.client_id)
+            self.txns[trace.txn_id] = state
+        return state
+
+    def get_txn(self, txn_id: str) -> Optional[TxnState]:
+        return self.txns.get(txn_id)
+
+    def active_txns(self) -> List[TxnState]:
+        return [t for t in self.txns.values() if not t.finished]
+
+    def earliest_unverified_snapshot(self) -> float:
+        """``S_e`` of Definition 4: the earliest snapshot-generation
+        timestamp any unverified trace can still reference.  Active
+        transactions pin their first-operation timestamps; everything else
+        is bounded below by the dispatch watermark."""
+        floor = self.watermark
+        for txn in self.txns.values():
+            if not txn.finished and txn.first_interval is not None:
+                floor = min(floor, txn.first_interval.ts_bef)
+        return floor
+
+    # -- ww order oracle --------------------------------------------------------
+
+    def ww_order(self, a: Version, b: Version) -> Optional[bool]:
+        """Whether version ``a``'s transaction is known (deduced ww) to
+        precede version ``b``'s; None when undetermined."""
+        from .dependencies import DepType  # local import avoids cycle at load
+
+        if a.txn_id == b.txn_id:
+            return None
+        if DepType.WW in self.graph.edge_types(a.txn_id, b.txn_id):
+            return True
+        if DepType.WW in self.graph.edge_types(b.txn_id, a.txn_id):
+            return False
+        return None
+
+    # -- memory accounting (benchmarks) -------------------------------------------
+
+    def live_structure_count(self) -> int:
+        """Number of retained verifier structures; the memory axis of the
+        Fig. 10/14 experiments (see DESIGN.md substitution table)."""
+        versions = sum(
+            len(chain) + chain.pending_count() for chain in self.chains.values()
+        )
+        return (
+            versions
+            + self.locks.live_entry_count()
+            + len(self.graph)
+            + self.graph.edge_count
+            + len(self.txns)
+        )

@@ -1,0 +1,351 @@
+"""Mechanism-mirrored verification: the Leopard Verifier (Section V).
+
+The Verifier consumes traces in monotone before-timestamp order (from the
+two-level pipeline) and mirrors the internal state of the DBMS -- version
+chains, lock table, dependency graph.  Each trace is executed against that
+state exactly as the engine would have executed the operation, and the four
+mechanism verifiers check the result:
+
+* data operations stage their effects and defer their checks;
+* commit/abort traces trigger the per-transaction checks of all four
+  mechanisms (by dispatch-order monotonicity, every trace able to influence
+  those checks has already arrived);
+* deduced dependencies are exchanged between mechanisms (wr from CR, ww
+  from ME/FUW, rw derived per Fig. 9) and fed to the certifier;
+* garbage structures are pruned periodically (Definition 4, Theorem 5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional
+
+from .certifier import SerializationCertifier
+from .consistent_read import ConsistentReadVerifier
+from .dependencies import Dependency, DepType
+from .first_updater_wins import FirstUpdaterWinsVerifier
+from .gc import GarbageCollector
+from .mutual_exclusion import MutualExclusionVerifier
+from .report import Mechanism, VerificationReport
+from .spec import IsolationSpec, PG_SERIALIZABLE
+from .state import TxnState, TxnStatus, VerifierState
+from .trace import INIT_TXN, Key, OpKind, OpStatus, Trace
+from .versions import Version
+
+
+class Verifier:
+    """Verifies one isolation spec against a stream of interval traces.
+
+    Parameters
+    ----------
+    spec:
+        The isolation level (mechanism assembly) the DBMS claims.
+    initial_db:
+        Record images loaded before the traced run started.
+    gc_every:
+        Run garbage collection every N traces (0 disables GC -- used by the
+        memory ablation benchmarks).
+    exchange_dependencies:
+        Whether mechanisms share deduced dependencies (Section V-A).  The
+        ablation value ``False`` still feeds the certifier but stops CR from
+        using deduced ww orders to shrink candidate sets.
+    minimize_candidates:
+        Whether CR uses the Fig. 6 minimal candidate set (``False`` checks
+        reads against every committed version -- the naive ablation).
+    check_aborted_reads:
+        Whether reads of aborted transactions are still CR-checked (they
+        must be: an engine may not serve inconsistent data even to a
+        transaction that later rolls back).
+    """
+
+    def __init__(
+        self,
+        spec: IsolationSpec = PG_SERIALIZABLE,
+        initial_db: Optional[Mapping[Key, Mapping[str, object]]] = None,
+        gc_every: int = 512,
+        exchange_dependencies: bool = True,
+        minimize_candidates: bool = True,
+        check_aborted_reads: bool = True,
+        incremental_graph: bool = True,
+        session_order: bool = True,
+    ):
+        """``session_order`` adds same-client program-order edges to the
+        dependency graph (strong-session guarantee).  Sound for every
+        snapshot-based engine -- a transaction beginning after its session
+        predecessor committed always sees its effects -- and it lets the
+        certifier catch "time-travel" bugs where a session's later
+        transaction serialises before its earlier one."""
+        self.spec = spec
+        self._session_order = session_order
+        self._session_tail: dict = {}
+        self.state = VerifierState(
+            initial_db=initial_db, incremental_graph=incremental_graph
+        )
+        self._exchange = exchange_dependencies
+        self._minimize = minimize_candidates
+        self._check_aborted_reads = check_aborted_reads
+        self._cr = ConsistentReadVerifier(
+            self.state,
+            spec,
+            self._emit,
+            on_read_match=self._on_read_match,
+            minimal=minimize_candidates,
+        )
+        self._me = MutualExclusionVerifier(self.state, spec, self._emit)
+        self._fuw = FirstUpdaterWinsVerifier(self.state, spec, self._emit)
+        self._sc = SerializationCertifier(self.state, spec)
+        self._gc: Optional[GarbageCollector] = None
+        if gc_every:
+            self._gc = GarbageCollector(
+                self.state, every=gc_every, on_txn_pruned=self._sc.on_txn_pruned
+            )
+        self._finished = False
+        if not exchange_dependencies:
+            # Ablation: mechanisms stop sharing deduced ww orders, so CR's
+            # candidate sets cannot be shrunk by other mechanisms' findings.
+            self.state.ww_order = lambda a, b: None  # type: ignore[method-assign]
+
+    # -- trace intake -----------------------------------------------------------
+
+    def process(self, trace: Trace) -> None:
+        """Execute one dispatched trace against the mirrored state."""
+        if self._finished:
+            raise RuntimeError("verifier already finished")
+        state = self.state
+        state.stats.traces_processed += 1
+        state.watermark = max(state.watermark, trace.ts_bef)
+        txn = state.txn(trace)
+        if txn.finished:
+            raise ValueError(
+                f"trace for already-terminated transaction {trace.txn_id}"
+            )
+        txn.note_operation(trace)
+        if trace.kind is OpKind.READ:
+            if trace.status is OpStatus.OK:
+                self._cr.on_read(trace, txn)
+                self._me.on_read(trace, txn)
+        elif trace.kind is OpKind.WRITE:
+            if trace.status is OpStatus.OK:
+                self._me.on_write(trace, txn)
+                for key, columns in trace.writes.items():
+                    version = state.chain(key).stage_write(
+                        txn.txn_id, columns, trace.interval
+                    )
+                    txn.staged_versions.append(version)
+                    txn.merge_own_write(key, columns)
+        elif trace.kind is OpKind.COMMIT:
+            self._on_commit(trace, txn)
+        elif trace.kind is OpKind.ABORT:
+            self._on_abort(trace, txn)
+        if self._gc is not None:
+            self._gc.maybe_collect()
+
+    def process_all(self, traces: Iterable[Trace]) -> "Verifier":
+        for trace in traces:
+            self.process(trace)
+        return self
+
+    # -- terminal handling ---------------------------------------------------------
+
+    def _on_commit(self, trace: Trace, txn: TxnState) -> None:
+        state = self.state
+        txn.status = TxnStatus.COMMITTED
+        txn.terminal_interval = trace.interval
+        state.stats.txns_committed += 1
+        state.graph.add_txn(txn.txn_id, trace.interval)
+        if self._session_order:
+            predecessor = self._session_tail.get(trace.client_id)
+            if predecessor is not None and predecessor in state.graph:
+                self._emit(
+                    Dependency(
+                        src=predecessor,
+                        dst=txn.txn_id,
+                        dep_type=DepType.SO,
+                        source=Mechanism.SERIALIZATION_CERTIFIER,
+                    )
+                )
+            self._session_tail[trace.client_id] = txn.txn_id
+        installed: List[Version] = []
+        for key in {v.key for v in txn.staged_versions}:
+            installed.extend(state.chain(key).commit_txn(txn.txn_id, trace.interval))
+        # Order matters: ME and FUW deduce the ww edges that confirm version
+        # adjacency before the rw derivation and the CR checks consume them.
+        if self.spec.me:
+            self._timed("ME", lambda: self._me.on_terminal(txn, trace))
+        self._timed("FUW", lambda: self._fuw.on_commit(txn, installed))
+        for version in installed:
+            self._derive_rw_for_new_version(version)
+        self._timed("CR", lambda: self._cr.on_terminal(txn))
+
+    def _on_abort(self, trace: Trace, txn: TxnState) -> None:
+        state = self.state
+        txn.status = TxnStatus.ABORTED
+        txn.terminal_interval = trace.interval
+        state.stats.txns_aborted += 1
+        for key in {v.key for v in txn.staged_versions}:
+            state.chain(key).abort_txn(txn.txn_id)
+        if self.spec.me:
+            self._timed("ME", lambda: self._me.on_terminal(txn, trace))
+        if self._check_aborted_reads:
+            self._timed("CR", lambda: self._cr.on_terminal(txn))
+        else:
+            txn.pending_reads.clear()
+
+    def _timed(self, mechanism: str, fn) -> None:
+        """Run a mechanism step, accumulating its wall time for the
+        time-breakdown experiment.  Nested calls (a mechanism emitting a
+        dependency that the certifier times as SC) double-count by design:
+        each bucket answers "how long did this mechanism's code run"."""
+        import time
+
+        start = time.perf_counter()
+        try:
+            fn()
+        finally:
+            bucket = self.state.stats.mechanism_seconds
+            bucket[mechanism] = bucket.get(mechanism, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    # -- dependency exchange (Section V-A / Fig. 9) ------------------------------------
+
+    def _emit(self, dep: Dependency) -> None:
+        # A dependency endpoint that is neither a live graph node nor a
+        # tracked transaction refers to a transaction already pruned as
+        # garbage (Definition 4).  By Theorem 5 it cannot join any future
+        # cycle, so the edge carries no information -- and inserting it
+        # would resurrect a zombie node the GC could never release.
+        for endpoint in (dep.src, dep.dst):
+            if endpoint not in self.state.graph and self.state.get_txn(endpoint) is None:
+                return
+        stats = self.state.stats
+        if dep.dep_type is DepType.WR:
+            stats.deps_wr += 1
+        elif dep.dep_type is DepType.WW:
+            stats.deps_ww += 1
+        elif dep.dep_type is DepType.SO:
+            stats.deps_so += 1
+        else:
+            stats.deps_rw += 1
+        self._timed("SC", lambda: self._sc.on_dependency(dep))
+        if dep.dep_type is DepType.WW:
+            self._derive_rw_from_ww(dep)
+
+    def _order_confirmed(self, earlier: Version, later: Version) -> bool:
+        """Whether the chain adjacency ``earlier -> later`` reflects a
+        certain installation order: non-overlapping installation intervals,
+        or a deduced ww dependency between the installers."""
+        if earlier.effective_install.precedes(later.effective_install):
+            return True
+        return self.state.ww_order(earlier, later) is True
+
+    def _on_read_match(self, version: Version, reader: str) -> None:
+        """A read was uniquely matched to ``version``: record the reader,
+        emit the wr dependency, and derive the rw anti-dependency towards
+        the version's confirmed successor (Fig. 9).  The rw derivation also
+        applies to reads of the initial database state, which produce no wr
+        edge but still anti-depend on the first overwriter."""
+        version.readers.add(reader)
+        if version.txn_id != INIT_TXN:
+            self._emit(
+                Dependency(
+                    src=version.txn_id,
+                    dst=reader,
+                    dep_type=DepType.WR,
+                    key=version.key,
+                    source=Mechanism.CONSISTENT_READ,
+                )
+            )
+        chain = self.state.chains.get(version.key)
+        if chain is None:
+            return
+        successor = chain.successor_of(version)
+        if (
+            successor is not None
+            and successor.txn_id != reader
+            and self._order_confirmed(version, successor)
+        ):
+            self._emit(
+                Dependency(
+                    src=reader,
+                    dst=successor.txn_id,
+                    dep_type=DepType.RW,
+                    key=version.key,
+                    source=Mechanism.SERIALIZATION_CERTIFIER,
+                )
+            )
+
+    def _derive_rw_from_ww(self, dep: Dependency) -> None:
+        """A deduced ww edge confirms version adjacency; readers of the
+        earlier version anti-depend on the later installer (Fig. 9)."""
+        if dep.key is None:
+            return
+        chain = self.state.chains.get(dep.key)
+        if chain is None:
+            return
+        for version in chain.committed_versions():
+            if version.txn_id != dep.src:
+                continue
+            successor = chain.successor_of(version)
+            if successor is None or successor.txn_id != dep.dst:
+                continue
+            for reader in version.readers:
+                if reader == dep.dst or reader == version.txn_id:
+                    continue
+                self._emit(
+                    Dependency(
+                        src=reader,
+                        dst=dep.dst,
+                        dep_type=DepType.RW,
+                        key=dep.key,
+                        source=Mechanism.SERIALIZATION_CERTIFIER,
+                    )
+                )
+
+    def _derive_rw_for_new_version(self, version: Version) -> None:
+        """When a version lands in the chain, readers of its now-confirmed
+        predecessor anti-depend on it."""
+        chain = self.state.chains.get(version.key)
+        if chain is None:
+            return
+        predecessor = chain.predecessor_of(version)
+        if predecessor is None or not self._order_confirmed(predecessor, version):
+            return
+        for reader in predecessor.readers:
+            if reader == version.txn_id:
+                continue
+            self._emit(
+                Dependency(
+                    src=reader,
+                    dst=version.txn_id,
+                    dep_type=DepType.RW,
+                    key=version.key,
+                    source=Mechanism.SERIALIZATION_CERTIFIER,
+                )
+            )
+
+    # -- completion -----------------------------------------------------------------
+
+    def finish(self) -> VerificationReport:
+        """Finalise the run and return the report.  Transactions still
+        active when the stream ends stay unverified, exactly as a real
+        online verifier must leave in-flight transactions pending."""
+        self._finished = True
+        if self._gc is not None:
+            self._gc.collect()
+        return VerificationReport(
+            descriptor=self.state.descriptor,
+            stats=self.state.stats,
+            isolation_level=self.spec.name,
+        )
+
+
+def verify_traces(
+    traces: Iterable[Trace],
+    spec: IsolationSpec = PG_SERIALIZABLE,
+    initial_db: Optional[Mapping[Key, Mapping[str, object]]] = None,
+    **kwargs,
+) -> VerificationReport:
+    """One-shot convenience API: verify an already-sorted trace stream."""
+    verifier = Verifier(spec=spec, initial_db=initial_db, **kwargs)
+    verifier.process_all(traces)
+    return verifier.finish()

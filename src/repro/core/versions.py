@@ -1,0 +1,366 @@
+"""Ordered record versions and candidate-version-set minimisation.
+
+The CR and FUW mechanisms both reason over the *version evolution* of each
+record, reconstructed purely from traces:
+
+* each committed write contributes a :class:`Version` whose *installation
+  interval* is the write operation's trace interval (Definition 1);
+* versions of a record are kept in a list sorted by the after-timestamp of
+  their installation interval (insertion sort, mirroring Section V-A's
+  complexity analysis);
+* every version carries the *cumulative record image* at that point in the
+  chain, so partial-column writes (TPC-C style) can be matched against
+  reads that observe different column subsets.
+
+Given a read's snapshot-generation interval (Definition 2), the chain
+classifies versions into the five categories of Fig. 6 -- future, overlap,
+pivot, pivot-overlap, garbage -- and returns the minimal candidate version
+set of Theorem 2: exactly the versions possibly visible to that read.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .intervals import INITIAL_INTERVAL, Interval
+from .trace import ColumnMap, INIT_TXN, Key, apply_delta, reads_match
+
+_version_seq = itertools.count()
+
+
+def _chain_sort_key(version: "Version"):
+    """Chain order = installation order.  Section II-A: *a commit installs
+    all versions created by a transaction*, so the true installation instant
+    lies inside the commit trace interval; versions are ordered by it (the
+    write-operation interval breaks ties for two versions committed in the
+    same instantaneous batch)."""
+    effective = version.effective_install
+    return (effective.ts_aft, effective.ts_bef, version.install.ts_aft, version.seq)
+
+#: Optional oracle answering "is version a's txn known to precede version
+#: b's txn (ww) on this key?" -- returns True/False when deduced, None when
+#: unknown.  Supplied by the verifier from already-deduced dependencies.
+OrderOracle = Callable[["Version", "Version"], Optional[bool]]
+
+
+@dataclass(eq=False)
+class Version:
+    """One installed version of a record.
+
+    Versions compare (and hash) by identity: two staged writes are distinct
+    versions even when byte-identical, and chain membership operations rely
+    on object identity."""
+
+    key: Key
+    txn_id: str
+    install: Interval
+    #: columns this write set (the delta).
+    columns: Dict[str, object]
+    #: cumulative record image up to and including this version, under the
+    #: chain's current order.
+    image: Dict[str, object] = field(default_factory=dict)
+    #: commit interval of the installing transaction (None while pending).
+    commit: Optional[Interval] = None
+    committed: bool = False
+    #: transactions observed (via CR wr deduction) to have read this version.
+    readers: Set[str] = field(default_factory=set)
+    seq: int = field(default_factory=lambda: next(_version_seq))
+
+    @property
+    def is_initial(self) -> bool:
+        return self.txn_id == INIT_TXN
+
+    @property
+    def effective_install(self) -> Interval:
+        """The interval containing the instant the version became visible:
+        the installing transaction's commit interval (Section II-A).  Falls
+        back to the write-operation interval while uncommitted."""
+        return self.commit if self.commit is not None else self.install
+
+    def matches(self, observed: ColumnMap) -> bool:
+        """Whether a read observing ``observed`` is consistent with the
+        record image at this version."""
+        return reads_match(observed, self.image)
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        return f"V({self.key!r}:{self.txn_id}@{self.install} {self.columns!r})"
+
+
+@dataclass(frozen=True)
+class CandidateClassification:
+    """Fig. 6 classification of a chain against one snapshot interval."""
+
+    candidates: Tuple[Version, ...]
+    future: Tuple[Version, ...]
+    garbage: Tuple[Version, ...]
+    pivot: Optional[Version]
+
+
+class VersionChain:
+    """All observed versions of one record.
+
+    Committed versions live in ``self._chain`` sorted by installation
+    after-timestamp; uncommitted writes are staged per transaction until the
+    commit trace arrives (mirroring how an MVCC engine installs versions at
+    commit).
+    """
+
+    def __init__(self, key: Key, initial_image: Optional[Mapping[str, object]] = None):
+        self.key = key
+        self._chain: List[Version] = []
+        self._pending: Dict[str, List[Version]] = {}
+        self._aborted: List[Version] = []
+        if initial_image is not None:
+            initial = Version(
+                key=key,
+                txn_id=INIT_TXN,
+                install=INITIAL_INTERVAL,
+                columns=dict(initial_image),
+                image=dict(initial_image),
+                commit=INITIAL_INTERVAL,
+                committed=True,
+            )
+            self._chain.append(initial)
+
+    # -- structure accessors -----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._chain)
+
+    def committed_versions(self) -> List[Version]:
+        return list(self._chain)
+
+    def pending_versions(self, txn_id: str) -> List[Version]:
+        return list(self._pending.get(txn_id, ()))
+
+    def aborted_versions(self) -> List[Version]:
+        return list(self._aborted)
+
+    def pending_count(self) -> int:
+        return sum(len(v) for v in self._pending.values())
+
+    def index_of(self, version: Version) -> int:
+        return self._chain.index(version)
+
+    def successor_of(self, version: Version) -> Optional[Version]:
+        """The next committed version in chain order, or None for the tail."""
+        idx = self._chain.index(version)
+        if idx + 1 < len(self._chain):
+            return self._chain[idx + 1]
+        return None
+
+    def predecessor_of(self, version: Version) -> Optional[Version]:
+        idx = self._chain.index(version)
+        if idx > 0:
+            return self._chain[idx - 1]
+        return None
+
+    # -- mutation -------------------------------------------------------------
+
+    def stage_write(
+        self, txn_id: str, columns: Mapping[str, object], interval: Interval
+    ) -> Version:
+        """Record an uncommitted write (version installation interval =
+        the write trace interval, Definition 1)."""
+        version = Version(
+            key=self.key,
+            txn_id=txn_id,
+            install=interval,
+            columns=dict(columns),
+        )
+        self._pending.setdefault(txn_id, []).append(version)
+        return version
+
+    def commit_txn(self, txn_id: str, commit_interval: Interval) -> List[Version]:
+        """Install a transaction's staged versions into the committed chain
+        (insertion-sorted by installation after-timestamp).  Returns the
+        versions that became visible."""
+        staged = self._pending.pop(txn_id, [])
+        installed: List[Version] = []
+        for version in staged:
+            version.commit = commit_interval
+            version.committed = True
+            self._insert_sorted(version)
+            installed.append(version)
+        return installed
+
+    def abort_txn(self, txn_id: str) -> List[Version]:
+        dropped = self._pending.pop(txn_id, [])
+        self._aborted.extend(dropped)
+        return dropped
+
+    def _insert_sorted(self, version: Version) -> None:
+        sort_key = _chain_sort_key(version)
+        position = len(self._chain)
+        for idx, existing in enumerate(self._chain):
+            if sort_key < _chain_sort_key(existing):
+                position = idx
+                break
+        self._chain.insert(position, version)
+        self._recompute_images(position)
+
+    def _recompute_images(self, start: int) -> None:
+        """Rebuild cumulative images from ``start`` to the tail (deletion
+        deltas replace; re-inserts start from an empty row)."""
+        base: Dict[str, object] = (
+            dict(self._chain[start - 1].image) if start > 0 else {}
+        )
+        for version in self._chain[start:]:
+            apply_delta(base, version.columns)
+            version.image = dict(base)
+
+    # -- candidate version set (Fig. 6 / Theorem 2) -----------------------------
+
+    def classify(
+        self,
+        snapshot: Interval,
+        order_oracle: Optional[OrderOracle] = None,
+    ) -> CandidateClassification:
+        """Classify committed versions against a snapshot-generation
+        interval and return the minimal candidate version set.
+
+        * *future* versions (installation definitely after the snapshot) are
+          excluded;
+        * the *pivot* is the version definitely before the snapshot whose
+          installation after-timestamp is the largest;
+        * *pivot-overlap* versions overlap the pivot's installation interval
+          and stay candidates;
+        * *garbage* versions (definitely before the pivot) are excluded;
+        * with an order oracle (deduced ``ww`` edges), pivot-overlap
+          versions whose order w.r.t. the pivot is fully resolved collapse
+          to just the latest of them, as described in Section V-A.
+        """
+        future: List[Version] = []
+        overlap: List[Version] = []
+        before: List[Version] = []
+        for version in self._chain:
+            installed = version.effective_install
+            if snapshot.precedes(installed):
+                future.append(version)
+            elif installed.precedes(snapshot):
+                before.append(version)
+            else:
+                overlap.append(version)
+        pivot: Optional[Version] = None
+        pivot_overlap: List[Version] = []
+        garbage: List[Version] = []
+        if before:
+            pivot = max(
+                before, key=lambda v: (v.effective_install.ts_aft, v.seq)
+            )
+            for version in before:
+                if version is pivot:
+                    continue
+                if version.effective_install.overlaps(pivot.effective_install):
+                    pivot_overlap.append(version)
+                else:
+                    garbage.append(version)
+        pre_snapshot = pivot_overlap + ([pivot] if pivot is not None else [])
+        if order_oracle is not None and len(pre_snapshot) > 1:
+            pre_snapshot = self._collapse_ordered(pre_snapshot, order_oracle)
+        candidates = tuple(
+            sorted(pre_snapshot + overlap, key=lambda v: v.seq)
+        )
+        return CandidateClassification(
+            candidates=candidates,
+            future=tuple(future),
+            garbage=tuple(garbage),
+            pivot=pivot,
+        )
+
+    @staticmethod
+    def _collapse_ordered(
+        versions: List[Version], oracle: OrderOracle
+    ) -> List[Version]:
+        """Drop pre-snapshot versions that are *known* (via deduced ww
+        order) to be overwritten by another pre-snapshot version."""
+        survivors: List[Version] = []
+        for version in versions:
+            overwritten = any(
+                other is not version and oracle(version, other)
+                for other in versions
+            )
+            if not overwritten:
+                survivors.append(version)
+        return survivors if survivors else versions
+
+    def candidate_set(
+        self,
+        snapshot: Interval,
+        order_oracle: Optional[OrderOracle] = None,
+    ) -> Tuple[Version, ...]:
+        return self.classify(snapshot, order_oracle).candidates
+
+    # -- diagnosis helpers --------------------------------------------------------
+
+    def find_matching_committed(self, observed: ColumnMap) -> List[Version]:
+        return [v for v in self._chain if v.matches(observed)]
+
+    def find_matching_pending(self, observed: ColumnMap) -> List[Version]:
+        matches: List[Version] = []
+        for versions in self._pending.values():
+            matches.extend(v for v in versions if reads_match(observed, v.columns))
+        matches.extend(
+            v for v in self._aborted if reads_match(observed, v.columns)
+        )
+        return matches
+
+    # -- garbage collection ----------------------------------------------------------
+
+    def prune_garbage(
+        self,
+        horizon: Interval,
+        can_prune_txn: Callable[[str], bool],
+    ) -> int:
+        """Drop versions that are *garbage* with respect to the earliest
+        still-relevant snapshot interval (Section V-A GC).
+
+        A version may be pruned when it is classified garbage against
+        ``horizon`` (definitely overwritten before any live snapshot) and
+        its installing transaction is releasable according to
+        ``can_prune_txn`` (i.e. no other mechanism still needs it).  The
+        cumulative images of surviving versions already fold in the pruned
+        history, so reads verify identically afterwards.
+        """
+        self._aborted.clear()
+        # Garbage needs at least two versions definitely before the horizon
+        # (a pivot and something it overwrote); most chains fail this cheap
+        # test and are skipped without a full classification.
+        old_enough = 0
+        for version in self._chain:
+            if version.effective_install.precedes(horizon):
+                old_enough += 1
+                if old_enough >= 2:
+                    break
+        if old_enough < 2:
+            return 0
+        classification = self.classify(horizon)
+        prunable = {
+            v.seq
+            for v in classification.garbage
+            if can_prune_txn(v.txn_id) or v.is_initial
+        }
+        # Never prune the most recent garbage version if it would leave the
+        # chain empty -- a read far in the future still needs one base image.
+        if self._chain and len(prunable) >= len(self._chain):
+            newest = max(self._chain, key=lambda v: v.seq)
+            prunable.discard(newest.seq)
+        if not prunable:
+            return 0
+        kept = [v for v in self._chain if v.seq not in prunable]
+        pruned = len(self._chain) - len(kept)
+        self._chain = kept
+        self._aborted.clear()
+        return pruned

@@ -1,0 +1,52 @@
+"""Simulated DBMS substrate (see DESIGN.md substitution table).
+
+A deterministic discrete-event multi-version engine assembling the four IL
+mechanisms of Fig. 1, with client sessions that record interval-based
+traces and a fault injector reproducing the paper's bug classes.
+"""
+
+from .clock import PerfectClock, SkewedClock, make_client_clocks
+from .engine import (
+    EngineStats,
+    EngineTxn,
+    LatencyModel,
+    OpResult,
+    SimulatedDBMS,
+    TxnPhase,
+)
+from .events import EventLoop
+from .faults import CLEAN, FaultPlan
+from .locks import DeadlockError, EngineLockManager, EngineLockMode
+from .mvto import MvtoValidator
+from .occ import FirstCommitterValidator, OccValidator
+from .session import AbortOp, ClientSession, DeleteOp, ReadOp, WriteOp, run_single_program
+from .storage import MultiVersionStore, StoredVersion
+
+__all__ = [
+    "PerfectClock",
+    "SkewedClock",
+    "make_client_clocks",
+    "EngineStats",
+    "EngineTxn",
+    "LatencyModel",
+    "OpResult",
+    "SimulatedDBMS",
+    "TxnPhase",
+    "EventLoop",
+    "CLEAN",
+    "FaultPlan",
+    "DeadlockError",
+    "MvtoValidator",
+    "FirstCommitterValidator",
+    "OccValidator",
+    "EngineLockManager",
+    "EngineLockMode",
+    "AbortOp",
+    "DeleteOp",
+    "ClientSession",
+    "ReadOp",
+    "WriteOp",
+    "run_single_program",
+    "MultiVersionStore",
+    "StoredVersion",
+]

@@ -1,0 +1,84 @@
+"""Client clock models.
+
+Trace timestamps are taken on the *client*, so what Leopard sees is the
+client's clock reading, not the simulator's true time.  The paper relies on
+hardware clocks on a single machine or NTP-class synchronisation across
+machines (Section IV-A); :class:`SkewedClock` models the residual offset
+and jitter of such a service so the robustness of interval-based
+verification under imperfect synchronisation can be tested.
+
+All clocks guarantee per-client monotonicity (a client's successive
+readings never go backwards), which real client libraries also guarantee
+via monotonic-clock fallbacks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+
+class PerfectClock:
+    """A perfectly synchronised client clock: reads true simulated time."""
+
+    def observe(self, true_time: float) -> float:
+        return true_time
+
+
+class SkewedClock:
+    """A client clock with a constant offset and bounded random jitter.
+
+    Parameters
+    ----------
+    offset:
+        Constant clock offset in simulated seconds (positive = fast clock).
+    jitter:
+        Half-width of the uniform per-reading jitter.
+    rng:
+        Seeded random source; required when ``jitter`` is non-zero.
+    """
+
+    def __init__(
+        self,
+        offset: float = 0.0,
+        jitter: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ):
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        if jitter and rng is None:
+            raise ValueError("jitter requires a seeded rng")
+        self._offset = offset
+        self._jitter = jitter
+        self._rng = rng
+        self._last = float("-inf")
+
+    def observe(self, true_time: float) -> float:
+        reading = true_time + self._offset
+        if self._jitter:
+            reading += self._rng.uniform(-self._jitter, self._jitter)
+        # Client libraries never report time going backwards.
+        reading = max(reading, self._last)
+        self._last = reading
+        return reading
+
+
+def make_client_clocks(
+    n_clients: int,
+    max_offset: float = 0.0,
+    jitter: float = 0.0,
+    seed: int = 0,
+):
+    """Build one clock per client; with zero offset and jitter the clocks
+    are perfect (the default for all paper-shape experiments)."""
+    if max_offset == 0.0 and jitter == 0.0:
+        return [PerfectClock() for _ in range(n_clients)]
+    rng = random.Random(seed)
+    return [
+        SkewedClock(
+            offset=rng.uniform(-max_offset, max_offset),
+            jitter=jitter,
+            rng=random.Random(rng.getrandbits(32)),
+        )
+        for _ in range(n_clients)
+    ]

@@ -1,0 +1,292 @@
+"""Client sessions: run transaction programs and record interval traces.
+
+A *transaction program* is a Python generator that yields operation
+requests and receives their results -- the natural encoding of application
+logic such as SmallBank's read-modify-write transactions::
+
+    def transfer(src, dst, amount):
+        balances = yield ReadOp([src, dst])
+        yield WriteOp({
+            src: balances[src]["v"] - amount,
+            dst: balances[dst]["v"] + amount,
+        })
+        # falling off the end commits; ``yield AbortOp()`` rolls back
+
+The session is the paper's *Tracer* client half: it stamps ``ts_bef``
+immediately before submitting each request and ``ts_aft`` when the response
+arrives, using its (possibly skewed) client clock, and appends the
+resulting interval-based trace to its stream.  Nothing in the application
+logic changes, which is the black-box property of challenge C1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Mapping, Optional, Sequence
+
+from ..core.trace import OpStatus, Trace, as_columns
+from .clock import PerfectClock
+from .engine import EngineTxn, OpResult, SimulatedDBMS
+
+
+@dataclass(frozen=True)
+class ReadOp:
+    """Read a set of keys, or scan a :class:`~repro.core.trace.KeyRange`
+    predicate (optionally a column projection, optionally locking, i.e.
+    SELECT ... FOR UPDATE)."""
+
+    keys: Sequence[object] = ()
+    columns: Optional[Sequence[str]] = None
+    for_update: bool = False
+    predicate: Optional[object] = None
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """Write column values to a set of keys."""
+
+    writes: Mapping[object, object]
+
+
+@dataclass(frozen=True)
+class DeleteOp:
+    """Delete a set of rows (traced as writes of the tombstone delta)."""
+
+    keys: Sequence[object]
+
+
+@dataclass(frozen=True)
+class AbortOp:
+    """Voluntary rollback."""
+
+
+Program = Generator[object, object, None]
+DoneCallback = Callable[["ClientSession", bool], None]
+
+
+class ClientSession:
+    """One client connection: issues programs op by op, records traces."""
+
+    def __init__(
+        self,
+        client_id: int,
+        db: SimulatedDBMS,
+        clock=None,
+    ):
+        self.client_id = client_id
+        self.db = db
+        self.clock = clock or PerfectClock()
+        self.traces: List[Trace] = []
+        self.committed = 0
+        self.aborted = 0
+        self._txn: Optional[EngineTxn] = None
+        self._program: Optional[Program] = None
+        self._on_done: Optional[DoneCallback] = None
+        self._op_index = 0
+        self._issue_ts = 0.0
+
+    @property
+    def busy(self) -> bool:
+        return self._program is not None
+
+    # -- program driving ------------------------------------------------------
+
+    def run_program(
+        self,
+        program: Program,
+        on_done: DoneCallback,
+        txn_id: Optional[str] = None,
+    ) -> None:
+        if self.busy:
+            raise RuntimeError(f"client {self.client_id} already has a txn")
+        self._txn = self.db.begin(client_id=self.client_id, txn_id=txn_id)
+        self._program = program
+        self._on_done = on_done
+        self._op_index = 0
+        self._advance(None)
+
+    def _advance(self, to_send: Optional[object]) -> None:
+        try:
+            op = self._program.send(to_send)
+        except StopIteration:
+            self._issue_commit()
+            return
+        if isinstance(op, ReadOp):
+            self._issue_read(op)
+        elif isinstance(op, WriteOp):
+            self._issue_write(op)
+        elif isinstance(op, DeleteOp):
+            from ..core.trace import tombstone
+
+            self._issue_write(WriteOp({key: tombstone() for key in op.keys}))
+        elif isinstance(op, AbortOp):
+            self._issue_abort(voluntary=True)
+        else:
+            raise TypeError(f"program yielded unknown op {op!r}")
+
+    # -- op issuing -----------------------------------------------------------------
+
+    def _stamp_before(self) -> None:
+        self._issue_ts = self.clock.observe(self.db.loop.now)
+
+    def _stamp_after(self) -> float:
+        return self.clock.observe(self.db.loop.now)
+
+    def _issue_read(self, op: ReadOp) -> None:
+        self._stamp_before()
+        self.db.submit_read(
+            self._txn,
+            op.keys,
+            callback=lambda result: self._on_read_done(op, result),
+            for_update=op.for_update,
+            columns=op.columns,
+            predicate=op.predicate,
+        )
+
+    def _on_read_done(self, op: ReadOp, result: OpResult) -> None:
+        ts_aft = self._stamp_after()
+        if result.ok:
+            from ..core.trace import tombstone
+
+            # Absent rows (deleted or never inserted) are observed
+            # explicitly as the tombstone marker so the verifier can hold
+            # the engine to them.
+            observed = {
+                key: (value if value is not None else tombstone())
+                for key, value in result.values.items()
+            }
+            self.traces.append(
+                Trace.read(
+                    self._issue_ts,
+                    ts_aft,
+                    self._txn.txn_id,
+                    observed,
+                    client_id=self.client_id,
+                    op_index=self._op_index,
+                    for_update=op.for_update,
+                    predicate=op.predicate,
+                )
+            )
+            self._op_index += 1
+            self._advance(result.values)
+        else:
+            self._record_failed(Trace.read, ts_aft)
+            self._issue_abort(voluntary=False)
+
+    def _issue_write(self, op: WriteOp) -> None:
+        self._stamp_before()
+        normalised = {key: as_columns(value) for key, value in op.writes.items()}
+        self.db.submit_write(
+            self._txn,
+            normalised,
+            callback=lambda result: self._on_write_done(normalised, result),
+        )
+
+    def _on_write_done(self, writes, result: OpResult) -> None:
+        ts_aft = self._stamp_after()
+        if result.ok:
+            self.traces.append(
+                Trace.write(
+                    self._issue_ts,
+                    ts_aft,
+                    self._txn.txn_id,
+                    writes,
+                    client_id=self.client_id,
+                    op_index=self._op_index,
+                )
+            )
+            self._op_index += 1
+            self._advance(None)
+        else:
+            self._record_failed(Trace.write, ts_aft)
+            self._issue_abort(voluntary=False)
+
+    def _record_failed(self, factory, ts_aft: float) -> None:
+        """A failed statement still occupies a client-observed interval but
+        carries no data sets."""
+        self.traces.append(
+            factory(
+                self._issue_ts,
+                ts_aft,
+                self._txn.txn_id,
+                {},
+                client_id=self.client_id,
+                op_index=self._op_index,
+                status=OpStatus.FAILED,
+            )
+        )
+        self._op_index += 1
+
+    # -- terminals -------------------------------------------------------------------
+
+    def _issue_commit(self) -> None:
+        self._stamp_before()
+        self.db.submit_commit(self._txn, callback=self._on_commit_done)
+
+    def _on_commit_done(self, result: OpResult) -> None:
+        ts_aft = self._stamp_after()
+        if result.ok:
+            self.traces.append(
+                Trace.commit(
+                    self._issue_ts,
+                    ts_aft,
+                    self._txn.txn_id,
+                    client_id=self.client_id,
+                    op_index=self._op_index,
+                )
+            )
+            self._finish(True)
+        else:
+            # A failed COMMIT is an engine-side rollback: the client-visible
+            # terminal is an abort over the same interval.
+            self.traces.append(
+                Trace.abort(
+                    self._issue_ts,
+                    ts_aft,
+                    self._txn.txn_id,
+                    client_id=self.client_id,
+                    op_index=self._op_index,
+                )
+            )
+            self._finish(False)
+
+    def _issue_abort(self, voluntary: bool) -> None:
+        self._stamp_before()
+        self.db.submit_abort(self._txn, callback=self._on_abort_done)
+
+    def _on_abort_done(self, result: OpResult) -> None:
+        ts_aft = self._stamp_after()
+        self.traces.append(
+            Trace.abort(
+                self._issue_ts,
+                ts_aft,
+                self._txn.txn_id,
+                client_id=self.client_id,
+                op_index=self._op_index,
+            )
+        )
+        self._finish(False)
+
+    def _finish(self, committed: bool) -> None:
+        if committed:
+            self.committed += 1
+        else:
+            self.aborted += 1
+        on_done, self._on_done = self._on_done, None
+        self._program = None
+        self._txn = None
+        if on_done is not None:
+            on_done(self, committed)
+
+
+def run_single_program(
+    db: SimulatedDBMS, program: Program, client_id: int = 0
+) -> List[Trace]:
+    """Test helper: run one program to completion and return its traces."""
+    session = ClientSession(client_id, db)
+    outcome = {}
+    session.run_program(program, lambda _s, ok: outcome.setdefault("ok", ok))
+    db.loop.run()
+    if "ok" not in outcome:
+        raise RuntimeError("program did not complete")
+    return session.traces

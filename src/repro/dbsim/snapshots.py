@@ -1,0 +1,32 @@
+"""Snapshot assignment for the simulated engine.
+
+Mirrors the two consistent-read granularities of Section II-B:
+transaction-level CR pins the snapshot at the first operation,
+statement-level CR (and the no-CR fallback, which simply reads the latest
+committed state) re-snapshots at every operation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.spec import CRLevel
+
+
+class SnapshotManager:
+    """Assigns snapshot timestamps according to the spec's CR level."""
+
+    def __init__(self, cr_level: CRLevel):
+        self._level = cr_level
+
+    def snapshot_for(self, txn, now: float) -> float:
+        """Return the snapshot timestamp the operation executing at ``now``
+        must read at, pinning the transaction-level snapshot on first use."""
+        if self._level is CRLevel.TRANSACTION:
+            if txn.snapshot_ts is None:
+                txn.snapshot_ts = now
+            return txn.snapshot_ts
+        # Statement-level CR and the no-CR fallback both read the latest
+        # committed state as of the operation.
+        txn.snapshot_ts = now
+        return now

@@ -1,0 +1,154 @@
+"""Engine-side serializable snapshot isolation (SSI) certifier.
+
+A simplified implementation of the PostgreSQL SSI rules (Ports & Grittner,
+VLDB 2012): track rw anti-dependencies between concurrent transactions via
+SIREAD records and abort any transaction observed with both an incoming and
+an outgoing rw edge (the pivot of a dangerous structure).  The
+simplification -- aborting on the pivot unconditionally rather than
+checking commit orders -- only causes extra aborts, never an isolation
+violation, which is exactly the conservatism the real engine also accepts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+Key = Hashable
+
+
+@dataclass
+class _SiRead:
+    txn: object  # EngineTxn (duck-typed to avoid an import cycle)
+    snapshot_ts: float
+
+
+class SsiTracker:
+    """SIREAD table plus rw-conflict flags."""
+
+    def __init__(self) -> None:
+        self._readers: Dict[Key, List[_SiRead]] = {}
+        #: predicate SIREADs: scans conflict with later writers *creating*
+        #: matching rows (phantom-protection, as PostgreSQL's predicate
+        #: locks provide).
+        self._predicates: List[tuple] = []
+
+    # -- reads ----------------------------------------------------------------
+
+    def register_read(self, txn, key: Key) -> None:
+        entries = self._readers.setdefault(key, [])
+        if not any(entry.txn is txn for entry in entries):
+            entries.append(_SiRead(txn=txn, snapshot_ts=txn.snapshot_ts))
+
+    def on_read(self, txn, key: Key, newer_writers: List[object]) -> Optional[str]:
+        """The reader observed a version that ``newer_writers`` have already
+        overwritten (committed or staged): record ``txn --rw--> writer``
+        edges.  Returns an abort reason when the reader itself becomes a
+        dangerous pivot against an already-committed peer."""
+        for writer in newer_writers:
+            if writer is txn:
+                continue
+            txn.out_conflict = True
+            writer.in_conflict = True
+            if writer.committed and writer.out_conflict:
+                # The committed writer is a pivot we can no longer abort;
+                # the reader must die instead.
+                return (
+                    f"rw conflict with committed pivot {writer.txn_id}"
+                )
+        return None
+
+    def register_predicate(self, txn, predicate) -> None:
+        self._predicates.append((txn, predicate))
+
+    # -- writes -----------------------------------------------------------------
+
+    def on_write(self, txn, key: Key) -> Optional[str]:
+        """The writer is creating a newer version of a record somebody
+        read: record ``reader --rw--> txn`` edges.  Predicate SIREADs
+        conflict when the written key matches a scanned range."""
+        readers = list(self._readers.get(key, ()))
+        readers.extend(
+            _SiRead(txn=scanner, snapshot_ts=scanner.snapshot_ts)
+            for scanner, predicate in self._predicates
+            if predicate.matches(key)
+        )
+        for entry in readers:  # includes committed readers
+            reader = entry.txn
+            if reader is txn or reader.aborted:
+                continue
+            if not self._concurrent(reader, txn):
+                continue
+            reader.out_conflict = True
+            txn.in_conflict = True
+            if reader.committed and reader.in_conflict:
+                return (
+                    f"rw conflict turning committed reader "
+                    f"{reader.txn_id} into a pivot"
+                )
+        return None
+
+    @staticmethod
+    def _concurrent(a, b) -> bool:
+        a_end = a.commit_ts if a.commit_ts is not None else float("inf")
+        b_end = b.commit_ts if b.commit_ts is not None else float("inf")
+        return a.begin_ts < b_end and b.begin_ts < a_end
+
+    # -- commit ------------------------------------------------------------------
+
+    def commit_check(self, txn) -> Optional[str]:
+        if txn.in_conflict and txn.out_conflict:
+            return "dangerous structure: pivot with in- and out-rw conflicts"
+        return None
+
+    # -- housekeeping ---------------------------------------------------------------
+
+    def forget(self, txn) -> None:
+        """Drop the SIREAD entries of an aborted transaction."""
+        for key in list(self._readers):
+            entries = [e for e in self._readers[key] if e.txn is not txn]
+            if entries:
+                self._readers[key] = entries
+            else:
+                del self._readers[key]
+        self._predicates = [
+            (scanner, predicate)
+            for scanner, predicate in self._predicates
+            if scanner is not txn
+        ]
+
+    def prune(self, oldest_active_begin: float) -> int:
+        """Release SIREAD entries of transactions that committed before any
+        active transaction began (they can no longer be concurrent with
+        anything)."""
+        pruned = 0
+        for key in list(self._readers):
+            kept = [
+                entry
+                for entry in self._readers[key]
+                if not (
+                    entry.txn.committed
+                    and entry.txn.commit_ts is not None
+                    and entry.txn.commit_ts < oldest_active_begin
+                )
+            ]
+            pruned += len(self._readers[key]) - len(kept)
+            if kept:
+                self._readers[key] = kept
+            else:
+                del self._readers[key]
+        before = len(self._predicates)
+        self._predicates = [
+            (scanner, predicate)
+            for scanner, predicate in self._predicates
+            if not (
+                scanner.committed
+                and scanner.commit_ts is not None
+                and scanner.commit_ts < oldest_active_begin
+            )
+        ]
+        pruned += before - len(self._predicates)
+        return pruned
+
+    def siread_count(self) -> int:
+        return sum(len(v) for v in self._readers.values())

@@ -1,0 +1,44 @@
+"""Benchmark workloads of the paper's evaluation (Section VI)."""
+
+from .anomaly import (
+    LostUpdateWorkload,
+    NoopUpdateWorkload,
+    ReadOnlyAuditWorkload,
+    SelectForUpdateWorkload,
+    WriteSkewWorkload,
+)
+from .base import UniqueValues, Workload, ZipfGenerator, weighted_choice
+from .blindw import BlindW
+from .insertscan import InsertScanWorkload
+from .listappend import ListAppendWorkload
+from .runner import RunResult, WorkloadRunner, run_workload
+from .smallbank import SmallBank, checking_key, savings_key
+from .tpcc import TpcC
+from .validate import ConsistencyReport, validate_smallbank, validate_tpcc
+from .ycsb import YcsbA
+
+__all__ = [
+    "LostUpdateWorkload",
+    "NoopUpdateWorkload",
+    "ReadOnlyAuditWorkload",
+    "SelectForUpdateWorkload",
+    "WriteSkewWorkload",
+    "UniqueValues",
+    "Workload",
+    "ZipfGenerator",
+    "weighted_choice",
+    "BlindW",
+    "InsertScanWorkload",
+    "ListAppendWorkload",
+    "RunResult",
+    "WorkloadRunner",
+    "run_workload",
+    "SmallBank",
+    "checking_key",
+    "savings_key",
+    "TpcC",
+    "ConsistencyReport",
+    "validate_smallbank",
+    "validate_tpcc",
+    "YcsbA",
+]

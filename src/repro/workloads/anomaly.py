@@ -1,0 +1,176 @@
+"""Adversarial micro-workloads that provoke specific isolation anomalies.
+
+These are the "bug hunting" workloads used by the Section VI-F experiments
+and the test suite: each is shaped so that, when the corresponding
+mechanism is disabled in the engine (see :mod:`repro.dbsim.faults`), the
+anomaly actually materialises with high probability -- general-purpose
+benchmarks like SmallBank produce genuine write skew only rarely.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from ..dbsim.session import Program, ReadOp, WriteOp
+from .base import Key, Workload
+
+
+class WriteSkewWorkload(Workload):
+    """The on-call doctors pattern: pairs of records with an invariant
+    ``x + y >= 1``.  Transaction A reads both and zeroes ``y`` if the sum
+    allows; transaction B symmetrically zeroes ``x``.  Two concurrent
+    instances on the same pair produce classic write skew (two rw
+    anti-dependencies) unless an SSI certifier intervenes.
+    """
+
+    def __init__(self, pairs: int = 16, seed: int = 0):
+        self.pairs = max(1, pairs)
+        self.name = f"write-skew(pairs={self.pairs})"
+
+    def populate(self) -> Dict[Key, object]:
+        initial: Dict[Key, object] = {}
+        for pair in range(self.pairs):
+            initial[("x", pair)] = 1
+            initial[("y", pair)] = 1
+        return initial
+
+    def transaction(self, rng: random.Random) -> Program:
+        pair = rng.randrange(self.pairs)
+        zero_y = rng.random() < 0.5
+        x_key, y_key = ("x", pair), ("y", pair)
+
+        def program():
+            values = yield ReadOp([x_key, y_key])
+            total = values[x_key]["v"] + values[y_key]["v"]
+            if total < 1:
+                return  # invariant already broken; read-only this time
+            if zero_y:
+                yield WriteOp({y_key: values[y_key]["v"] - 1})
+            else:
+                yield WriteOp({x_key: values[x_key]["v"] - 1})
+
+        return program()
+
+
+class LostUpdateWorkload(Workload):
+    """Read-modify-write increments on a small hot set: two concurrent
+    increments on the same counter lose one update unless first-updater-
+    wins (or serialization) intervenes."""
+
+    def __init__(self, counters: int = 8, seed: int = 0):
+        self.counters = max(1, counters)
+        self.name = f"lost-update(counters={self.counters})"
+
+    def populate(self) -> Dict[Key, object]:
+        return {("counter", i): 0 for i in range(self.counters)}
+
+    def transaction(self, rng: random.Random) -> Program:
+        key = ("counter", rng.randrange(self.counters))
+
+        def program():
+            values = yield ReadOp([key])
+            yield WriteOp({key: values[key]["v"] + 1})
+
+        return program()
+
+
+class ReadOnlyAuditWorkload(Workload):
+    """Mix of counter increments with read-only audits of several counters;
+    the audit reads expose stale/dirty/non-repeatable read faults."""
+
+    def __init__(self, counters: int = 16, audit_ratio: float = 0.4, seed: int = 0):
+        self.counters = max(2, counters)
+        self.audit_ratio = audit_ratio
+        self.name = f"audit(counters={self.counters})"
+
+    def populate(self) -> Dict[Key, object]:
+        return {("acct", i): 100 for i in range(self.counters)}
+
+    def transaction(self, rng: random.Random) -> Program:
+        if rng.random() < self.audit_ratio:
+            keys = [("acct", i) for i in rng.sample(range(self.counters), 4)]
+
+            def audit():
+                first = yield ReadOp(keys)
+                second = yield ReadOp(keys)  # repeatable-read probe
+                del first, second
+
+            return audit()
+        src = ("acct", rng.randrange(self.counters))
+        dst = ("acct", rng.randrange(self.counters))
+
+        def transfer():
+            values = yield ReadOp([src])
+            amount = 1 + (values[src]["v"] % 5)
+            yield WriteOp({src: values[src]["v"] - amount})
+            target = yield ReadOp([dst])
+            yield WriteOp({dst: target[dst]["v"] + amount})
+
+        return transfer()
+
+
+class SelectForUpdateWorkload(Workload):
+    """Reproduces the paper's Bug 3 scenario: transactions lock a record
+    with SELECT ... FOR UPDATE (here reached "through a join", i.e. not the
+    key being modified), hold it while updating a companion record, and
+    commit.  With the ``forget_write_lock_prob`` fault, the engine
+    sometimes forgets the FOR UPDATE lock and concurrent writers violate
+    mutual exclusion."""
+
+    def __init__(self, records: int = 4, seed: int = 0):
+        self.records = max(1, records)
+        self.name = f"select-for-update(records={self.records})"
+
+    def populate(self) -> Dict[Key, object]:
+        initial: Dict[Key, object] = {}
+        for i in range(self.records):
+            initial[("parent", i)] = 0
+            initial[("child", i)] = 0
+        return initial
+
+    def transaction(self, rng: random.Random) -> Program:
+        record = rng.randrange(self.records)
+        parent, child = ("parent", record), ("child", record)
+        fresh = rng.randrange(1_000_000)
+        locker = rng.random() < 0.5
+
+        def lock_and_derive():
+            # Lock the parent through the join path, then derive the child
+            # from it; the FOR UPDATE lock must keep the parent stable.
+            values = yield ReadOp([parent], for_update=True)
+            yield WriteOp({child: values[parent]["v"] + 1})
+
+        def update_parent():
+            yield WriteOp({parent: fresh})
+
+        return lock_and_derive() if locker else update_parent()
+
+
+class NoopUpdateWorkload(Workload):
+    """Reproduces the paper's Bug 1 scenario: transactions first issue an
+    UPDATE that does not change the record (same value), then a second
+    transaction updates the same record concurrently.  With the
+    ``skip_lock_on_noop_update`` fault, the first update acquires no lock
+    and a dirty write slips through."""
+
+    def __init__(self, records: int = 4, seed: int = 0):
+        self.records = max(1, records)
+        self.name = f"noop-update(records={self.records})"
+
+    def populate(self) -> Dict[Key, object]:
+        return {("rec", i): 0 for i in range(self.records)}
+
+    def transaction(self, rng: random.Random) -> Program:
+        key = ("rec", rng.randrange(self.records))
+        fresh = rng.randrange(1_000_000)
+        noop = rng.random() < 0.5
+
+        def program():
+            values = yield ReadOp([key])
+            current = values[key]["v"]
+            # Half the transactions re-write the current value (a no-op
+            # update, Bug 1's trigger); the rest write a fresh value.
+            yield WriteOp({key: current if noop else fresh})
+
+        return program()

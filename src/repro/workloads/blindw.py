@@ -1,0 +1,110 @@
+"""BlindW: the key-value micro-workload designed by Cobra.
+
+The paper uses three variants over a 2K-key table with 140-byte string
+values and 8 operations per transaction, keys chosen uniformly
+(Section VI, "Workload"):
+
+* **BlindW-W** -- 100% blind-write transactions with uniquely written
+  values (the hard case for tracking ww dependencies, Fig. 13c);
+* **BlindW-RW** -- an even mix of item-read and blind-write transactions
+  (exercises all three dependency types, Figs. 13d and 14);
+* **BlindW-RW+** -- half of the item-reads replaced by 10-key range reads
+  (the dependency-heavy stress case of Figs. 10-11).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from ..dbsim.session import Program, ReadOp, WriteOp
+from .base import Key, UniqueValues, Workload
+
+
+class BlindW(Workload):
+    """The three BlindW variants behind one parameterised class."""
+
+    RANGE_SPAN = 10
+
+    def __init__(
+        self,
+        keys: int = 2048,
+        ops_per_txn: int = 8,
+        write_txn_ratio: float = 1.0,
+        range_read_ratio: float = 0.0,
+        pad_values: bool = False,
+        seed: int = 0,
+    ):
+        if not 0.0 <= write_txn_ratio <= 1.0:
+            raise ValueError("write_txn_ratio must be a probability")
+        if not 0.0 <= range_read_ratio <= 1.0:
+            raise ValueError("range_read_ratio must be a probability")
+        self.keys = keys
+        self.ops_per_txn = ops_per_txn
+        self.write_txn_ratio = write_txn_ratio
+        self.range_read_ratio = range_read_ratio
+        self._values = UniqueValues(prefix="b", pad=140 if pad_values else 0)
+        variant = (
+            "w"
+            if write_txn_ratio == 1.0
+            else ("rw+" if range_read_ratio > 0 else "rw")
+        )
+        self.name = f"blindw-{variant}"
+
+    # -- canonical variants ----------------------------------------------------
+
+    @classmethod
+    def w(cls, keys: int = 2048, **kwargs) -> "BlindW":
+        """100% blind writes."""
+        return cls(keys=keys, write_txn_ratio=1.0, range_read_ratio=0.0, **kwargs)
+
+    @classmethod
+    def rw(cls, keys: int = 2048, **kwargs) -> "BlindW":
+        """Even mix of item-read and blind-write transactions."""
+        return cls(keys=keys, write_txn_ratio=0.5, range_read_ratio=0.0, **kwargs)
+
+    @classmethod
+    def rw_plus(cls, keys: int = 2048, **kwargs) -> "BlindW":
+        """BlindW-RW with half the item-reads turned into range reads."""
+        return cls(keys=keys, write_txn_ratio=0.5, range_read_ratio=0.5, **kwargs)
+
+    # -- workload interface ---------------------------------------------------------
+
+    def populate(self) -> Dict[Key, object]:
+        return {self._key(i): "init" for i in range(self.keys)}
+
+    @staticmethod
+    def _key(rank: int) -> str:
+        return f"kv{rank}"
+
+    def transaction(self, rng: random.Random) -> Program:
+        is_writer = rng.random() < self.write_txn_ratio
+        if is_writer:
+            # Blind writes: a write not preceded by a read to the same key.
+            targets = rng.sample(range(self.keys), self.ops_per_txn)
+            writes = [
+                {self._key(rank): self._values.next()} for rank in targets
+            ]
+
+            def write_program():
+                for batch in writes:
+                    yield WriteOp(batch)
+
+            return write_program()
+        reads = []
+        for _ in range(self.ops_per_txn):
+            if rng.random() < self.range_read_ratio:
+                start = rng.randrange(self.keys)
+                span = [
+                    self._key((start + offset) % self.keys)
+                    for offset in range(self.RANGE_SPAN)
+                ]
+                reads.append(span)
+            else:
+                reads.append([self._key(rng.randrange(self.keys))])
+
+        def read_program():
+            for span in reads:
+                yield ReadOp(span)
+
+        return read_program()

@@ -1,0 +1,77 @@
+"""Insert + range-scan workload: exercises predicate reads and phantoms.
+
+Transactions either insert a fresh row into a growing table or scan a key
+range with a traced predicate.  Under a snapshot-consistent engine every
+scan returns exactly the rows visible at its snapshot; engines with
+result-set bugs (``FaultPlan.phantom_skip_prob``) or without snapshot scans
+produce phantom misses the CR mechanism flags.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict
+
+from ..core.trace import KeyRange
+from ..dbsim.session import DeleteOp, Program, ReadOp, WriteOp
+from .base import Key, Workload
+
+TABLE = ("row",)
+
+
+class InsertScanWorkload(Workload):
+    """Growing table with interleaved range scans."""
+
+    def __init__(
+        self,
+        initial_rows: int = 20,
+        scan_width: int = 50,
+        insert_ratio: float = 0.5,
+        delete_ratio: float = 0.0,
+        seed: int = 0,
+    ):
+        if not 0.0 <= insert_ratio <= 1.0:
+            raise ValueError("insert_ratio must be a probability")
+        if not 0.0 <= delete_ratio <= 1.0 or insert_ratio + delete_ratio > 1.0:
+            raise ValueError("insert_ratio + delete_ratio must stay in [0, 1]")
+        self.initial_rows = max(1, initial_rows)
+        self.scan_width = max(1, scan_width)
+        self.insert_ratio = insert_ratio
+        self.delete_ratio = delete_ratio
+        #: shared row-id allocator: inserts never collide.
+        self._next_row = itertools.count(self.initial_rows)
+        self.name = f"insert-scan(init={self.initial_rows})"
+
+    def populate(self) -> Dict[Key, object]:
+        return {
+            TABLE + (i,): {"a": i, "batch": 0} for i in range(self.initial_rows)
+        }
+
+    def transaction(self, rng: random.Random) -> Program:
+        point = rng.random()
+        if point < self.insert_ratio:
+            row_id = next(self._next_row)
+
+            def insert():
+                yield WriteOp({TABLE + (row_id,): {"a": row_id, "batch": 1}})
+
+            return insert()
+        if point < self.insert_ratio + self.delete_ratio:
+            victim = rng.randrange(0, self.initial_rows)
+
+            def delete():
+                yield DeleteOp([TABLE + (victim,)])
+
+            return delete()
+        # Scan a window; occasionally the full table so far.
+        if rng.random() < 0.2:
+            lo, hi = 0, 10**9
+        else:
+            lo = rng.randrange(0, self.initial_rows * 4)
+            hi = lo + self.scan_width
+
+        def scan():
+            yield ReadOp(predicate=KeyRange(TABLE, lo, hi), columns=["a"])
+
+        return scan()

@@ -1,0 +1,68 @@
+"""List-append: Elle's flagship version-manifesting workload.
+
+Every record holds a growing tuple; transactions append globally unique
+elements through read-modify-write and read whole lists.  Because each
+written value is a strict one-element extension, the complete version order
+of every key is manifest in the history -- the property Elle's strongest
+inference mode exploits and the reason the Jepsen ecosystem favours this
+datatype.
+
+For Leopard the workload is nothing special (values are just values),
+which is exactly the paper's point: Leopard needs no workload cooperation,
+while Elle's power depends on it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, Tuple
+
+from ..dbsim.session import Program, ReadOp, WriteOp
+from .base import Key, Workload
+
+
+class ListAppendWorkload(Workload):
+    """Append/read mix over tuple-valued registers."""
+
+    def __init__(
+        self,
+        keys: int = 32,
+        ops_per_txn: int = 4,
+        append_ratio: float = 0.5,
+        seed: int = 0,
+    ):
+        if not 0.0 <= append_ratio <= 1.0:
+            raise ValueError("append_ratio must be a probability")
+        self.keys = max(1, keys)
+        self.ops_per_txn = max(1, ops_per_txn)
+        self.append_ratio = append_ratio
+        self._elements = itertools.count(1)
+        self.name = f"list-append(keys={self.keys})"
+
+    def populate(self) -> Dict[Key, object]:
+        return {self._key(i): () for i in range(self.keys)}
+
+    @staticmethod
+    def _key(rank: int) -> str:
+        return f"list{rank}"
+
+    def transaction(self, rng: random.Random) -> Program:
+        plan = []
+        for _ in range(self.ops_per_txn):
+            key = self._key(rng.randrange(self.keys))
+            if rng.random() < self.append_ratio:
+                plan.append(("append", key, next(self._elements)))
+            else:
+                plan.append(("read", key, None))
+
+        def program():
+            for kind, key, element in plan:
+                if kind == "read":
+                    yield ReadOp([key])
+                else:
+                    values = yield ReadOp([key])
+                    current = values[key]["v"] if values[key] else ()
+                    yield WriteOp({key: tuple(current) + (element,)})
+
+        return program()

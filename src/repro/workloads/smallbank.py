@@ -1,0 +1,165 @@
+"""SmallBank: the snapshot-isolation anomaly benchmark (Alomari et al.).
+
+Six transaction types over per-customer checking and savings accounts.
+The paper uses SmallBank for the Fig. 10 pipeline study, the Fig. 12
+throughput comparison and the Fig. 13 deduction study -- noting that
+``Amalgamate`` always writes the same value (zero), producing duplicate
+versions that cannot be distinguished in a candidate version set.  That
+behaviour is preserved here on purpose.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Tuple
+
+from ..dbsim.session import AbortOp, Program, ReadOp, WriteOp
+from .base import Key, Workload, weighted_choice
+
+CHECKING = "checking"
+SAVINGS = "savings"
+
+
+def checking_key(customer: int) -> Tuple[str, int]:
+    return (CHECKING, customer)
+
+
+def savings_key(customer: int) -> Tuple[str, int]:
+    return (SAVINGS, customer)
+
+
+class SmallBank(Workload):
+    """The standard six-transaction SmallBank mix.
+
+    ``scale_factor`` follows the paper's convention: accounts scale
+    linearly, and a *smaller* database means higher contention (Fig. 12
+    deliberately uses small scale factors).
+    """
+
+    ACCOUNTS_PER_SCALE = 1000
+    INITIAL_BALANCE = 10_000
+
+    #: (transaction builder name, weight) -- the canonical uniform mix.
+    MIX = (
+        ("balance", 15),
+        ("deposit_checking", 15),
+        ("transact_savings", 15),
+        ("amalgamate", 15),
+        ("write_check", 25),
+        ("send_payment", 15),
+    )
+
+    def __init__(self, scale_factor: float = 1.0, hotspot: float = 0.0, seed: int = 0):
+        self.accounts = max(4, int(self.ACCOUNTS_PER_SCALE * scale_factor))
+        #: fraction of accesses hitting the first 100 accounts (contention knob).
+        self.hotspot = hotspot
+        self.name = f"smallbank(sf={scale_factor})"
+
+    def populate(self) -> Dict[Key, object]:
+        initial: Dict[Key, object] = {}
+        for customer in range(self.accounts):
+            initial[checking_key(customer)] = self.INITIAL_BALANCE
+            initial[savings_key(customer)] = self.INITIAL_BALANCE
+        return initial
+
+    # -- customers ---------------------------------------------------------------
+
+    def _customer(self, rng: random.Random) -> int:
+        if self.hotspot and rng.random() < self.hotspot:
+            return rng.randrange(min(100, self.accounts))
+        return rng.randrange(self.accounts)
+
+    def _two_customers(self, rng: random.Random) -> Tuple[int, int]:
+        first = self._customer(rng)
+        second = self._customer(rng)
+        while second == first:
+            second = self._customer(rng)
+        return first, second
+
+    # -- transaction programs ---------------------------------------------------------
+
+    def transaction(self, rng: random.Random) -> Program:
+        kind = weighted_choice(rng, self.MIX)
+        builder = getattr(self, f"_{kind}")
+        return builder(rng)
+
+    def _balance(self, rng: random.Random) -> Program:
+        customer = self._customer(rng)
+
+        def program():
+            yield ReadOp([checking_key(customer), savings_key(customer)])
+
+        return program()
+
+    def _deposit_checking(self, rng: random.Random) -> Program:
+        customer = self._customer(rng)
+        amount = rng.randrange(1, 100)
+
+        def program():
+            values = yield ReadOp([checking_key(customer)])
+            balance = values[checking_key(customer)]["v"]
+            yield WriteOp({checking_key(customer): balance + amount})
+
+        return program()
+
+    def _transact_savings(self, rng: random.Random) -> Program:
+        customer = self._customer(rng)
+        amount = rng.randrange(1, 100)
+
+        def program():
+            values = yield ReadOp([savings_key(customer)])
+            balance = values[savings_key(customer)]["v"]
+            if balance < amount:
+                yield AbortOp()
+                return
+            yield WriteOp({savings_key(customer): balance - amount})
+
+        return program()
+
+    def _amalgamate(self, rng: random.Random) -> Program:
+        src, dst = self._two_customers(rng)
+
+        def program():
+            values = yield ReadOp([checking_key(src), savings_key(src)])
+            total = (
+                values[checking_key(src)]["v"] + values[savings_key(src)]["v"]
+            )
+            # The signature SmallBank quirk: both source accounts are zeroed,
+            # writing the same value every time (duplicate versions).
+            yield WriteOp({checking_key(src): 0, savings_key(src): 0})
+            dest = yield ReadOp([checking_key(dst)])
+            yield WriteOp({checking_key(dst): dest[checking_key(dst)]["v"] + total})
+
+        return program()
+
+    def _write_check(self, rng: random.Random) -> Program:
+        customer = self._customer(rng)
+        amount = rng.randrange(1, 100)
+
+        def program():
+            values = yield ReadOp([checking_key(customer), savings_key(customer)])
+            total = (
+                values[checking_key(customer)]["v"]
+                + values[savings_key(customer)]["v"]
+            )
+            penalty = 1 if total < amount else 0
+            balance = values[checking_key(customer)]["v"]
+            yield WriteOp({checking_key(customer): balance - amount - penalty})
+
+        return program()
+
+    def _send_payment(self, rng: random.Random) -> Program:
+        src, dst = self._two_customers(rng)
+        amount = rng.randrange(1, 100)
+
+        def program():
+            values = yield ReadOp([checking_key(src)])
+            balance = values[checking_key(src)]["v"]
+            if balance < amount:
+                yield AbortOp()
+                return
+            yield WriteOp({checking_key(src): balance - amount})
+            dest = yield ReadOp([checking_key(dst)])
+            yield WriteOp({checking_key(dst): dest[checking_key(dst)]["v"] + amount})
+
+        return program()

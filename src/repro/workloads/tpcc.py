@@ -1,0 +1,274 @@
+"""TPC-C: the order-entry benchmark (scaled-down, key/column level).
+
+The five canonical transaction profiles -- NewOrder, Payment, OrderStatus,
+Delivery, StockLevel -- implemented against key/column records, which is
+the level of detail the paper's tracer records (logical read/write sets,
+not SQL).  Two TPC-C properties matter for the experiments and are
+preserved faithfully:
+
+* transactions read and write *subsets of columns* of shared records
+  (e.g. NewOrder bumps ``district.next_o_id`` while Payment bumps
+  ``district.ytd``), which is exactly why Fig. 13b shows a residue of
+  dependencies Leopard cannot deduce;
+* NewOrder *inserts* rows (orders, order lines), so the verifier's version
+  chains are created mid-run.
+
+Cardinalities are scaled down from the TPC defaults (3000 customers, 100k
+items) to laptop-scale, controlled by ``scale_factor`` like the paper's
+setting ``scale factor = 1``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from ..dbsim.session import AbortOp, Program, ReadOp, WriteOp
+from .base import Key, Workload, weighted_choice
+
+
+def warehouse_key(w: int) -> Tuple[str, int]:
+    return ("warehouse", w)
+
+
+def district_key(w: int, d: int) -> Tuple[str, int, int]:
+    return ("district", w, d)
+
+
+def customer_key(w: int, d: int, c: int) -> Tuple[str, int, int, int]:
+    return ("customer", w, d, c)
+
+
+def item_key(i: int) -> Tuple[str, int]:
+    return ("item", i)
+
+
+def stock_key(w: int, i: int) -> Tuple[str, int, int]:
+    return ("stock", w, i)
+
+
+def order_key(w: int, d: int, o: int) -> Tuple[str, int, int, int]:
+    return ("order", w, d, o)
+
+
+def order_line_key(w: int, d: int, o: int, line: int) -> Tuple[str, int, int, int, int]:
+    return ("order_line", w, d, o, line)
+
+
+class TpcC(Workload):
+    """The standard five-transaction TPC-C mix."""
+
+    MIX = (
+        ("new_order", 45),
+        ("payment", 43),
+        ("order_status", 4),
+        ("delivery", 4),
+        ("stock_level", 4),
+    )
+
+    DISTRICTS_PER_WAREHOUSE = 10
+    CUSTOMERS_PER_DISTRICT = 30
+    ITEMS = 100
+    INITIAL_STOCK = 1000
+
+    def __init__(self, scale_factor: float = 1.0, seed: int = 0):
+        self.warehouses = max(1, int(scale_factor))
+        self.name = f"tpcc(sf={scale_factor})"
+
+    # -- population -----------------------------------------------------------------
+
+    def populate(self) -> Dict[Key, object]:
+        initial: Dict[Key, object] = {}
+        for i in range(self.ITEMS):
+            initial[item_key(i)] = {"price": 100 + (i % 900)}
+        for w in range(self.warehouses):
+            initial[warehouse_key(w)] = {"ytd": 0}
+            for i in range(self.ITEMS):
+                initial[stock_key(w, i)] = {
+                    "quantity": self.INITIAL_STOCK,
+                    "ytd": 0,
+                    "order_cnt": 0,
+                }
+            for d in range(self.DISTRICTS_PER_WAREHOUSE):
+                initial[district_key(w, d)] = {
+                    "ytd": 0,
+                    "next_o_id": 0,
+                    "next_d_o_id": 0,
+                }
+                for c in range(self.CUSTOMERS_PER_DISTRICT):
+                    initial[customer_key(w, d, c)] = {
+                        "balance": 0,
+                        "ytd_payment": 0,
+                        "payment_cnt": 0,
+                        "delivery_cnt": 0,
+                    }
+        return initial
+
+    # -- random identities ---------------------------------------------------------------
+
+    def _wdc(self, rng: random.Random) -> Tuple[int, int, int]:
+        w = rng.randrange(self.warehouses)
+        d = rng.randrange(self.DISTRICTS_PER_WAREHOUSE)
+        c = rng.randrange(self.CUSTOMERS_PER_DISTRICT)
+        return w, d, c
+
+    # -- transaction dispatch ---------------------------------------------------------------
+
+    def transaction(self, rng: random.Random) -> Program:
+        kind = weighted_choice(rng, self.MIX)
+        return getattr(self, f"_{kind}")(rng)
+
+    # -- NewOrder -------------------------------------------------------------------------------
+
+    def _new_order(self, rng: random.Random) -> Program:
+        w, d, c = self._wdc(rng)
+        n_lines = rng.randrange(5, 16)
+        items = rng.sample(range(self.ITEMS), min(n_lines, self.ITEMS))
+        quantities = [rng.randrange(1, 11) for _ in items]
+        dk = district_key(w, d)
+
+        def program():
+            district = yield ReadOp([dk], columns=["next_o_id"])
+            o_id = district[dk]["next_o_id"]
+            yield WriteOp({dk: {"next_o_id": o_id + 1}})
+            prices = yield ReadOp([item_key(i) for i in items], columns=["price"])
+            stock_keys = [stock_key(w, i) for i in items]
+            stocks = yield ReadOp(
+                stock_keys, columns=["quantity", "ytd", "order_cnt"]
+            )
+            stock_writes = {}
+            line_writes = {}
+            for line, (i, qty) in enumerate(zip(items, quantities)):
+                sk = stock_key(w, i)
+                quantity = stocks[sk]["quantity"]
+                new_quantity = (
+                    quantity - qty if quantity - qty >= 10 else quantity - qty + 91
+                )
+                stock_writes[sk] = {
+                    "quantity": new_quantity,
+                    "ytd": stocks[sk]["ytd"] + qty,
+                    "order_cnt": stocks[sk]["order_cnt"] + 1,
+                }
+                amount = qty * prices[item_key(i)]["price"]
+                line_writes[order_line_key(w, d, o_id, line)] = {
+                    "i_id": i,
+                    "qty": qty,
+                    "amount": amount,
+                    "delivery_d": None,
+                }
+            yield WriteOp(stock_writes)
+            order_writes = {
+                order_key(w, d, o_id): {
+                    "c_id": c,
+                    "carrier_id": None,
+                    "ol_cnt": len(items),
+                }
+            }
+            order_writes.update(line_writes)
+            yield WriteOp(order_writes)
+
+        return program()
+
+    # -- Payment -------------------------------------------------------------------------------------
+
+    def _payment(self, rng: random.Random) -> Program:
+        w, d, c = self._wdc(rng)
+        amount = rng.randrange(1, 5000)
+        wk, dk, ck = warehouse_key(w), district_key(w, d), customer_key(w, d, c)
+
+        def program():
+            warehouse = yield ReadOp([wk], columns=["ytd"])
+            yield WriteOp({wk: {"ytd": warehouse[wk]["ytd"] + amount}})
+            district = yield ReadOp([dk], columns=["ytd"])
+            yield WriteOp({dk: {"ytd": district[dk]["ytd"] + amount}})
+            customer = yield ReadOp(
+                [ck], columns=["balance", "ytd_payment", "payment_cnt"]
+            )
+            yield WriteOp(
+                {
+                    ck: {
+                        "balance": customer[ck]["balance"] - amount,
+                        "ytd_payment": customer[ck]["ytd_payment"] + amount,
+                        "payment_cnt": customer[ck]["payment_cnt"] + 1,
+                    }
+                }
+            )
+
+        return program()
+
+    # -- OrderStatus -------------------------------------------------------------------------------------
+
+    def _order_status(self, rng: random.Random) -> Program:
+        w, d, c = self._wdc(rng)
+        dk, ck = district_key(w, d), customer_key(w, d, c)
+
+        def program():
+            yield ReadOp([ck], columns=["balance"])
+            district = yield ReadOp([dk], columns=["next_o_id"])
+            last_o = district[dk]["next_o_id"] - 1
+            if last_o < 0:
+                return  # no orders yet in this district
+            ok = order_key(w, d, last_o)
+            order = yield ReadOp([ok], columns=["c_id", "ol_cnt", "carrier_id"])
+            if not order[ok]:
+                yield AbortOp()
+                return
+            ol_cnt = order[ok]["ol_cnt"]
+            yield ReadOp(
+                [order_line_key(w, d, last_o, line) for line in range(ol_cnt)],
+                columns=["i_id", "qty", "amount"],
+            )
+
+        return program()
+
+    # -- Delivery --------------------------------------------------------------------------------------------
+
+    def _delivery(self, rng: random.Random) -> Program:
+        w = rng.randrange(self.warehouses)
+        d = rng.randrange(self.DISTRICTS_PER_WAREHOUSE)
+        dk = district_key(w, d)
+        carrier = rng.randrange(1, 11)
+
+        def program():
+            district = yield ReadOp([dk], columns=["next_o_id", "next_d_o_id"])
+            o_id = district[dk]["next_d_o_id"]
+            if o_id >= district[dk]["next_o_id"]:
+                return  # nothing to deliver
+            yield WriteOp({dk: {"next_d_o_id": o_id + 1}})
+            ok = order_key(w, d, o_id)
+            order = yield ReadOp([ok], columns=["c_id", "ol_cnt"])
+            if not order[ok]:
+                yield AbortOp()
+                return
+            c = order[ok]["c_id"]
+            ol_cnt = order[ok]["ol_cnt"]
+            line_keys = [order_line_key(w, d, o_id, line) for line in range(ol_cnt)]
+            lines = yield ReadOp(line_keys, columns=["amount"])
+            total = sum(lines[lk]["amount"] for lk in line_keys if lines[lk])
+            yield WriteOp({ok: {"carrier_id": carrier}})
+            ck = customer_key(w, d, c)
+            customer = yield ReadOp([ck], columns=["balance", "delivery_cnt"])
+            yield WriteOp(
+                {
+                    ck: {
+                        "balance": customer[ck]["balance"] + total,
+                        "delivery_cnt": customer[ck]["delivery_cnt"] + 1,
+                    }
+                }
+            )
+
+        return program()
+
+    # -- StockLevel --------------------------------------------------------------------------------------------
+
+    def _stock_level(self, rng: random.Random) -> Program:
+        w = rng.randrange(self.warehouses)
+        d = rng.randrange(self.DISTRICTS_PER_WAREHOUSE)
+        dk = district_key(w, d)
+        probe = rng.sample(range(self.ITEMS), min(20, self.ITEMS))
+
+        def program():
+            yield ReadOp([dk], columns=["next_o_id"])
+            yield ReadOp([stock_key(w, i) for i in probe], columns=["quantity"])
+
+        return program()

@@ -1,0 +1,155 @@
+"""Workload-level consistency validators.
+
+Benchmarks come with their own *semantic* invariants -- TPC-C's consistency
+conditions, SmallBank's money conservation -- that hold on any serializable
+execution.  Validating them against the final database state is an
+independent, application-level cross-check of both the engine and the
+verifier: a run that verifies clean at serializable must also satisfy them
+(the reverse is not true, which is exactly why black-box IL verification is
+needed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping
+
+from ..dbsim.engine import SimulatedDBMS
+from .smallbank import CHECKING, SAVINGS
+from .tpcc import TpcC
+
+
+@dataclass
+class ConsistencyReport:
+    """Outcome of a semantic validation pass."""
+
+    checks: int = 0
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def record(self, condition: bool, message: str) -> None:
+        self.checks += 1
+        if not condition:
+            self.failures.append(message)
+
+
+def final_images(db: SimulatedDBMS) -> Dict:
+    """Final committed record images of the engine's store."""
+    images = {}
+    for key in db.store.keys():
+        latest = db.store.latest(key)
+        if latest is not None:
+            images[key] = dict(latest.image)
+    return images
+
+
+# ---------------------------------------------------------------------------
+# SmallBank
+# ---------------------------------------------------------------------------
+
+
+def validate_smallbank(db: SimulatedDBMS, workload) -> ConsistencyReport:
+    """SmallBank invariants on the final state.
+
+    * every account balance is an integer (no torn updates);
+    * Amalgamate leaves zeroed sources, so no balance is negative beyond
+      the bounded overdrafts WriteCheck can produce -- checked loosely as
+      "total money only moved or entered via deposits", i.e. the final
+      total equals the initial total plus net deposits/withdrawals recorded
+      in committed history.  Without replaying history the strongest
+      state-only check is integrality plus per-account sanity, which is
+      what real SmallBank harnesses assert.
+    """
+    report = ConsistencyReport()
+    images = final_images(db)
+    for key, image in images.items():
+        if not isinstance(key, tuple) or key[0] not in (CHECKING, SAVINGS):
+            continue
+        balance = image.get("v")
+        report.record(
+            isinstance(balance, int),
+            f"non-integer balance {balance!r} at {key!r}",
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# TPC-C (consistency conditions 1-3, adapted to the modelled columns)
+# ---------------------------------------------------------------------------
+
+
+def validate_tpcc(db: SimulatedDBMS, workload: TpcC) -> ConsistencyReport:
+    """TPC-C consistency conditions on the final state.
+
+    1. ``W_YTD == sum(D_YTD)`` per warehouse (payments fan out once);
+    2. every district's ``next_o_id`` equals the number of orders inserted
+       for it (order ids are dense from 0);
+    3. every order's line count matches its inserted order lines;
+    4. ``next_d_o_id <= next_o_id`` (deliveries never outrun orders).
+    """
+    report = ConsistencyReport()
+    images = final_images(db)
+    warehouses: Dict[int, Dict] = {}
+    districts: Dict[tuple, Dict] = {}
+    orders: Dict[tuple, Dict] = {}
+    order_lines: Dict[tuple, Dict] = {}
+    for key, image in images.items():
+        if not isinstance(key, tuple):
+            continue
+        if key[0] == "warehouse":
+            warehouses[key[1]] = image
+        elif key[0] == "district":
+            districts[key[1:]] = image
+        elif key[0] == "order":
+            orders[key[1:]] = image
+        elif key[0] == "order_line":
+            order_lines[key[1:]] = image
+
+    # Condition 1: warehouse ytd equals the sum of its districts' ytd.
+    for w, w_image in warehouses.items():
+        district_total = sum(
+            image.get("ytd", 0)
+            for (dw, _d), image in districts.items()
+            if dw == w
+        )
+        report.record(
+            w_image.get("ytd", 0) == district_total,
+            f"warehouse {w}: W_YTD={w_image.get('ytd')} != "
+            f"sum(D_YTD)={district_total}",
+        )
+
+    # Condition 2: next_o_id equals the dense count of inserted orders.
+    for (w, d), d_image in districts.items():
+        order_ids = sorted(o for (ow, od, o) in orders if ow == w and od == d)
+        expected = d_image.get("next_o_id", 0)
+        report.record(
+            len(order_ids) == expected,
+            f"district ({w},{d}): next_o_id={expected} but "
+            f"{len(order_ids)} orders exist",
+        )
+        if order_ids:
+            report.record(
+                order_ids == list(range(order_ids[0], order_ids[-1] + 1))
+                and order_ids[0] == 0,
+                f"district ({w},{d}): order ids not dense: {order_ids[:5]}...",
+            )
+
+    # Condition 3: per-order line counts.
+    for (w, d, o), o_image in orders.items():
+        lines = [l for (lw, ld, lo, l) in order_lines if (lw, ld, lo) == (w, d, o)]
+        report.record(
+            len(lines) == o_image.get("ol_cnt"),
+            f"order ({w},{d},{o}): ol_cnt={o_image.get('ol_cnt')} but "
+            f"{len(lines)} lines exist",
+        )
+
+    # Condition 4: deliveries never outrun orders.
+    for (w, d), d_image in districts.items():
+        report.record(
+            d_image.get("next_d_o_id", 0) <= d_image.get("next_o_id", 0),
+            f"district ({w},{d}): delivered past the newest order",
+        )
+    return report

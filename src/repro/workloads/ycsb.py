@@ -1,0 +1,108 @@
+"""YCSB-A: the update-heavy cloud-serving workload (Fig. 4).
+
+The paper runs YCSB-A on PostgreSQL over a single 1M-record table, varying
+the Zipf skew ``theta``, the thread scale and the read/write ratio, to
+measure the ratio of conflicting operations whose trace intervals overlap.
+Our default record count is scaled down (the shape of the overlap ratio
+depends on contention, which the ``theta``/thread knobs control directly).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from ..dbsim.session import Program, ReadOp, WriteOp
+from .base import Key, UniqueValues, Workload, ZipfGenerator
+
+
+class YcsbA(Workload):
+    """Read/update mix over a single keyspace with Zipfian access.
+
+    The canonical YCSB-A 50/50 mix; ``read_ratio`` and ``rmw_ratio``
+    generalise it to the other core YCSB workloads (see the factory
+    classmethods): B (95/5), C (read-only) and F (read-modify-write).
+    """
+
+    def __init__(
+        self,
+        records: int = 10_000,
+        theta: float = 0.5,
+        read_ratio: float = 0.5,
+        rmw_ratio: float = 0.0,
+        ops_per_txn: int = 4,
+        seed: int = 0,
+        variant: str = "a",
+    ):
+        if not 0.0 <= read_ratio <= 1.0:
+            raise ValueError("read_ratio must be a probability")
+        if not 0.0 <= rmw_ratio <= 1.0 or read_ratio + rmw_ratio > 1.0:
+            raise ValueError("read_ratio + rmw_ratio must stay within [0, 1]")
+        if ops_per_txn < 1:
+            raise ValueError("ops_per_txn must be positive")
+        self.records = records
+        self.theta = theta
+        self.read_ratio = read_ratio
+        self.rmw_ratio = rmw_ratio
+        self.ops_per_txn = ops_per_txn
+        self.name = f"ycsb-{variant}(theta={theta},rw={read_ratio})"
+        self._values = UniqueValues(prefix="y")
+        self._zipf_seed = seed
+
+    # -- the core YCSB workload family --------------------------------------
+
+    @classmethod
+    def b(cls, records: int = 10_000, theta: float = 0.5, **kwargs) -> "YcsbA":
+        """YCSB-B: 95% reads, 5% updates."""
+        return cls(records=records, theta=theta, read_ratio=0.95, variant="b", **kwargs)
+
+    @classmethod
+    def c(cls, records: int = 10_000, theta: float = 0.5, **kwargs) -> "YcsbA":
+        """YCSB-C: read only."""
+        return cls(records=records, theta=theta, read_ratio=1.0, variant="c", **kwargs)
+
+    @classmethod
+    def f(cls, records: int = 10_000, theta: float = 0.5, **kwargs) -> "YcsbA":
+        """YCSB-F: 50% reads, 50% read-modify-writes."""
+        return cls(
+            records=records,
+            theta=theta,
+            read_ratio=0.5,
+            rmw_ratio=0.5,
+            variant="f",
+            **kwargs,
+        )
+
+    def populate(self) -> Dict[Key, object]:
+        return {self._key(i): "init" for i in range(self.records)}
+
+    @staticmethod
+    def _key(rank: int) -> str:
+        return f"user{rank}"
+
+    def transaction(self, rng: random.Random) -> Program:
+        zipf = ZipfGenerator(self.records, self.theta, rng)
+        ops = []
+        for _ in range(self.ops_per_txn):
+            key = self._key(zipf.sample())
+            point = rng.random()
+            if point < self.read_ratio:
+                ops.append(("read", key))
+            elif point < self.read_ratio + self.rmw_ratio:
+                ops.append(("rmw", key))
+            else:
+                ops.append(("update", key))
+        values = self._values
+
+        def program():
+            for kind, key in ops:
+                if kind == "read":
+                    yield ReadOp([key])
+                elif kind == "rmw":
+                    yield ReadOp([key])
+                    yield WriteOp({key: values.next()})
+                else:
+                    # YCSB updates are blind field rewrites.
+                    yield WriteOp({key: values.next()})
+
+        return program()

@@ -1,0 +1,184 @@
+"""Tracing adapter over real (threaded) backends."""
+
+import threading
+
+import pytest
+
+from repro import PG_READ_COMMITTED, PG_SERIALIZABLE, Verifier, ViolationKind
+from repro.adapters import Backend, BackendError, DictBackend, TracingClient
+from repro.core.pipeline import pipeline_from_client_streams
+from repro.core.spec import IsolationSpec, IsolationLevel, CRLevel
+from repro.core.trace import OpKind, OpStatus
+
+
+def verify_clients(clients, initial_db, spec):
+    streams = {c.client_id: c.traces for c in clients}
+    verifier = Verifier(spec=spec, initial_db=initial_db)
+    for trace in pipeline_from_client_streams(streams):
+        verifier.process(trace)
+    return verifier.finish()
+
+
+class TestTracingClient:
+    def test_transaction_traces(self):
+        backend = DictBackend({"x": {"v": 0}})
+        client = TracingClient(backend.session(), client_id=0)
+        with client.transaction() as txn:
+            row = txn.read(["x"])["x"]
+            txn.write({"x": row["v"] + 1})
+        kinds = [t.kind for t in client.traces]
+        assert kinds == [OpKind.READ, OpKind.WRITE, OpKind.COMMIT]
+        assert client.traces[0].reads == {"x": {"v": 0}}
+        assert client.traces[1].writes == {"x": {"v": 1}}
+
+    def test_intervals_monotone_and_positive_order(self):
+        backend = DictBackend({"x": {"v": 0}})
+        client = TracingClient(backend.session(), client_id=0)
+        for _ in range(3):
+            with client.transaction() as txn:
+                txn.read(["x"])
+        stamps = [t.ts_bef for t in client.traces]
+        assert stamps == sorted(stamps)
+        for trace in client.traces:
+            assert trace.ts_aft >= trace.ts_bef
+
+    def test_exception_rolls_back(self):
+        backend = DictBackend({"x": {"v": 0}})
+        client = TracingClient(backend.session(), client_id=0)
+        with pytest.raises(RuntimeError):
+            with client.transaction() as txn:
+                txn.write({"x": 99})
+                raise RuntimeError("application error")
+        assert client.traces[-1].kind is OpKind.ABORT
+        # The write must not have been applied.
+        with client.transaction() as txn:
+            assert txn.read(["x"])["x"]["v"] == 0
+
+    def test_missing_key_reads_none(self):
+        backend = DictBackend()
+        client = TracingClient(backend.session(), client_id=0)
+        with client.transaction() as txn:
+            assert txn.read(["ghost"])["ghost"] is None
+        assert client.traces[0].reads == {"ghost": {}}
+
+    def test_backend_error_recorded_as_failed(self):
+        class FailingBackend(Backend):
+            def begin(self):
+                pass
+
+            def read(self, keys, for_update=False):
+                raise BackendError("boom")
+
+            def write(self, writes):
+                pass
+
+            def commit(self):
+                pass
+
+            def abort(self):
+                pass
+
+        client = TracingClient(FailingBackend(), client_id=0)
+        with client.transaction() as txn:
+            with pytest.raises(BackendError):
+                txn.read(["x"])
+            txn.abort()
+        assert client.traces[0].status is OpStatus.FAILED
+        assert client.traces[-1].kind is OpKind.ABORT
+
+    def test_failed_commit_records_abort(self):
+        class FailCommit(Backend):
+            def begin(self):
+                pass
+
+            def read(self, keys, for_update=False):
+                return {k: None for k in keys}
+
+            def write(self, writes):
+                pass
+
+            def commit(self):
+                raise BackendError("serialization failure")
+
+            def abort(self):
+                pass
+
+        client = TracingClient(FailCommit(), client_id=0)
+        # The serialization failure propagates so the caller can retry...
+        with pytest.raises(BackendError):
+            with client.transaction() as txn:
+                txn.write({"x": 1})
+        # ...and the terminal trace records the rollback.
+        assert client.traces[-1].kind is OpKind.ABORT
+
+    def test_for_update_flag_recorded(self):
+        backend = DictBackend({"x": {"v": 0}})
+        client = TracingClient(backend.session(), client_id=0)
+        with client.transaction() as txn:
+            txn.read(["x"], for_update=True)
+        assert client.traces[0].for_update
+
+
+def run_threaded_increments(discipline, threads=4, increments=25, stall=0.0):
+    """Real Python threads hammering one counter through the adapter.
+
+    ``stall`` widens the read-modify-write window so the GIL cannot
+    accidentally serialise the chaos discipline."""
+    import time
+
+    backend = DictBackend({"counter": {"v": 0}}, discipline=discipline)
+    clients = [
+        TracingClient(backend.session(), client_id=i) for i in range(threads)
+    ]
+
+    def work(client):
+        for _ in range(increments):
+            with client.transaction() as txn:
+                row = txn.read(["counter"])["counter"]
+                if stall:
+                    time.sleep(stall)
+                txn.write({"counter": row["v"] + 1})
+
+    workers = [
+        threading.Thread(target=work, args=(client,)) for client in clients
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    return backend, clients
+
+
+#: mechanism assembly matching what the chaos backend *claims* to be -- a
+#: statement-snapshot store with locks and first-updater-wins.
+CHAOS_CLAIM = IsolationSpec(
+    name="dictstore/SI",
+    level=IsolationLevel.SNAPSHOT_ISOLATION,
+    cr=CRLevel.STATEMENT,
+    me=True,
+    fuw=True,
+)
+
+
+class TestRealThreadsEndToEnd:
+    def test_serial_discipline_verifies_clean(self):
+        backend, clients = run_threaded_increments("serial")
+        report = verify_clients(clients, backend.initial_db, PG_SERIALIZABLE)
+        assert report.ok, [str(v) for v in report.violations[:5]]
+        # And the counter is exact.
+        assert backend._data["counter"]["v"] == 100
+
+    def test_chaos_discipline_caught(self):
+        backend, clients = run_threaded_increments(
+            "chaos", threads=8, increments=10, stall=0.001
+        )
+        if backend._data["counter"]["v"] == 80:
+            pytest.skip("no interleaving materialised on this run")
+        report = verify_clients(clients, backend.initial_db, CHAOS_CLAIM)
+        assert not report.ok
+        kinds = {v.kind for v in report.violations}
+        assert kinds & {
+            ViolationKind.LOST_UPDATE,
+            ViolationKind.INCOMPATIBLE_LOCKS,
+            ViolationKind.STALE_READ,
+        }

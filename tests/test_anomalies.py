@@ -1,0 +1,132 @@
+"""Anomaly taxonomy mapping and report classification."""
+
+import pytest
+
+from repro import (
+    IsolationLevel,
+    Mechanism,
+    PG_REPEATABLE_READ,
+    PG_SERIALIZABLE,
+    ViolationKind,
+)
+from repro.core.anomalies import (
+    Anomaly,
+    AnomalySummary,
+    TOLERATED,
+    VIOLATION_ANOMALIES,
+    anomalies_of,
+    classify,
+    strongest_level_satisfied,
+)
+from repro.core.report import (
+    BugDescriptor,
+    VerificationReport,
+    VerificationStats,
+    Violation,
+)
+
+
+def report_with(*kinds):
+    descriptor = BugDescriptor()
+    for i, kind in enumerate(kinds):
+        descriptor.record(
+            Violation(
+                mechanism=Mechanism.CONSISTENT_READ,
+                kind=kind,
+                txns=(f"t{i}",),
+                key=i,
+                details="",
+            )
+        )
+    return VerificationReport(descriptor=descriptor, stats=VerificationStats())
+
+
+class TestMapping:
+    def test_every_violation_kind_mapped(self):
+        for kind in ViolationKind:
+            assert kind in VIOLATION_ANOMALIES, kind
+
+    def test_every_anomaly_described(self):
+        for anomaly in Anomaly:
+            assert anomaly.description
+
+    def test_clean_report(self):
+        report = report_with()
+        assert anomalies_of(report) == set()
+        assert strongest_level_satisfied(report) is IsolationLevel.SERIALIZABLE
+
+    def test_write_skew_maps(self):
+        report = report_with(ViolationKind.DANGEROUS_STRUCTURE)
+        assert Anomaly.WRITE_SKEW in anomalies_of(report)
+
+
+class TestStrongestLevel:
+    def test_lost_update_caps_at_rr(self):
+        report = report_with(ViolationKind.LOST_UPDATE)
+        assert strongest_level_satisfied(report) is IsolationLevel.REPEATABLE_READ
+
+    def test_write_skew_caps_at_si(self):
+        report = report_with(ViolationKind.DANGEROUS_STRUCTURE)
+        assert (
+            strongest_level_satisfied(report)
+            is IsolationLevel.SNAPSHOT_ISOLATION
+        )
+
+    def test_fuzzy_read_caps_at_rc(self):
+        report = report_with(ViolationKind.FUTURE_READ)
+        assert strongest_level_satisfied(report) is IsolationLevel.READ_COMMITTED
+
+    def test_dirty_read_satisfies_nothing(self):
+        report = report_with(ViolationKind.DIRTY_READ)
+        assert strongest_level_satisfied(report) is None
+
+    def test_tolerated_sets_monotone(self):
+        order = (
+            IsolationLevel.SERIALIZABLE,
+            IsolationLevel.SNAPSHOT_ISOLATION,
+            IsolationLevel.REPEATABLE_READ,
+            IsolationLevel.READ_COMMITTED,
+        )
+        for stronger, weaker in zip(order, order[1:]):
+            assert TOLERATED[stronger] <= TOLERATED[weaker]
+
+
+class TestClassify:
+    def test_summary_render(self):
+        summary = classify(report_with(ViolationKind.LOST_UPDATE))
+        text = summary.render()
+        assert "P4" in text and "RR" in text
+
+    def test_clean_render(self):
+        assert "no anomalies" in classify(report_with()).render()
+
+
+class TestEndToEnd:
+    def test_injected_lost_update_classified(self):
+        from repro.dbsim import FaultPlan
+        from repro.workloads import LostUpdateWorkload, run_workload
+        from tests.conftest import verify_run
+
+        run = run_workload(
+            LostUpdateWorkload(counters=4),
+            PG_REPEATABLE_READ,
+            clients=8,
+            txns=300,
+            seed=5,
+            faults=FaultPlan(disable_fuw=True),
+        )
+        report = verify_run(run, PG_REPEATABLE_READ)
+        summary = classify(report)
+        assert Anomaly.LOST_UPDATE in summary.anomalies
+        assert summary.strongest_level in (
+            IsolationLevel.REPEATABLE_READ,
+            IsolationLevel.READ_COMMITTED,
+        )
+
+    def test_clean_run_classified_serializable(self, blindw_rw_run):
+        from tests.conftest import verify_run
+
+        report = verify_run(blindw_rw_run, PG_SERIALIZABLE)
+        assert (
+            classify(report).strongest_level is IsolationLevel.SERIALIZABLE
+        )

@@ -1,0 +1,170 @@
+"""Command-line interface: capture / verify round trips."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestRunVerify:
+    def test_clean_round_trip(self, tmp_path, capsys):
+        capture = tmp_path / "capture"
+        assert (
+            main(
+                [
+                    "run",
+                    "--workload",
+                    "blindw-rw",
+                    "--dbms",
+                    "postgresql",
+                    "--level",
+                    "SR",
+                    "--txns",
+                    "120",
+                    "--clients",
+                    "4",
+                    "--out",
+                    str(capture),
+                ]
+            )
+            == 0
+        )
+        assert list(capture.glob("client-*.jsonl"))
+        assert (capture / "initial_db.json").exists()
+        assert (
+            main(["verify", str(capture), "--dbms", "postgresql", "--level", "SR"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "violations      : 0" in out
+
+    def test_faulty_round_trip_exits_nonzero(self, tmp_path, capsys):
+        capture = tmp_path / "capture"
+        main(
+            [
+                "run",
+                "--workload",
+                "lost-update",
+                "--dbms",
+                "postgresql",
+                "--level",
+                "SI",
+                "--txns",
+                "300",
+                "--clients",
+                "8",
+                "--inject",
+                "no-fuw",
+                "--out",
+                str(capture),
+            ]
+        )
+        assert (
+            main(["verify", str(capture), "--dbms", "postgresql", "--level", "SI"])
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "lost-update" in out
+
+    def test_unknown_workload(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "run",
+                    "--workload",
+                    "nope",
+                    "--out",
+                    str(tmp_path / "c"),
+                ]
+            )
+
+    def test_unknown_level(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "run",
+                    "--workload",
+                    "blindw-rw",
+                    "--level",
+                    "XX",
+                    "--out",
+                    str(tmp_path / "c"),
+                ]
+            )
+
+    def test_unsupported_profile_combination(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "run",
+                    "--workload",
+                    "blindw-rw",
+                    "--dbms",
+                    "sqlite",
+                    "--level",
+                    "RC",
+                    "--out",
+                    str(tmp_path / "c"),
+                ]
+            )
+
+
+class TestOtherCommands:
+    def test_profiles(self, capsys):
+        assert main(["profiles"]) == 0
+        out = capsys.readouterr().out
+        assert "postgresql" in out and "ME+CR+FUW+SC" in out
+
+    def test_bench_passthrough(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig14" in out
+
+
+class TestNewWorkloadsAndFaults:
+    def test_insert_scan_with_phantom_fault(self, tmp_path, capsys):
+        capture = tmp_path / "capture"
+        main(
+            [
+                "run",
+                "--workload",
+                "insert-scan",
+                "--dbms",
+                "postgresql",
+                "--level",
+                "SR",
+                "--txns",
+                "250",
+                "--clients",
+                "8",
+                "--inject",
+                "phantom",
+                "--out",
+                str(capture),
+            ]
+        )
+        assert (
+            main(["verify", str(capture), "--dbms", "postgresql", "--level", "SR"])
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "phantom" in out
+
+    def test_list_append_clean(self, tmp_path):
+        capture = tmp_path / "capture"
+        main(
+            [
+                "run",
+                "--workload",
+                "list-append",
+                "--txns",
+                "150",
+                "--clients",
+                "6",
+                "--out",
+                str(capture),
+            ]
+        )
+        assert (
+            main(["verify", str(capture), "--dbms", "postgresql", "--level", "SR"])
+            == 0
+        )

@@ -1,0 +1,255 @@
+"""Row deletion (tombstones): engine semantics and verification."""
+
+import pytest
+
+from repro import (
+    PG_REPEATABLE_READ,
+    PG_SERIALIZABLE,
+    Trace,
+    ViolationKind,
+    verify_traces,
+)
+from repro.core.trace import (
+    KeyRange,
+    apply_delta,
+    is_tombstone,
+    reads_match,
+    tombstone,
+)
+from repro.dbsim import (
+    FaultPlan,
+    ReadOp,
+    SimulatedDBMS,
+    WriteOp,
+    run_single_program,
+)
+from repro.dbsim.session import DeleteOp
+
+
+class TestDeltaSemantics:
+    def test_tombstone_replaces(self):
+        image = {"a": 1, "b": 2}
+        apply_delta(image, tombstone())
+        assert is_tombstone(image)
+        assert "a" not in image
+
+    def test_reinsert_starts_fresh(self):
+        image = {}
+        apply_delta(image, tombstone())
+        apply_delta(image, {"b": 9})
+        assert image == {"b": 9}
+
+    def test_ordinary_merge(self):
+        image = {"a": 1}
+        apply_delta(image, {"b": 2})
+        assert image == {"a": 1, "b": 2}
+
+    def test_matching_rules(self):
+        assert reads_match(tombstone(), tombstone())
+        assert not reads_match(tombstone(), {"a": 1})
+        assert not reads_match({"a": 1}, tombstone())
+
+
+class TestEngineDeletes:
+    def make_db(self, spec=PG_SERIALIZABLE, faults=None):
+        db = SimulatedDBMS(spec=spec, seed=1, faults=faults or FaultPlan())
+        db.load({("r", i): {"a": i} for i in range(3)})
+        return db
+
+    def test_deleted_row_reads_absent(self):
+        db = self.make_db()
+
+        def program():
+            yield DeleteOp([("r", 1)])
+
+        run_single_program(db, program())
+
+        def reader():
+            rows = yield ReadOp([("r", 1)])
+            assert rows[("r", 1)] is None
+
+        run_single_program(db, reader(), client_id=1)
+
+    def test_own_delete_visible(self):
+        db = self.make_db()
+
+        def program():
+            yield DeleteOp([("r", 1)])
+            rows = yield ReadOp([("r", 1)])
+            assert rows[("r", 1)] is None
+
+        run_single_program(db, program())
+
+    def test_reinsert_after_delete(self):
+        db = self.make_db()
+
+        def program():
+            yield DeleteOp([("r", 1)])
+            yield WriteOp({("r", 1): {"a": 99}})
+            rows = yield ReadOp([("r", 1)])
+            assert rows[("r", 1)] == {"a": 99}
+
+        run_single_program(db, program())
+
+    def test_scan_excludes_deleted(self):
+        db = self.make_db()
+
+        def program():
+            yield DeleteOp([("r", 1)])
+
+        run_single_program(db, program())
+
+        def scanner():
+            rows = yield ReadOp(predicate=KeyRange(("r",), 0, 10))
+            assert sorted(rows) == [("r", 0), ("r", 2)]
+
+        run_single_program(db, scanner(), client_id=1)
+
+    def test_scan_respects_own_staged_delete(self):
+        db = self.make_db()
+
+        def program():
+            yield DeleteOp([("r", 0)])
+            rows = yield ReadOp(predicate=KeyRange(("r",), 0, 10))
+            assert ("r", 0) not in rows
+
+        run_single_program(db, program())
+
+    def test_aborted_delete_rolls_back(self):
+        from repro.dbsim.session import AbortOp
+
+        db = self.make_db()
+
+        def program():
+            yield DeleteOp([("r", 1)])
+            yield AbortOp()
+
+        run_single_program(db, program())
+
+        def reader():
+            rows = yield ReadOp([("r", 1)])
+            assert rows[("r", 1)] == {"a": 1}
+
+        run_single_program(db, reader(), client_id=1)
+
+
+class TestVerifierDeletes:
+    INIT = {("r", 0): {"a": 0}, ("r", 1): {"a": 1}}
+
+    def verify(self, traces, spec=PG_SERIALIZABLE):
+        return verify_traces(
+            sorted(traces, key=Trace.sort_key), spec=spec, initial_db=self.INIT
+        )
+
+    def test_clean_delete_then_absent_read(self):
+        traces = [
+            Trace.write(0.0, 0.1, "t1", {("r", 1): tombstone()}, client_id=0),
+            Trace.commit(0.2, 0.3, "t1", client_id=0),
+            Trace.read(1.0, 1.1, "t2", {("r", 1): tombstone()}, client_id=1),
+            Trace.commit(1.2, 1.3, "t2", client_id=1),
+        ]
+        assert self.verify(traces).ok
+
+    def test_reading_live_value_after_delete_flagged(self):
+        traces = [
+            Trace.write(0.0, 0.1, "t1", {("r", 1): tombstone()}, client_id=0),
+            Trace.commit(0.2, 0.3, "t1", client_id=0),
+            Trace.read(1.0, 1.1, "t2", {("r", 1): {"a": 1}}, client_id=1),
+            Trace.commit(1.2, 1.3, "t2", client_id=1),
+        ]
+        report = self.verify(traces)
+        assert not report.ok
+
+    def test_absence_claim_with_live_row_flagged(self):
+        traces = [
+            Trace.read(0.0, 0.1, "t1", {("r", 1): tombstone()}),
+            Trace.commit(0.2, 0.3, "t1"),
+        ]
+        report = self.verify(traces)
+        assert not report.ok
+        assert report.violations[0].kind is ViolationKind.PHANTOM
+
+    def test_never_existed_absence_ok(self):
+        traces = [
+            Trace.read(0.0, 0.1, "t1", {("r", 99): tombstone()}),
+            Trace.commit(0.2, 0.3, "t1"),
+        ]
+        assert self.verify(traces).ok
+
+    def test_scan_missing_deleted_row_ok(self):
+        traces = [
+            Trace.write(0.0, 0.1, "t1", {("r", 1): tombstone()}, client_id=0),
+            Trace.commit(0.2, 0.3, "t1", client_id=0),
+            Trace.read(
+                1.0,
+                1.1,
+                "t2",
+                {("r", 0): {"a": 0}},
+                client_id=1,
+                predicate=KeyRange(("r",), 0, 10),
+            ),
+            Trace.commit(1.2, 1.3, "t2", client_id=1),
+        ]
+        assert self.verify(traces).ok
+
+    def test_end_to_end_bug4_shape(self):
+        """The paper's Bug 4 class: after DELETE + re-INSERT in a new txn,
+        a buggy engine serves the deleted state instead of the insert."""
+        db = SimulatedDBMS(
+            spec=PG_REPEATABLE_READ,
+            seed=1,
+            faults=FaultPlan(ignore_own_write_prob=1.0),
+        )
+        init = db.load({("s", 2): {"a": 2, "b": 1}})
+
+        def deleter():
+            yield DeleteOp([("s", 2)])
+
+        def insert_and_read():
+            yield WriteOp({("s", 2): {"a": 2, "b": 3}})
+            yield ReadOp([("s", 2)])
+
+        t1 = run_single_program(db, deleter())
+        t2 = run_single_program(db, insert_and_read(), client_id=1)
+        report = verify_traces(
+            sorted(t1 + t2, key=Trace.sort_key),
+            spec=PG_REPEATABLE_READ,
+            initial_db=init,
+        )
+        assert not report.ok
+
+
+class TestDeleteMixWorkload:
+    @pytest.mark.parametrize("seed", [7, 13, 29])
+    def test_insert_delete_scan_clean(self, seed):
+        from repro.workloads import InsertScanWorkload, run_workload
+        from tests.conftest import verify_run
+
+        run = run_workload(
+            InsertScanWorkload(
+                initial_rows=12, insert_ratio=0.35, delete_ratio=0.25
+            ),
+            PG_SERIALIZABLE,
+            clients=8,
+            txns=300,
+            seed=seed,
+        )
+        report = verify_run(run, PG_SERIALIZABLE)
+        assert report.ok, [str(v) for v in report.violations[:4]]
+
+    def test_phantom_fault_still_detected_with_deletes(self):
+        from repro.workloads import InsertScanWorkload, run_workload
+        from tests.conftest import verify_run
+
+        run = run_workload(
+            InsertScanWorkload(
+                initial_rows=12, insert_ratio=0.3, delete_ratio=0.2
+            ),
+            PG_SERIALIZABLE,
+            clients=8,
+            txns=300,
+            seed=7,
+            faults=FaultPlan(phantom_skip_prob=0.05),
+        )
+        report = verify_run(run, PG_SERIALIZABLE)
+        assert not report.ok

@@ -1,0 +1,137 @@
+"""Dependency graph: typed edges, cycles, pruning, raw mode."""
+
+import pytest
+
+from repro.core.dependencies import Dependency, DependencyGraph, DepType
+from repro.core.intervals import Interval
+
+
+def dep(src, dst, kind=DepType.WW, key=None):
+    return Dependency(src=src, dst=dst, dep_type=kind, key=key)
+
+
+class TestNodes:
+    def test_add_and_lookup(self):
+        graph = DependencyGraph()
+        node = graph.add_txn("t1", Interval(0, 1))
+        assert "t1" in graph
+        assert node.commit_interval == Interval(0, 1)
+
+    def test_commit_interval_backfilled(self):
+        graph = DependencyGraph()
+        graph.add_txn("t1")
+        assert graph.node("t1").commit_interval is None
+        graph.add_txn("t1", Interval(0, 1))
+        assert graph.node("t1").commit_interval == Interval(0, 1)
+
+    def test_len(self):
+        graph = DependencyGraph()
+        graph.add_txn("a")
+        graph.add_txn("b")
+        assert len(graph) == 2
+
+
+class TestEdges:
+    def test_simple_edge(self):
+        graph = DependencyGraph()
+        assert graph.add_dependency(dep("a", "b")) is None
+        assert graph.edge_types("a", "b") == {DepType.WW}
+        assert graph.edge_count == 1
+
+    def test_self_dependency_ignored(self):
+        graph = DependencyGraph()
+        assert graph.add_dependency(dep("a", "a")) is None
+        assert graph.edge_count == 0
+
+    def test_multiple_types_one_structural_edge(self):
+        graph = DependencyGraph()
+        graph.add_dependency(dep("a", "b", DepType.WW))
+        graph.add_dependency(dep("a", "b", DepType.WR))
+        assert graph.edge_types("a", "b") == {DepType.WW, DepType.WR}
+        assert graph.edge_count == 2
+        assert graph.successors("a") == {"b"}
+
+    def test_duplicate_type_not_recounted(self):
+        graph = DependencyGraph()
+        graph.add_dependency(dep("a", "b"))
+        graph.add_dependency(dep("a", "b"))
+        assert graph.edge_count == 1
+
+    def test_cycle_reported_and_rejected(self):
+        graph = DependencyGraph()
+        graph.add_dependency(dep("a", "b"))
+        cycle = graph.add_dependency(dep("b", "a"))
+        assert cycle is not None and set(cycle) == {"a", "b"}
+        # Structural edge rejected: topology still acyclic.
+        assert graph.find_cycle() is None
+
+    def test_rw_flags(self):
+        graph = DependencyGraph()
+        graph.add_dependency(dep("a", "b", DepType.RW))
+        assert graph.node("a").has_out_rw
+        assert graph.node("b").has_in_rw
+        assert not graph.node("a").has_in_rw
+
+    def test_in_degree(self):
+        graph = DependencyGraph()
+        graph.add_dependency(dep("a", "c"))
+        graph.add_dependency(dep("b", "c"))
+        assert graph.in_degree("c") == 2
+        assert graph.in_degree("a") == 0
+
+
+class TestPruning:
+    def test_remove_txn(self):
+        graph = DependencyGraph()
+        graph.add_dependency(dep("a", "b"))
+        graph.add_dependency(dep("b", "c"))
+        graph.remove_txn("b")
+        assert "b" not in graph
+        assert graph.in_degree("c") == 0
+        assert graph.edge_types("a", "b") == set()
+        assert graph.edge_count == 0
+
+    def test_remove_missing_is_noop(self):
+        graph = DependencyGraph()
+        graph.remove_txn("ghost")
+
+
+class TestRawMode:
+    def test_raw_mode_allows_cycles(self):
+        graph = DependencyGraph(incremental=False)
+        assert graph.add_dependency(dep("a", "b")) is None
+        assert graph.add_dependency(dep("b", "a")) is None
+        cycle = graph.find_cycle()
+        assert cycle is not None and set(cycle) == {"a", "b"}
+
+    def test_raw_mode_neighbours(self):
+        graph = DependencyGraph(incremental=False)
+        graph.add_dependency(dep("a", "b"))
+        graph.add_dependency(dep("a", "c"))
+        assert graph.successors("a") == {"b", "c"}
+        assert graph.predecessors("b") == {"a"}
+        assert graph.in_degree("b") == 1
+
+    def test_raw_mode_remove(self):
+        graph = DependencyGraph(incremental=False)
+        graph.add_dependency(dep("a", "b"))
+        graph.add_dependency(dep("b", "c"))
+        graph.remove_txn("b")
+        assert graph.successors("a") == set()
+        assert graph.in_degree("c") == 0
+
+
+class TestFindCycle:
+    def test_acyclic(self):
+        graph = DependencyGraph()
+        graph.add_dependency(dep("a", "b"))
+        graph.add_dependency(dep("b", "c"))
+        assert graph.find_cycle() is None
+
+    def test_long_cycle_raw(self):
+        graph = DependencyGraph(incremental=False)
+        for u, v in [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")]:
+            graph.add_dependency(dep(u, v))
+        cycle = graph.find_cycle()
+        assert cycle is not None
+        assert set(cycle) == {"a", "b", "c", "d"}

@@ -1,0 +1,151 @@
+"""Engine lock manager: grants, queuing, upgrades, deadlock detection."""
+
+import pytest
+
+from repro.dbsim.locks import DeadlockError, EngineLockManager, EngineLockMode
+
+S, X = EngineLockMode.SHARED, EngineLockMode.EXCLUSIVE
+
+
+class Recorder:
+    def __init__(self):
+        self.granted = []
+
+    def cb(self, label):
+        return lambda: self.granted.append(label)
+
+
+class TestGrants:
+    def test_immediate_exclusive(self):
+        locks = EngineLockManager()
+        assert locks.acquire("a", "x", X, lambda: None)
+        assert locks.holds("a", "x") is X
+
+    def test_shared_coexist(self):
+        locks = EngineLockManager()
+        assert locks.acquire("a", "x", S, lambda: None)
+        assert locks.acquire("b", "x", S, lambda: None)
+
+    def test_exclusive_blocks(self):
+        locks = EngineLockManager()
+        rec = Recorder()
+        assert locks.acquire("a", "x", X, lambda: None)
+        assert not locks.acquire("b", "x", X, rec.cb("b"))
+        assert rec.granted == []
+        for grant in locks.release_all("a"):
+            grant()
+        assert rec.granted == ["b"]
+        assert locks.holds("b", "x") is X
+
+    def test_fifo_no_overtaking(self):
+        locks = EngineLockManager()
+        rec = Recorder()
+        locks.acquire("a", "x", X, lambda: None)
+        assert not locks.acquire("b", "x", X, rec.cb("b"))
+        # A shared request behind an X waiter must queue, not overtake.
+        assert not locks.acquire("c", "x", S, rec.cb("c"))
+        for grant in locks.release_all("a"):
+            grant()
+        assert rec.granted == ["b"]
+
+    def test_reentrant(self):
+        locks = EngineLockManager()
+        assert locks.acquire("a", "x", X, lambda: None)
+        assert locks.acquire("a", "x", X, lambda: None)
+        assert locks.acquire("a", "x", S, lambda: None)
+        assert locks.holds("a", "x") is X
+
+    def test_upgrade_sole_owner(self):
+        locks = EngineLockManager()
+        locks.acquire("a", "x", S, lambda: None)
+        assert locks.acquire("a", "x", X, lambda: None)
+        assert locks.holds("a", "x") is X
+
+    def test_upgrade_blocked_by_other_reader(self):
+        locks = EngineLockManager()
+        rec = Recorder()
+        locks.acquire("a", "x", S, lambda: None)
+        locks.acquire("b", "x", S, lambda: None)
+        assert not locks.acquire("a", "x", X, rec.cb("a"))
+        for grant in locks.release_all("b"):
+            grant()
+        assert rec.granted == ["a"]
+        assert locks.holds("a", "x") is X
+
+
+class TestDeadlock:
+    def test_two_txn_cycle(self):
+        locks = EngineLockManager()
+        locks.acquire("a", "x", X, lambda: None)
+        locks.acquire("b", "y", X, lambda: None)
+        assert not locks.acquire("a", "y", X, lambda: None)
+        with pytest.raises(DeadlockError):
+            locks.acquire("b", "x", X, lambda: None)
+
+    def test_three_txn_cycle(self):
+        locks = EngineLockManager()
+        locks.acquire("a", "x", X, lambda: None)
+        locks.acquire("b", "y", X, lambda: None)
+        locks.acquire("c", "z", X, lambda: None)
+        assert not locks.acquire("a", "y", X, lambda: None)
+        assert not locks.acquire("b", "z", X, lambda: None)
+        with pytest.raises(DeadlockError):
+            locks.acquire("c", "x", X, lambda: None)
+
+    def test_upgrade_deadlock(self):
+        locks = EngineLockManager()
+        locks.acquire("a", "x", S, lambda: None)
+        locks.acquire("b", "x", S, lambda: None)
+        assert not locks.acquire("a", "x", X, lambda: None)
+        with pytest.raises(DeadlockError):
+            locks.acquire("b", "x", X, lambda: None)
+
+    def test_no_false_deadlock(self):
+        locks = EngineLockManager()
+        locks.acquire("a", "x", X, lambda: None)
+        assert not locks.acquire("b", "x", X, lambda: None)
+        # c waits behind b -- a chain, not a cycle.
+        assert not locks.acquire("c", "x", X, lambda: None)
+
+
+class TestRelease:
+    def test_release_clears_everything(self):
+        locks = EngineLockManager()
+        locks.acquire("a", "x", X, lambda: None)
+        locks.acquire("a", "y", S, lambda: None)
+        locks.release_all("a")
+        assert locks.holds("a", "x") is None
+        assert locks.held_keys("a") == set()
+
+    def test_release_unknown_txn(self):
+        locks = EngineLockManager()
+        assert locks.release_all("ghost") == []
+
+    def test_waiter_removed_on_release(self):
+        """A queued waiter that gives up (rolls back) must unblock the
+        waiters behind it."""
+        locks = EngineLockManager()
+        rec = Recorder()
+        locks.acquire("a", "x", X, lambda: None)
+        assert not locks.acquire("b", "x", X, rec.cb("b"))
+        assert not locks.acquire("c", "x", X, rec.cb("c"))
+        locks.release_all("b")  # b abandons its request
+        for grant in locks.release_all("a"):
+            grant()
+        assert rec.granted == ["c"]
+
+    def test_multiple_shared_granted_together(self):
+        locks = EngineLockManager()
+        rec = Recorder()
+        locks.acquire("a", "x", X, lambda: None)
+        assert not locks.acquire("b", "x", S, rec.cb("b"))
+        assert not locks.acquire("c", "x", S, rec.cb("c"))
+        for grant in locks.release_all("a"):
+            grant()
+        assert sorted(rec.granted) == ["b", "c"]
+
+    def test_waiting_count(self):
+        locks = EngineLockManager()
+        locks.acquire("a", "x", X, lambda: None)
+        locks.acquire("b", "x", X, lambda: None)
+        assert locks.waiting_count() == 1

@@ -1,0 +1,115 @@
+"""Garbage collection: Definition 4, Theorem 5, and memory boundedness."""
+
+import pytest
+
+from repro import PG_SERIALIZABLE, Trace, Verifier
+from repro.core.gc import GarbageCollector
+from repro.core.state import VerifierState
+from repro.workloads import BlindW, run_workload
+from tests.conftest import verify_run
+
+
+def serial_history(n, key_count=4):
+    """n serial single-key update transactions."""
+    traces = []
+    t = 0.0
+    for i in range(n):
+        key = f"k{i % key_count}"
+        traces.append(Trace.write(t, t + 0.1, f"t{i}", {key: i}))
+        traces.append(Trace.commit(t + 0.2, t + 0.3, f"t{i}"))
+        t += 1.0
+    return traces
+
+
+INIT = {f"k{i}": {"v": -1} for i in range(4)}
+
+
+class TestDefinition4:
+    def test_old_txns_pruned_when_stream_advances(self):
+        verifier = Verifier(spec=PG_SERIALIZABLE, initial_db=INIT, gc_every=10)
+        for trace in serial_history(100):
+            verifier.process(trace)
+        # Do not finish(): mid-stream the graph must already be bounded.
+        assert len(verifier.state.graph) < 100
+        assert verifier.state.stats.gc_txns_pruned > 0
+
+    def test_versions_pruned(self):
+        verifier = Verifier(spec=PG_SERIALIZABLE, initial_db=INIT, gc_every=10)
+        for trace in serial_history(100):
+            verifier.process(trace)
+        for chain in verifier.state.chains.values():
+            assert len(chain) < 10
+
+    def test_locks_pruned(self):
+        verifier = Verifier(spec=PG_SERIALIZABLE, initial_db=INIT, gc_every=10)
+        for trace in serial_history(100):
+            verifier.process(trace)
+        assert verifier.state.locks.live_entry_count() < 100
+
+    def test_active_txn_pins_horizon(self):
+        """A long-running active transaction keeps its snapshot horizon
+        pinned: nothing after its first op may be pruned."""
+        verifier = Verifier(spec=PG_SERIALIZABLE, initial_db=INIT, gc_every=10)
+        # The pinning transaction starts first and never terminates.
+        verifier.process(Trace.read(0.0, 0.05, "pin", {"k0": -1}, client_id=9))
+        for trace in serial_history(60):
+            verifier.process(trace)
+        # Every committed txn stays: the active snapshot could still read
+        # any of their versions.
+        assert verifier.state.stats.gc_txns_pruned == 0
+
+    def test_gc_disabled(self):
+        verifier = Verifier(spec=PG_SERIALIZABLE, initial_db=INIT, gc_every=0)
+        for trace in serial_history(100):
+            verifier.process(trace)
+        assert verifier.state.stats.gc_txns_pruned == 0
+        assert len(verifier.state.graph) >= 100
+
+    def test_gc_period_validation(self):
+        with pytest.raises(ValueError):
+            GarbageCollector(VerifierState(), every=0)
+
+
+class TestDetectionUnaffected:
+    def test_same_verdict_with_and_without_gc(self):
+        """GC must not change the verdict on a real workload history."""
+        from repro.dbsim import FaultPlan
+        from repro.workloads import LostUpdateWorkload
+        from repro.core.spec import PG_REPEATABLE_READ
+
+        run = run_workload(
+            LostUpdateWorkload(counters=4),
+            PG_REPEATABLE_READ,
+            clients=8,
+            txns=300,
+            seed=5,
+            faults=FaultPlan(disable_fuw=True),
+        )
+        with_gc = verify_run(run, PG_REPEATABLE_READ, gc_every=64)
+        without_gc = verify_run(run, PG_REPEATABLE_READ, gc_every=0)
+        assert (not with_gc.ok) and (not without_gc.ok)
+        assert {v.kind for v in with_gc.violations} == {
+            v.kind for v in without_gc.violations
+        }
+
+    def test_clean_run_stays_clean_with_aggressive_gc(self):
+        run = run_workload(
+            BlindW.rw(keys=64), PG_SERIALIZABLE, clients=8, txns=300, seed=5
+        )
+        report = verify_run(run, PG_SERIALIZABLE, gc_every=16)
+        assert report.ok
+
+
+class TestMemoryBoundedness:
+    def test_flat_memory_on_long_stream(self):
+        """Live structures after 4x the history should not be ~4x larger --
+        the Fig. 14 flat-memory property."""
+        sizes = {}
+        for n in (400, 1600):
+            verifier = Verifier(
+                spec=PG_SERIALIZABLE, initial_db=INIT, gc_every=32
+            )
+            for trace in serial_history(n):
+                verifier.process(trace)
+            sizes[n] = verifier.state.live_structure_count()
+        assert sizes[1600] < sizes[400] * 2

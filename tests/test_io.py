@@ -1,0 +1,154 @@
+"""Trace persistence: JSONL round trips."""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import PG_SERIALIZABLE, Trace
+from repro.core.io import (
+    dump_client_streams,
+    dump_initial_db,
+    dump_traces,
+    load_client_streams,
+    load_initial_db,
+    load_traces,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.core.trace import OpStatus
+
+
+def sample_traces():
+    return [
+        Trace.read(0.0, 0.1, "t1", {"x": 1, ("tab", 3): {"a": 1}}, client_id=2),
+        Trace.read(0.2, 0.3, "t1", {"y": None}, for_update=True, client_id=2),
+        Trace.write(0.4, 0.5, "t1", {("tab", 3): {"a": 2, "b": None}}, client_id=2),
+        Trace.write(0.6, 0.7, "t1", {}, status=OpStatus.FAILED, client_id=2),
+        Trace.commit(0.8, 0.9, "t1", client_id=2, op_index=4),
+        Trace.abort(1.0, 1.1, "t2", client_id=2),
+    ]
+
+
+def equivalent(a: Trace, b: Trace) -> bool:
+    return (
+        a.interval == b.interval
+        and a.kind == b.kind
+        and a.txn_id == b.txn_id
+        and a.client_id == b.client_id
+        and dict(a.reads) == dict(b.reads)
+        and dict(a.writes) == dict(b.writes)
+        and a.status == b.status
+        and a.for_update == b.for_update
+        and a.op_index == b.op_index
+    )
+
+
+class TestDictRoundTrip:
+    def test_all_kinds(self):
+        for trace in sample_traces():
+            back = trace_from_dict(trace_to_dict(trace))
+            assert equivalent(trace, back), trace
+
+    def test_tuple_keys_roundtrip(self):
+        trace = Trace.write(0.0, 0.1, "t", {("order", 1, 2): {"c": 3}})
+        back = trace_from_dict(trace_to_dict(trace))
+        assert ("order", 1, 2) in back.writes
+
+    def test_compact_defaults_omitted(self):
+        payload = trace_to_dict(Trace.commit(0.0, 0.1, "t"))
+        assert "r" not in payload and "w" not in payload
+        assert "s" not in payload and "fu" not in payload
+
+
+class TestStreamRoundTrip:
+    def test_dump_and_load(self):
+        buffer = io.StringIO()
+        count = dump_traces(sample_traces(), buffer)
+        assert count == 6
+        buffer.seek(0)
+        loaded = list(load_traces(buffer))
+        assert len(loaded) == 6
+        for original, back in zip(sample_traces(), loaded):
+            assert equivalent(original, back)
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        dump_traces(sample_traces(), path)
+        loaded = list(load_traces(path))
+        assert len(loaded) == 6
+
+    def test_comments_and_blank_lines_skipped(self):
+        buffer = io.StringIO('# header\n\n{"k":"commit","t":"t1","b":0,"a":1}\n')
+        loaded = list(load_traces(buffer))
+        assert len(loaded) == 1
+
+    def test_malformed_line_reported_with_number(self):
+        buffer = io.StringIO('{"k":"commit","t":"t1","b":0,"a":1}\n{broken\n')
+        with pytest.raises(ValueError, match="line 2"):
+            list(load_traces(buffer))
+
+
+class TestCaptureLayout:
+    def test_client_streams_round_trip(self, tmp_path):
+        streams = {
+            0: [Trace.commit(0.0, 0.1, "t0", client_id=0)],
+            3: [Trace.commit(0.2, 0.3, "t1", client_id=3)],
+        }
+        paths = dump_client_streams(streams, tmp_path)
+        assert len(paths) == 2
+        back = load_client_streams(tmp_path)
+        assert sorted(back) == [0, 3]
+        assert back[3][0].txn_id == "t1"
+
+    def test_missing_capture_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_client_streams(tmp_path)
+
+    def test_initial_db_round_trip(self, tmp_path):
+        initial = {"x": {"v": 0}, ("tab", 1): {"a": 2}}
+        path = tmp_path / "init.json"
+        dump_initial_db(initial, path)
+        assert load_initial_db(path) == initial
+
+    def test_end_to_end_verification_from_disk(self, tmp_path, blindw_rw_run):
+        """A captured run verifies identically after a disk round trip."""
+        from tests.conftest import verify_run
+
+        dump_client_streams(blindw_rw_run.client_streams, tmp_path)
+        dump_initial_db(blindw_rw_run.initial_db, tmp_path / "initial_db.json")
+        streams = load_client_streams(tmp_path)
+
+        class FakeRun:
+            client_streams = streams
+            initial_db = load_initial_db(tmp_path / "initial_db.json")
+
+        report = verify_run(FakeRun, PG_SERIALIZABLE)
+        assert report.ok
+        direct = verify_run(blindw_rw_run, PG_SERIALIZABLE)
+        assert report.stats.deps_total == direct.stats.deps_total
+
+
+_scalar = st.one_of(
+    st.integers(-10**6, 10**6),
+    st.text(max_size=12),
+    st.booleans(),
+    st.none(),
+)
+_key = st.one_of(
+    st.text(min_size=1, max_size=8),
+    st.tuples(st.text(min_size=1, max_size=4), st.integers(0, 99)),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.dictionaries(_key, _scalar, max_size=4),
+    st.floats(0, 1e6, allow_nan=False),
+    st.floats(0, 10, allow_nan=False),
+)
+def test_property_round_trip(writes, start, width):
+    trace = Trace.write(start, start + width, "t", writes, client_id=1)
+    back = trace_from_dict(trace_to_dict(trace))
+    assert dict(back.writes) == dict(trace.writes)
+    assert back.interval == trace.interval

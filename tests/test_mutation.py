@@ -1,0 +1,197 @@
+"""Mutation testing of histories: corrupted observations must be caught.
+
+Complements the no-false-positive property tests: starting from a *clean*
+workload run, we corrupt a single trace in ways a buggy DBMS could have
+(served a never-written value, served a future version, dropped a commit's
+effects) and require the verifier to flag the mutated history.  This is the
+completeness direction of black-box checking, exercised systematically
+rather than through hand-picked scenarios.
+"""
+
+import random
+
+import pytest
+
+from repro import PG_SERIALIZABLE, Trace, Verifier, pipeline_from_client_streams
+from repro.core.trace import OpKind
+from repro.workloads import BlindW, run_workload
+from tests.conftest import verify_run
+
+
+@pytest.fixture(scope="module")
+def clean_run():
+    return run_workload(
+        BlindW.rw(keys=128), PG_SERIALIZABLE, clients=8, txns=300, seed=13
+    )
+
+
+def verify_streams(streams, initial_db):
+    verifier = Verifier(spec=PG_SERIALIZABLE, initial_db=initial_db)
+    for trace in pipeline_from_client_streams(streams):
+        verifier.process(trace)
+    return verifier.finish()
+
+
+def mutate_stream(run, client_id, index, new_trace):
+    streams = {cid: list(traces) for cid, traces in run.client_streams.items()}
+    streams[client_id][index] = new_trace
+    return streams
+
+
+def committed_read_sites(run):
+    """(client, index, trace) for reads of committed transactions with a
+    non-empty observation."""
+    committed = set()
+    for stream in run.client_streams.values():
+        for trace in stream:
+            if trace.kind is OpKind.COMMIT:
+                committed.add(trace.txn_id)
+    sites = []
+    for client_id, stream in run.client_streams.items():
+        for index, trace in enumerate(stream):
+            if (
+                trace.kind is OpKind.READ
+                and trace.txn_id in committed
+                and trace.reads
+            ):
+                sites.append((client_id, index, trace))
+    return sites
+
+
+def remake_read(trace, reads):
+    return Trace.read(
+        trace.ts_bef,
+        trace.ts_aft,
+        trace.txn_id,
+        reads,
+        client_id=trace.client_id,
+        op_index=trace.op_index,
+    )
+
+
+class TestReadValueMutations:
+    def test_baseline_clean(self, clean_run):
+        assert verify_run(clean_run, PG_SERIALIZABLE).ok
+
+    @pytest.mark.parametrize("site_index", range(0, 40, 7))
+    def test_never_written_value_always_caught(self, clean_run, site_index):
+        sites = committed_read_sites(clean_run)
+        client_id, index, trace = sites[site_index % len(sites)]
+        key = next(iter(trace.reads))
+        reads = {k: dict(v) for k, v in trace.reads.items()}
+        reads[key] = {"v": "phantom-value-never-written"}
+        streams = mutate_stream(
+            clean_run, client_id, index, remake_read(trace, reads)
+        )
+        report = verify_streams(streams, clean_run.initial_db)
+        assert not report.ok
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_future_value_always_caught(self, clean_run, seed):
+        """Serve the value of a version whose writer commits only after the
+        reading transaction finished -- no interleaving explains it."""
+        rng = random.Random(seed)
+        sites = committed_read_sites(clean_run)
+        # Collect (key, value, writer commit begin) for all writes.
+        writes = []
+        for stream in clean_run.client_streams.values():
+            commit_begin = {}
+            for trace in stream:
+                if trace.kind is OpKind.COMMIT:
+                    commit_begin[trace.txn_id] = trace.ts_bef
+            for trace in stream:
+                if trace.kind is OpKind.WRITE and trace.txn_id in commit_begin:
+                    for key, columns in trace.writes.items():
+                        writes.append((key, dict(columns), commit_begin[trace.txn_id]))
+        rng.shuffle(sites)
+        for client_id, index, trace in sites:
+            key = next(iter(trace.reads))
+            reader_stream = clean_run.client_streams[client_id]
+            reader_end = max(
+                t.ts_aft for t in reader_stream if t.txn_id == trace.txn_id
+            )
+            future = [
+                columns
+                for wkey, columns, commit_ts in writes
+                if wkey == key and commit_ts > reader_end + 1e-6
+                and columns != dict(trace.reads[key])
+            ]
+            if not future:
+                continue
+            reads = {k: dict(v) for k, v in trace.reads.items()}
+            reads[key] = future[0]
+            streams = mutate_stream(
+                clean_run, client_id, index, remake_read(trace, reads)
+            )
+            report = verify_streams(streams, clean_run.initial_db)
+            assert not report.ok, (
+                f"future-value mutation at client {client_id} idx {index} "
+                "went undetected"
+            )
+            return
+        pytest.skip("no future-value mutation site in this run")
+
+    def test_initial_value_after_overwrites_caught(self, clean_run):
+        """Serve the initial value for a key that was overwritten long
+        before the reader's snapshot."""
+        sites = committed_read_sites(clean_run)
+        # Find a read whose observed value differs from the initial one and
+        # happens late in the run.
+        for client_id, index, trace in reversed(sites):
+            key = next(iter(trace.reads))
+            initial = clean_run.initial_db.get(key)
+            if initial is None:
+                continue
+            if dict(trace.reads[key]) == dict(initial):
+                continue
+            if trace.ts_bef < 0.2:  # want plenty of history before it
+                continue
+            reads = {k: dict(v) for k, v in trace.reads.items()}
+            reads[key] = dict(initial)
+            streams = mutate_stream(
+                clean_run, client_id, index, remake_read(trace, reads)
+            )
+            report = verify_streams(streams, clean_run.initial_db)
+            assert not report.ok
+            return
+        pytest.skip("no suitable stale-initial mutation site")
+
+
+class TestTerminalMutations:
+    def test_dropping_commit_makes_later_reads_dirty(self, clean_run):
+        """Turn one committed writer into an abort: any later read of its
+        value becomes a dirty read and must be flagged."""
+        # Find a committed writer whose value was read by someone else.
+        read_values = set()
+        for stream in clean_run.client_streams.values():
+            for trace in stream:
+                if trace.kind is OpKind.READ:
+                    for key, cols in trace.reads.items():
+                        read_values.add((key, tuple(sorted(cols.items()))))
+        for client_id, stream in clean_run.client_streams.items():
+            writes_by_txn = {}
+            for trace in stream:
+                if trace.kind is OpKind.WRITE:
+                    writes_by_txn.setdefault(trace.txn_id, []).append(trace)
+            for index, trace in enumerate(stream):
+                if trace.kind is not OpKind.COMMIT:
+                    continue
+                was_read = any(
+                    (key, tuple(sorted(cols.items()))) in read_values
+                    for wtrace in writes_by_txn.get(trace.txn_id, ())
+                    for key, cols in wtrace.writes.items()
+                )
+                if not was_read:
+                    continue
+                mutated = Trace.abort(
+                    trace.ts_bef,
+                    trace.ts_aft,
+                    trace.txn_id,
+                    client_id=trace.client_id,
+                    op_index=trace.op_index,
+                )
+                streams = mutate_stream(clean_run, client_id, index, mutated)
+                report = verify_streams(streams, clean_run.initial_db)
+                assert not report.ok
+                return
+        pytest.skip("no read-from committed writer found")

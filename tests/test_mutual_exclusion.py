@@ -1,0 +1,146 @@
+"""ME mechanism on hand-crafted interval histories (Fig. 7, Theorem 3)."""
+
+import pytest
+
+from repro import (
+    DepType,
+    PG_REPEATABLE_READ,
+    PG_SERIALIZABLE,
+    Trace,
+    Verifier,
+    ViolationKind,
+    verify_traces,
+)
+from repro.core.spec import IsolationLevel, profile
+
+INIT = {"x": {"v": 0}}
+
+
+def verify(traces, spec=PG_SERIALIZABLE, **kwargs):
+    return verify_traces(
+        sorted(traces, key=Trace.sort_key), spec=spec, initial_db=INIT, **kwargs
+    )
+
+
+class TestViolations:
+    def test_nested_write_locks(self):
+        """Fig. 7a: t1's write+commit lies strictly inside t0's write..commit
+        hold -- no serial lock order exists."""
+        traces = [
+            Trace.write(0.0, 0.1, "t0", {"x": 1}, client_id=0),
+            Trace.write(0.2, 0.3, "t1", {"x": 2}, client_id=1),
+            Trace.commit(0.4, 0.5, "t1", client_id=1),
+            Trace.commit(0.6, 0.7, "t0", client_id=0),
+        ]
+        report = verify(traces)
+        kinds = {v.kind for v in report.violations}
+        assert ViolationKind.INCOMPATIBLE_LOCKS in kinds
+
+    def test_violation_detected_even_when_one_txn_aborts(self):
+        traces = [
+            Trace.write(0.0, 0.1, "t0", {"x": 1}, client_id=0),
+            Trace.write(0.2, 0.3, "t1", {"x": 2}, client_id=1),
+            Trace.abort(0.4, 0.5, "t1", client_id=1),
+            Trace.commit(0.6, 0.7, "t0", client_id=0),
+        ]
+        report = verify(traces)
+        assert ViolationKind.INCOMPATIBLE_LOCKS in {
+            v.kind for v in report.violations
+        }
+
+    def test_for_update_read_conflicts_with_writer(self):
+        """The paper's Bug 3 shape: a FOR UPDATE read claims an exclusive
+        lock; a concurrent writer commits inside its hold."""
+        traces = [
+            Trace.read(0.0, 0.1, "t0", {"x": 0}, client_id=0, for_update=True),
+            Trace.write(0.2, 0.3, "t1", {"x": 5}, client_id=1),
+            Trace.commit(0.4, 0.5, "t1", client_id=1),
+            Trace.commit(0.6, 0.7, "t0", client_id=0),
+        ]
+        report = verify(traces, spec=PG_REPEATABLE_READ)
+        assert ViolationKind.INCOMPATIBLE_LOCKS in {
+            v.kind for v in report.violations
+        }
+
+
+class TestDeduction:
+    def test_serial_writers_deduce_ww(self):
+        traces = [
+            Trace.write(0.0, 0.1, "t0", {"x": 1}, client_id=0),
+            Trace.commit(0.2, 0.3, "t0", client_id=0),
+            Trace.write(0.4, 0.5, "t1", {"x": 2}, client_id=1),
+            Trace.commit(0.6, 0.7, "t1", client_id=1),
+        ]
+        verifier = Verifier(spec=PG_SERIALIZABLE, initial_db=INIT, gc_every=0)
+        for trace in sorted(traces, key=Trace.sort_key):
+            verifier.process(trace)
+        report = verifier.finish()
+        assert report.ok
+        assert DepType.WW in verifier.state.graph.edge_types("t0", "t1")
+
+    def test_overlapping_but_deducible(self):
+        """Fig. 7b: acquire intervals overlap, but only one serial order is
+        feasible -- a ww edge is deduced, no violation."""
+        traces = [
+            Trace.write(0.00, 0.20, "t0", {"x": 1}, client_id=0),
+            Trace.commit(0.25, 0.35, "t0", client_id=0),
+            Trace.write(0.10, 0.35, "t1", {"x": 2}, client_id=1),  # waited for t0
+            Trace.commit(0.40, 0.50, "t1", client_id=1),
+        ]
+        verifier = Verifier(spec=PG_SERIALIZABLE, initial_db=INIT, gc_every=0)
+        for trace in sorted(traces, key=Trace.sort_key):
+            verifier.process(trace)
+        report = verifier.finish()
+        assert report.ok
+        assert DepType.WW in verifier.state.graph.edge_types("t0", "t1")
+
+    def test_no_ww_between_aborted(self):
+        traces = [
+            Trace.write(0.0, 0.1, "t0", {"x": 1}, client_id=0),
+            Trace.abort(0.2, 0.3, "t0", client_id=0),
+            Trace.write(0.4, 0.5, "t1", {"x": 2}, client_id=1),
+            Trace.commit(0.6, 0.7, "t1", client_id=1),
+        ]
+        verifier = Verifier(spec=PG_SERIALIZABLE, initial_db=INIT, gc_every=0)
+        for trace in sorted(traces, key=Trace.sort_key):
+            verifier.process(trace)
+        verifier.finish()
+        assert "t0" not in verifier.state.graph
+
+
+class TestSharedLocks:
+    def test_shared_readers_coexist_under_pure_2pl(self):
+        spec = profile("sqlite", IsolationLevel.SERIALIZABLE)
+        traces = [
+            Trace.read(0.0, 0.3, "t0", {"x": 0}, client_id=0),
+            Trace.read(0.1, 0.4, "t1", {"x": 0}, client_id=1),
+            Trace.commit(0.5, 0.6, "t0", client_id=0),
+            Trace.commit(0.5, 0.6, "t1", client_id=1),
+        ]
+        assert verify(traces, spec=spec).ok
+
+    def test_reader_inside_writer_hold_flagged_under_pure_2pl(self):
+        spec = profile("sqlite", IsolationLevel.SERIALIZABLE)
+        traces = [
+            Trace.write(0.0, 0.1, "t0", {"x": 1}, client_id=0),
+            Trace.read(0.2, 0.3, "t1", {"x": 1}, client_id=1),
+            Trace.commit(0.4, 0.5, "t1", client_id=1),
+            Trace.commit(0.6, 0.7, "t0", client_id=0),
+        ]
+        report = verify(traces, spec=spec)
+        assert ViolationKind.INCOMPATIBLE_LOCKS in {
+            v.kind for v in report.violations
+        }
+
+    def test_upgrade_not_backdated(self):
+        """Regression: S held by two txns, then one upgrades after the other
+        releases -- legal, must not be flagged."""
+        spec = profile("sqlite", IsolationLevel.SERIALIZABLE)
+        traces = [
+            Trace.read(0.00, 0.10, "t0", {"x": 0}, client_id=0),
+            Trace.read(0.05, 0.15, "t1", {"x": 0}, client_id=1),
+            Trace.commit(0.20, 0.25, "t1", client_id=1),
+            Trace.write(0.30, 0.40, "t0", {"x": 9}, client_id=0),  # upgrade
+            Trace.commit(0.45, 0.50, "t0", client_id=0),
+        ]
+        assert verify(traces, spec=spec).ok

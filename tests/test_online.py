@@ -1,0 +1,169 @@
+"""Push-based online verification."""
+
+import pytest
+
+from repro import PG_REPEATABLE_READ, PG_SERIALIZABLE, Trace
+from repro.core.online import OnlineVerifier
+from repro.workloads import BlindW, run_workload
+from tests.conftest import verify_run
+
+INIT = {"x": {"v": 0}}
+
+
+class TestFeeding:
+    def test_single_client_passthrough(self):
+        online = OnlineVerifier(spec=PG_SERIALIZABLE, initial_db=INIT)
+        online.feed(Trace.write(0.0, 0.1, "t1", {"x": 1}, client_id=0))
+        online.feed(Trace.commit(0.2, 0.3, "t1", client_id=0))
+        report = online.finish()
+        assert report.ok
+        assert report.stats.traces_processed == 2
+
+    def test_watermark_holds_back_dispatch(self):
+        online = OnlineVerifier(spec=PG_SERIALIZABLE, initial_db=INIT)
+        online.register_client(0)
+        online.register_client(1)
+        # Client 0 pushes; client 1 is silent at -inf: nothing dispatches.
+        dispatched = online.feed(
+            Trace.write(1.0, 1.1, "t1", {"x": 1}, client_id=0)
+        )
+        assert dispatched == 0
+        assert online.pending == 1
+        # Client 1's heartbeat releases the watermark.
+        dispatched = online.heartbeat(1, now=5.0)
+        assert dispatched == 1
+        assert online.pending == 0
+
+    def test_dispatch_order_across_clients(self):
+        processed = []
+        online = OnlineVerifier(spec=PG_SERIALIZABLE, initial_db=INIT)
+        original = online._verifier.process
+
+        def spy(trace):
+            processed.append(trace.ts_bef)
+            original(trace)
+
+        online._verifier.process = spy
+        online.register_client(0)
+        online.register_client(1)
+        online.feed(Trace.commit(2.0, 2.1, "t1", client_id=0))
+        online.feed(Trace.commit(1.0, 1.1, "t2", client_id=1))
+        online.heartbeat(0, 10.0)
+        online.heartbeat(1, 10.0)
+        assert processed == [1.0, 2.0]
+
+    def test_non_monotone_client_rejected(self):
+        online = OnlineVerifier(spec=PG_SERIALIZABLE, initial_db=INIT)
+        online.feed(Trace.commit(5.0, 5.1, "t1", client_id=0))
+        with pytest.raises(ValueError):
+            online.feed(Trace.commit(1.0, 1.1, "t2", client_id=0))
+
+    def test_feed_after_finish_rejected(self):
+        online = OnlineVerifier(spec=PG_SERIALIZABLE, initial_db=INIT)
+        online.finish()
+        with pytest.raises(RuntimeError):
+            online.feed(Trace.commit(0.0, 0.1, "t1"))
+
+
+class TestAlerting:
+    def test_violation_callback_fires_during_stream(self):
+        alerts = []
+        online = OnlineVerifier(
+            spec=PG_SERIALIZABLE,
+            initial_db=INIT,
+            on_violation=alerts.append,
+        )
+        # Stale read: t2 reads the overwritten initial value.
+        for trace in [
+            Trace.write(0.0, 0.1, "t1", {"x": 1}, client_id=0),
+            Trace.commit(0.2, 0.3, "t1", client_id=0),
+            Trace.read(1.0, 1.1, "t2", {"x": 0}, client_id=0),
+            Trace.commit(1.2, 1.3, "t2", client_id=0),
+        ]:
+            online.feed(trace)
+        online.heartbeat(0, 100.0)
+        assert alerts, "violation should be alerted before finish()"
+        report = online.finish()
+        assert not report.ok
+        assert len(alerts) == len(report.violations)
+
+    def test_no_duplicate_alerts(self):
+        alerts = []
+        online = OnlineVerifier(
+            spec=PG_SERIALIZABLE, initial_db=INIT, on_violation=alerts.append
+        )
+        online.feed(Trace.read(0.0, 0.1, "t1", {"x": 999}, client_id=0))
+        online.feed(Trace.commit(0.2, 0.3, "t1", client_id=0))
+        online.heartbeat(0, 10.0)
+        online.finish()
+        assert len(alerts) == len(set(id(a) for a in alerts))
+
+
+class TestAgainstBatchPath:
+    def test_same_result_as_batch(self, blindw_rw_run):
+        """Feeding a real workload run trace-by-trace (round robin across
+        clients) matches the batch pipeline's verdict and statistics."""
+        online = OnlineVerifier(
+            spec=PG_SERIALIZABLE, initial_db=blindw_rw_run.initial_db
+        )
+        streams = {
+            cid: list(traces)
+            for cid, traces in blindw_rw_run.client_streams.items()
+        }
+        for client_id in streams:
+            online.register_client(client_id)
+        positions = {cid: 0 for cid in streams}
+        remaining = sum(len(s) for s in streams.values())
+        while remaining:
+            for cid, stream in streams.items():
+                if positions[cid] < len(stream):
+                    online.feed(stream[positions[cid]])
+                    positions[cid] += 1
+                    remaining -= 1
+        report = online.finish()
+        batch = verify_run(blindw_rw_run, PG_SERIALIZABLE)
+        assert report.ok == batch.ok
+        assert report.stats.traces_processed == batch.stats.traces_processed
+        assert report.stats.deps_total == batch.stats.deps_total
+
+    def test_memory_stays_bounded_online(self):
+        run = run_workload(
+            BlindW.rw(keys=256), PG_SERIALIZABLE, clients=8, txns=600, seed=4
+        )
+        online = OnlineVerifier(
+            spec=PG_SERIALIZABLE, initial_db=run.initial_db, gc_every=64
+        )
+        merged = run.all_traces_sorted()
+        peak = 0
+        for i, trace in enumerate(merged):
+            online.feed(trace)
+            if i % 200 == 0:
+                peak = max(peak, online.live_structure_count())
+        report = online.finish()
+        assert report.ok
+        assert peak < len(merged)
+
+
+class TestOnlineWithRicherTraces:
+    def test_insert_scan_with_deletes_online(self):
+        """Predicate scans and tombstones flow through the online path."""
+        from repro.workloads import InsertScanWorkload
+
+        run = run_workload(
+            InsertScanWorkload(
+                initial_rows=10, insert_ratio=0.35, delete_ratio=0.2
+            ),
+            PG_SERIALIZABLE,
+            clients=6,
+            txns=200,
+            seed=3,
+        )
+        online = OnlineVerifier(
+            spec=PG_SERIALIZABLE, initial_db=run.initial_db
+        )
+        for client_id in run.client_streams:
+            online.register_client(client_id)
+        for trace in run.all_traces_sorted():
+            online.feed(trace)
+        report = online.finish()
+        assert report.ok, [str(v) for v in report.violations[:4]]

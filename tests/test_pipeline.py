@@ -1,0 +1,164 @@
+"""Two-level pipeline: ordering guarantee (Theorem 1) and bookkeeping."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pipeline import (
+    ClientFeed,
+    NaiveGlobalSorter,
+    TwoLevelPipeline,
+    pipeline_from_client_streams,
+    sorted_traces,
+)
+from repro.core.trace import Trace
+
+
+def make_stream(client_id, timestamps):
+    """A monotone client stream of commit traces at given before-times."""
+    return [
+        Trace.commit(ts, ts + 0.5, f"t{client_id}-{i}", client_id=client_id)
+        for i, ts in enumerate(timestamps)
+    ]
+
+
+def interleaved_streams(n_clients=4, per_client=50, seed=0):
+    rng = random.Random(seed)
+    streams = {}
+    for client in range(n_clients):
+        t = rng.random()
+        stamps = []
+        for _ in range(per_client):
+            t += rng.random()
+            stamps.append(t)
+        streams[client] = make_stream(client, stamps)
+    return streams
+
+
+class TestClientFeed:
+    def test_batching(self):
+        feed = ClientFeed(make_stream(0, [1, 2, 3, 4, 5]), batch_size=2)
+        assert len(feed.next_batch()) == 2
+        assert len(feed.next_batch()) == 2
+        assert len(feed.next_batch()) == 1
+        assert feed.exhausted
+        assert feed.next_batch() == []
+
+    def test_rejects_unsorted_stream(self):
+        feed = ClientFeed(make_stream(0, [5, 1]), batch_size=8)
+        with pytest.raises(ValueError):
+            feed.next_batch()
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            ClientFeed([], batch_size=0)
+
+
+class TestTwoLevelPipeline:
+    def test_requires_feeds(self):
+        with pytest.raises(ValueError):
+            TwoLevelPipeline([])
+
+    def test_single_client_passthrough(self):
+        streams = {0: make_stream(0, [1, 2, 3])}
+        out = list(pipeline_from_client_streams(streams))
+        assert [t.ts_bef for t in out] == [1, 2, 3]
+
+    def test_dispatch_order_theorem1(self):
+        streams = interleaved_streams()
+        out = list(pipeline_from_client_streams(streams, batch_size=7))
+        stamps = [t.ts_bef for t in out]
+        assert stamps == sorted(stamps)
+        assert len(out) == sum(len(s) for s in streams.values())
+
+    def test_unoptimized_same_output(self):
+        streams = interleaved_streams(seed=5)
+        optimized = [
+            t.trace_id
+            for t in pipeline_from_client_streams(streams, optimized=True)
+        ]
+        plain = [
+            t.trace_id
+            for t in pipeline_from_client_streams(streams, optimized=False)
+        ]
+        assert sorted(optimized) == sorted(plain)
+
+    def test_empty_client_tolerated(self):
+        streams = {0: make_stream(0, [1, 2]), 1: []}
+        out = list(pipeline_from_client_streams(streams))
+        assert len(out) == 2
+
+    def test_all_empty(self):
+        out = list(pipeline_from_client_streams({0: [], 1: []}))
+        assert out == []
+
+    def test_stats_counted(self):
+        streams = interleaved_streams()
+        pipeline = pipeline_from_client_streams(streams, batch_size=10)
+        total = sum(1 for _ in pipeline)
+        assert pipeline.stats.dispatched == total
+        assert pipeline.stats.rounds > 0
+        assert pipeline.stats.peak_heap_size > 0
+
+    def test_laggard_client_bounds_heap(self):
+        """A very slow client should not make the optimized pipeline buffer
+        everything from the fast ones."""
+        fast = make_stream(0, [i * 0.001 for i in range(400)])
+        slow = make_stream(1, [i * 0.4 for i in range(400)])
+        streams = {0: fast, 1: slow}
+        optimized = pipeline_from_client_streams(streams, batch_size=16)
+        list(optimized)
+        unoptimized = pipeline_from_client_streams(
+            streams, batch_size=16, optimized=False
+        )
+        list(unoptimized)
+        assert optimized.stats.peak_heap_size <= unoptimized.stats.peak_heap_size
+
+
+class TestNaiveSorter:
+    def test_same_output_as_pipeline(self):
+        streams = interleaved_streams(seed=9)
+        feeds = [ClientFeed(s) for s in streams.values()]
+        naive = NaiveGlobalSorter(feeds)
+        out = [t.ts_bef for t in naive]
+        assert out == sorted(out)
+        assert naive.stats.peak_buffered == sum(len(s) for s in streams.values())
+
+
+class TestSortedTraces:
+    def test_helper(self):
+        streams = interleaved_streams(seed=2)
+        merged = sorted_traces(streams)
+        assert [t.ts_bef for t in merged] == sorted(t.ts_bef for t in merged)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(  # per-client lists of inter-arrival gaps
+        st.lists(st.floats(0.0, 10.0, allow_nan=False), min_size=0, max_size=30),
+        min_size=1,
+        max_size=6,
+    ),
+    st.integers(1, 16),
+    st.booleans(),
+)
+def test_property_monotone_and_complete(gaps_per_client, batch_size, optimized):
+    """Theorem 1 as a property: any set of monotone client streams is
+    dispatched complete and in non-decreasing before-timestamp order."""
+    streams = {}
+    for client, gaps in enumerate(gaps_per_client):
+        t = 0.0
+        stamps = []
+        for gap in gaps:
+            t += gap
+            stamps.append(t)
+        streams[client] = make_stream(client, stamps)
+    pipeline = pipeline_from_client_streams(
+        streams, batch_size=batch_size, optimized=optimized
+    )
+    out = list(pipeline)
+    stamps = [t.ts_bef for t in out]
+    assert stamps == sorted(stamps)
+    expected = sorted(t.trace_id for s in streams.values() for t in s)
+    assert sorted(t.trace_id for t in out) == expected

@@ -1,0 +1,270 @@
+"""Predicate (range) reads and phantom detection."""
+
+import pytest
+
+from repro import (
+    PG_READ_COMMITTED,
+    PG_REPEATABLE_READ,
+    PG_SERIALIZABLE,
+    Trace,
+    Verifier,
+    ViolationKind,
+    verify_traces,
+)
+from repro.core.trace import KeyRange
+from repro.dbsim import FaultPlan, ReadOp, SimulatedDBMS, WriteOp, run_single_program
+from repro.workloads import InsertScanWorkload, run_workload
+from tests.conftest import verify_run
+
+
+class TestKeyRange:
+    def test_matches(self):
+        predicate = KeyRange(("row",), 5, 10)
+        assert predicate.matches(("row", 5))
+        assert predicate.matches(("row", 9))
+        assert not predicate.matches(("row", 10))
+        assert not predicate.matches(("row", 4))
+        assert not predicate.matches(("other", 5))
+        assert not predicate.matches("row5")
+        assert not predicate.matches(("row", 5, 6))
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            KeyRange(("row",), 10, 5)
+
+    def test_nested_prefix(self):
+        predicate = KeyRange(("order", 1, 2), 0, 100)
+        assert predicate.matches(("order", 1, 2, 7))
+        assert not predicate.matches(("order", 1, 3, 7))
+
+
+class TestEngineScans:
+    def make_db(self, faults=None, spec=PG_SERIALIZABLE):
+        db = SimulatedDBMS(spec=spec, seed=1, faults=faults or FaultPlan())
+        db.load({("row", i): {"a": i} for i in range(5)})
+        return db
+
+    def test_scan_returns_visible_rows(self):
+        db = self.make_db()
+
+        def scan():
+            rows = yield ReadOp(predicate=KeyRange(("row",), 0, 100))
+            assert sorted(rows) == [("row", i) for i in range(5)]
+
+        run_single_program(db, scan())
+
+    def test_scan_sees_committed_insert(self):
+        db = self.make_db()
+
+        def insert():
+            yield WriteOp({("row", 77): {"a": 77}})
+
+        run_single_program(db, insert())
+
+        def scan():
+            rows = yield ReadOp(predicate=KeyRange(("row",), 0, 100))
+            assert ("row", 77) in rows
+
+        run_single_program(db, scan(), client_id=1)
+
+    def test_scan_sees_own_staged_insert(self):
+        db = self.make_db()
+
+        def program():
+            yield WriteOp({("row", 42): {"a": 42}})
+            rows = yield ReadOp(predicate=KeyRange(("row",), 0, 100))
+            assert ("row", 42) in rows
+
+        run_single_program(db, program())
+
+    def test_scan_window(self):
+        db = self.make_db()
+
+        def scan():
+            rows = yield ReadOp(predicate=KeyRange(("row",), 1, 3))
+            assert sorted(rows) == [("row", 1), ("row", 2)]
+
+        run_single_program(db, scan())
+
+    def test_snapshot_scan_repeatable_under_si(self):
+        from tests.test_engine import collect
+
+        db = self.make_db(spec=PG_REPEATABLE_READ)
+        sizes = []
+
+        def scanner():
+            first = yield ReadOp(predicate=KeyRange(("row",), 0, 1000))
+            second = yield ReadOp(predicate=KeyRange(("row",), 0, 1000))
+            third = yield ReadOp(predicate=KeyRange(("row",), 0, 1000))
+            sizes.extend([len(first), len(second), len(third)])
+
+        def inserter():
+            yield WriteOp({("row", 99): {"a": 99}})
+
+        collect(db, scanner(), inserter())
+        assert sizes[0] == sizes[1] == sizes[2]
+
+    def test_phantom_fault_drops_rows(self):
+        db = self.make_db(faults=FaultPlan(phantom_skip_prob=1.0))
+
+        def scan():
+            rows = yield ReadOp(predicate=KeyRange(("row",), 0, 100))
+            assert rows == {}
+
+        run_single_program(db, scan())
+
+
+class TestVerifierPhantoms:
+    INIT = {("row", 0): {"a": 0}, ("row", 1): {"a": 1}}
+
+    def test_complete_scan_clean(self):
+        traces = [
+            Trace.read(
+                0.0,
+                0.1,
+                "t1",
+                {("row", 0): {"a": 0}, ("row", 1): {"a": 1}},
+                predicate=KeyRange(("row",), 0, 10),
+            ),
+            Trace.commit(0.2, 0.3, "t1"),
+        ]
+        report = verify_traces(traces, spec=PG_SERIALIZABLE, initial_db=self.INIT)
+        assert report.ok
+
+    def test_missing_initial_row_flagged(self):
+        traces = [
+            Trace.read(
+                0.0,
+                0.1,
+                "t1",
+                {("row", 0): {"a": 0}},  # row 1 missing!
+                predicate=KeyRange(("row",), 0, 10),
+            ),
+            Trace.commit(0.2, 0.3, "t1"),
+        ]
+        report = verify_traces(traces, spec=PG_SERIALIZABLE, initial_db=self.INIT)
+        assert not report.ok
+        assert report.violations[0].kind is ViolationKind.PHANTOM
+
+    def test_missing_committed_insert_flagged(self):
+        traces = [
+            Trace.write(0.0, 0.1, "w", {("row", 5): {"a": 5}}, client_id=0),
+            Trace.commit(0.2, 0.3, "w", client_id=0),
+            Trace.read(
+                1.0,
+                1.1,
+                "t1",
+                {("row", 0): {"a": 0}, ("row", 1): {"a": 1}},  # misses row 5
+                client_id=1,
+                predicate=KeyRange(("row",), 0, 10),
+            ),
+            Trace.commit(1.2, 1.3, "t1", client_id=1),
+        ]
+        report = verify_traces(
+            sorted(traces, key=Trace.sort_key),
+            spec=PG_SERIALIZABLE,
+            initial_db=self.INIT,
+        )
+        assert not report.ok
+        kinds = {v.kind for v in report.violations}
+        assert ViolationKind.PHANTOM in kinds
+
+    def test_concurrent_insert_may_be_absent(self):
+        """An insert whose commit interval overlaps the snapshot interval
+        is only *possibly* visible: its absence is not a violation."""
+        traces = [
+            Trace.write(0.00, 0.10, "w", {("row", 5): {"a": 5}}, client_id=0),
+            Trace.commit(0.15, 0.60, "w", client_id=0),
+            Trace.read(
+                0.2,
+                0.5,
+                "t1",
+                {("row", 0): {"a": 0}, ("row", 1): {"a": 1}},
+                client_id=1,
+                predicate=KeyRange(("row",), 0, 10),
+            ),
+            Trace.commit(0.7, 0.8, "t1", client_id=1),
+        ]
+        report = verify_traces(
+            sorted(traces, key=Trace.sort_key),
+            spec=PG_SERIALIZABLE,
+            initial_db=self.INIT,
+        )
+        assert report.ok
+
+    def test_scan_with_no_cr_claim_not_flagged(self):
+        from repro.core.spec import profile, IsolationLevel
+
+        spec = profile("sqlite", IsolationLevel.SERIALIZABLE)
+        traces = [
+            Trace.read(
+                0.0,
+                0.1,
+                "t1",
+                {("row", 0): {"a": 0}},
+                predicate=KeyRange(("row",), 0, 10),
+            ),
+            Trace.commit(0.2, 0.3, "t1"),
+        ]
+        report = verify_traces(traces, spec=spec, initial_db=self.INIT)
+        phantoms = [
+            v for v in report.violations if v.kind is ViolationKind.PHANTOM
+        ]
+        assert not phantoms
+
+
+class TestInsertScanWorkload:
+    def test_clean_run_verifies(self):
+        run = run_workload(
+            InsertScanWorkload(initial_rows=10),
+            PG_SERIALIZABLE,
+            clients=8,
+            txns=300,
+            seed=7,
+        )
+        report = verify_run(run, PG_SERIALIZABLE)
+        assert report.ok, [str(v) for v in report.violations[:5]]
+
+    def test_clean_under_rc(self):
+        run = run_workload(
+            InsertScanWorkload(initial_rows=10),
+            PG_READ_COMMITTED,
+            clients=8,
+            txns=300,
+            seed=7,
+        )
+        assert verify_run(run, PG_READ_COMMITTED).ok
+
+    def test_phantom_fault_detected_end_to_end(self):
+        run = run_workload(
+            InsertScanWorkload(initial_rows=10),
+            PG_SERIALIZABLE,
+            clients=8,
+            txns=300,
+            seed=7,
+            faults=FaultPlan(phantom_skip_prob=0.05),
+        )
+        report = verify_run(run, PG_SERIALIZABLE)
+        assert not report.ok
+        assert ViolationKind.PHANTOM in {v.kind for v in report.violations}
+
+    def test_io_round_trip_preserves_predicates(self, tmp_path):
+        from repro.core.io import dump_client_streams, load_client_streams
+
+        run = run_workload(
+            InsertScanWorkload(initial_rows=5),
+            PG_SERIALIZABLE,
+            clients=4,
+            txns=60,
+            seed=7,
+        )
+        dump_client_streams(run.client_streams, tmp_path)
+        loaded = load_client_streams(tmp_path)
+        predicates = [
+            t.predicate
+            for stream in loaded.values()
+            for t in stream
+            if t.predicate is not None
+        ]
+        assert predicates
+        assert all(p.prefix == ("row",) for p in predicates)

@@ -1,0 +1,102 @@
+"""Workload runner: trace streams, determinism, targets."""
+
+import pytest
+
+from repro import PG_SERIALIZABLE
+from repro.core.trace import OpKind
+from repro.dbsim import SimulatedDBMS
+from repro.workloads import BlindW, WorkloadRunner, run_workload
+
+
+class TestRun:
+    def test_transaction_target(self):
+        run = run_workload(
+            BlindW.rw(keys=64), PG_SERIALIZABLE, clients=4, txns=100, seed=1
+        )
+        assert run.issued == 100
+        assert run.committed + run.aborted == 100
+
+    def test_duration_target(self):
+        run = run_workload(
+            BlindW.rw(keys=64),
+            PG_SERIALIZABLE,
+            clients=4,
+            txns=None,
+            duration=0.05,
+            seed=1,
+        )
+        assert run.issued > 0
+        assert run.sim_duration >= 0.05
+
+    def test_needs_some_target(self):
+        db = SimulatedDBMS(spec=PG_SERIALIZABLE)
+        runner = WorkloadRunner(db, BlindW.rw(keys=64), clients=2)
+        with pytest.raises(ValueError):
+            runner.run(txns=None, duration=None)
+
+    def test_client_streams_monotone(self):
+        run = run_workload(
+            BlindW.rw(keys=64), PG_SERIALIZABLE, clients=4, txns=100, seed=1
+        )
+        for stream in run.client_streams.values():
+            stamps = [t.ts_bef for t in stream]
+            assert stamps == sorted(stamps)
+
+    def test_every_txn_terminates(self):
+        run = run_workload(
+            BlindW.rw(keys=64), PG_SERIALIZABLE, clients=4, txns=100, seed=1
+        )
+        terminals = {}
+        for stream in run.client_streams.values():
+            for trace in stream:
+                if trace.is_terminal:
+                    assert trace.txn_id not in terminals
+                    terminals[trace.txn_id] = trace.kind
+        assert len(terminals) == run.issued
+
+    def test_deterministic_given_seed(self):
+        def once():
+            run = run_workload(
+                BlindW.rw(keys=64), PG_SERIALIZABLE, clients=4, txns=80, seed=9
+            )
+            return [
+                (t.txn_id, t.kind.value, round(t.ts_bef, 9))
+                for stream in run.client_streams.values()
+                for t in stream
+            ]
+
+        assert once() == once()
+
+    def test_throughput_positive(self):
+        run = run_workload(
+            BlindW.rw(keys=64), PG_SERIALIZABLE, clients=4, txns=100, seed=1
+        )
+        assert run.throughput > 0
+
+    def test_all_traces_sorted(self):
+        run = run_workload(
+            BlindW.rw(keys=64), PG_SERIALIZABLE, clients=4, txns=100, seed=1
+        )
+        merged = run.all_traces_sorted()
+        assert len(merged) == run.trace_count
+        stamps = [t.ts_bef for t in merged]
+        assert stamps == sorted(stamps)
+
+    def test_clock_skew_still_monotone_per_client(self):
+        run = run_workload(
+            BlindW.rw(keys=64),
+            PG_SERIALIZABLE,
+            clients=4,
+            txns=100,
+            seed=1,
+            clock_skew=1e-4,
+            clock_jitter=1e-5,
+        )
+        for stream in run.client_streams.values():
+            stamps = [t.ts_bef for t in stream]
+            assert stamps == sorted(stamps)
+
+    def test_validation(self):
+        db = SimulatedDBMS(spec=PG_SERIALIZABLE)
+        with pytest.raises(ValueError):
+            WorkloadRunner(db, BlindW.rw(keys=64), clients=0)

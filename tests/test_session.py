@@ -1,0 +1,153 @@
+"""Client sessions: trace recording and failure handling."""
+
+import pytest
+
+from repro.core.spec import PG_REPEATABLE_READ, PG_SERIALIZABLE
+from repro.core.trace import OpKind, OpStatus
+from repro.dbsim import (
+    AbortOp,
+    ClientSession,
+    FaultPlan,
+    ReadOp,
+    SimulatedDBMS,
+    WriteOp,
+    run_single_program,
+)
+
+
+def make_db(spec=PG_SERIALIZABLE, seed=0):
+    db = SimulatedDBMS(spec=spec, seed=seed)
+    db.load({"x": 0})
+    return db
+
+
+class TestTraceRecording:
+    def test_full_transaction_shape(self):
+        db = make_db()
+
+        def program():
+            yield ReadOp(["x"])
+            yield WriteOp({"x": 1})
+
+        traces = run_single_program(db, program())
+        assert [t.kind for t in traces] == [
+            OpKind.READ,
+            OpKind.WRITE,
+            OpKind.COMMIT,
+        ]
+        assert [t.op_index for t in traces] == [0, 1, 2]
+        assert all(t.txn_id == traces[0].txn_id for t in traces)
+
+    def test_observed_values_recorded(self):
+        db = make_db()
+
+        def program():
+            yield ReadOp(["x"])
+
+        traces = run_single_program(db, program())
+        assert traces[0].reads == {"x": {"v": 0}}
+
+    def test_written_values_recorded(self):
+        db = make_db()
+
+        def program():
+            yield WriteOp({"x": 42})
+
+        traces = run_single_program(db, program())
+        assert traces[0].writes == {"x": {"v": 42}}
+
+    def test_missing_key_recorded_as_absence_observation(self):
+        """Absent rows are observed explicitly as the tombstone marker so
+        the verifier can hold the engine to the absence claim."""
+        from repro.core.trace import tombstone
+
+        db = make_db()
+
+        def program():
+            yield ReadOp(["ghost"])
+
+        traces = run_single_program(db, program())
+        assert traces[0].reads == {"ghost": tombstone()}
+
+    def test_for_update_flag_propagates(self):
+        db = make_db()
+
+        def program():
+            yield ReadOp(["x"], for_update=True)
+
+        traces = run_single_program(db, program())
+        assert traces[0].for_update
+
+    def test_client_stream_monotone(self):
+        db = make_db()
+
+        def program():
+            yield ReadOp(["x"])
+            yield WriteOp({"x": 1})
+            yield ReadOp(["x"])
+
+        traces = run_single_program(db, program())
+        stamps = [t.ts_bef for t in traces]
+        assert stamps == sorted(stamps)
+
+    def test_voluntary_abort_trace(self):
+        db = make_db()
+
+        def program():
+            yield WriteOp({"x": 1})
+            yield AbortOp()
+
+        traces = run_single_program(db, program())
+        assert traces[-1].kind is OpKind.ABORT
+
+
+class TestFailureHandling:
+    def test_failed_write_then_rollback(self):
+        """A serialization failure marks the op FAILED and the session
+        rolls the transaction back with an abort trace."""
+        db = make_db(spec=PG_REPEATABLE_READ, seed=4)
+        from tests.test_engine import collect
+
+        def rmw():
+            values = yield ReadOp(["x"])
+            yield WriteOp({"x": values["x"]["v"] + 1})
+
+        sessions = collect(db, rmw(), rmw())
+        loser = next(s for s in sessions if s.aborted)
+        kinds = [t.kind for t in loser.traces]
+        assert kinds[-1] is OpKind.ABORT
+        failed = [t for t in loser.traces if t.status is OpStatus.FAILED]
+        assert failed and failed[0].writes == {}
+
+    def test_session_busy_guard(self):
+        db = make_db()
+        session = ClientSession(0, db)
+
+        def program():
+            yield ReadOp(["x"])
+
+        session.run_program(program(), lambda *_: None)
+        with pytest.raises(RuntimeError):
+            session.run_program(program(), lambda *_: None)
+
+    def test_unknown_op_rejected(self):
+        db = make_db()
+
+        def program():
+            yield "not an op"
+
+        session = ClientSession(0, db)
+        with pytest.raises(TypeError):
+            session.run_program(program(), lambda *_: None)
+            db.loop.run()
+
+    def test_commit_abort_counters(self):
+        db = make_db()
+        session = ClientSession(0, db)
+
+        def ok_program():
+            yield ReadOp(["x"])
+
+        session.run_program(ok_program(), lambda *_: None)
+        db.loop.run()
+        assert session.committed == 1 and session.aborted == 0

@@ -1,0 +1,103 @@
+"""Soak matrix: every (workload x spec x protocol) clean combination must
+verify clean; every (fault x spec) injection must be detected.
+
+Small per-combination transaction counts keep the matrix fast while still
+covering the cross-product the individual test files sample only
+pointwise.
+"""
+
+import pytest
+
+from repro import IsolationLevel, PG_REPEATABLE_READ, PG_SERIALIZABLE, profile
+from repro.dbsim import FaultPlan, SimulatedDBMS
+from repro.workloads import (
+    BlindW,
+    InsertScanWorkload,
+    ListAppendWorkload,
+    SmallBank,
+    WorkloadRunner,
+    YcsbA,
+)
+from tests.conftest import verify_run
+
+
+def run_combo(workload, spec, cc_protocol="occ", txns=150, seed=5, faults=None):
+    db = SimulatedDBMS(
+        spec=spec, seed=seed, faults=faults or FaultPlan(), cc_protocol=cc_protocol
+    )
+    runner = WorkloadRunner(db, workload, clients=8, seed=seed)
+    return runner.run(txns=txns)
+
+
+CLEAN_SPECS = [
+    profile("postgresql", IsolationLevel.SERIALIZABLE),
+    profile("postgresql", IsolationLevel.SNAPSHOT_ISOLATION),
+    profile("postgresql", IsolationLevel.READ_COMMITTED),
+    profile("innodb", IsolationLevel.REPEATABLE_READ),
+    profile("sqlite", IsolationLevel.SERIALIZABLE),
+    profile("cockroachdb", IsolationLevel.SERIALIZABLE),
+    profile("tidb", IsolationLevel.SNAPSHOT_ISOLATION),
+    profile("yugabytedb", IsolationLevel.SERIALIZABLE),
+]
+
+CLEAN_WORKLOADS = [
+    lambda seed: BlindW.rw(keys=96, seed=seed),
+    lambda seed: SmallBank(scale_factor=0.03, seed=seed),
+    lambda seed: YcsbA(records=150, theta=0.7, seed=seed),
+    lambda seed: ListAppendWorkload(keys=12, seed=seed),
+    lambda seed: InsertScanWorkload(initial_rows=8, seed=seed),
+]
+
+
+@pytest.mark.parametrize("spec", CLEAN_SPECS, ids=lambda s: s.name)
+@pytest.mark.parametrize(
+    "make_workload",
+    CLEAN_WORKLOADS,
+    ids=["blindw-rw", "smallbank", "ycsb-a", "list-append", "insert-scan"],
+)
+def test_soak_clean_matrix(spec, make_workload):
+    run = run_combo(make_workload(5), spec)
+    report = verify_run(run, spec)
+    assert report.ok, [str(v) for v in report.violations[:4]]
+
+
+@pytest.mark.parametrize("seed", [2, 9, 17])
+def test_soak_mvto_protocol(seed):
+    spec = profile("cockroachdb", IsolationLevel.SERIALIZABLE)
+    run = run_combo(SmallBank(scale_factor=0.03, seed=seed), spec,
+                    cc_protocol="mvto", seed=seed)
+    assert verify_run(run, spec).ok
+
+
+@pytest.mark.parametrize("seed", [3, 8, 21, 34])
+def test_soak_fault_matrix(seed):
+    """Each seed runs every probabilistic fault class once; all must be
+    caught (the deterministic anomaly workloads make detection reliable)."""
+    from repro.workloads import LostUpdateWorkload, WriteSkewWorkload
+
+    cases = [
+        (
+            LostUpdateWorkload(counters=3, seed=seed),
+            PG_REPEATABLE_READ,
+            FaultPlan(disable_fuw=True, seed=seed),
+        ),
+        (
+            WriteSkewWorkload(pairs=3, seed=seed),
+            PG_SERIALIZABLE,
+            FaultPlan(disable_ssi=True, seed=seed),
+        ),
+        (
+            BlindW.w(keys=12, seed=seed),
+            PG_SERIALIZABLE,
+            FaultPlan(
+                disable_write_locks=True,
+                disable_fuw=True,
+                disable_ssi=True,
+                seed=seed,
+            ),
+        ),
+    ]
+    for workload, spec, faults in cases:
+        run = run_combo(workload, spec, txns=350, seed=seed, faults=faults)
+        report = verify_run(run, spec)
+        assert not report.ok, f"{workload.name} fault undetected (seed={seed})"

@@ -1,0 +1,92 @@
+"""Isolation specs and the Fig. 1 registry."""
+
+import pytest
+
+from repro.core.spec import (
+    DBMS_PROFILES,
+    CertifierKind,
+    CRLevel,
+    IsolationLevel,
+    IsolationSpec,
+    PG_READ_COMMITTED,
+    PG_REPEATABLE_READ,
+    PG_SERIALIZABLE,
+    profile,
+    profiles_for,
+    supported_dbms,
+)
+
+
+class TestCanonicalSpecs:
+    def test_pg_serializable_uses_all_four(self):
+        assert PG_SERIALIZABLE.mechanisms() == ("ME", "CR", "FUW", "SC")
+        assert PG_SERIALIZABLE.certifier is CertifierKind.SSI
+
+    def test_pg_si(self):
+        assert PG_REPEATABLE_READ.mechanisms() == ("ME", "CR", "FUW")
+        assert PG_REPEATABLE_READ.cr is CRLevel.TRANSACTION
+
+    def test_pg_rc_statement_level(self):
+        assert PG_READ_COMMITTED.cr is CRLevel.STATEMENT
+        assert not PG_READ_COMMITTED.fuw
+
+
+class TestWithout:
+    def test_disable_each_mechanism(self):
+        spec = PG_SERIALIZABLE
+        assert not spec.without("ME").me
+        assert spec.without("CR").cr is CRLevel.NONE
+        assert not spec.without("FUW").fuw
+        assert spec.without("SC").certifier is CertifierKind.NONE
+
+    def test_without_unknown_raises(self):
+        with pytest.raises(ValueError):
+            PG_SERIALIZABLE.without("XYZ")
+
+    def test_original_untouched(self):
+        PG_SERIALIZABLE.without("SC")
+        assert PG_SERIALIZABLE.certifier is CertifierKind.SSI
+
+
+class TestRegistry:
+    def test_profile_lookup(self):
+        spec = profile("PostgreSQL", IsolationLevel.SERIALIZABLE)
+        assert spec is PG_SERIALIZABLE or spec.mechanisms() == (
+            "ME",
+            "CR",
+            "FUW",
+            "SC",
+        )
+
+    def test_unknown_combination(self):
+        with pytest.raises(KeyError):
+            profile("sqlite", IsolationLevel.READ_COMMITTED)
+
+    def test_profiles_for(self):
+        specs = profiles_for("postgresql")
+        assert len(specs) == 3
+
+    def test_supported_dbms(self):
+        names = supported_dbms()
+        for expected in ("postgresql", "innodb", "tidb", "cockroachdb", "sqlite"):
+            assert expected in names
+
+    def test_fig1_rows_present(self):
+        # Spot-check distinctive rows of Fig. 1.
+        assert profile("sqlite", IsolationLevel.SERIALIZABLE).mechanisms() == ("ME",)
+        assert profile("cockroachdb", IsolationLevel.SERIALIZABLE).mechanisms() == (
+            "CR",
+            "SC",
+        )
+        assert profile(
+            "tidb", IsolationLevel.SNAPSHOT_ISOLATION
+        ).certifier is CertifierKind.FIRST_COMMITTER
+        # InnoDB repeatable read allows lost updates (no FUW) -- the paper's
+        # introductory example of per-DBMS differences.
+        assert not profile("innodb", IsolationLevel.REPEATABLE_READ).fuw
+
+    def test_all_specs_well_formed(self):
+        for (dbms, level), spec in DBMS_PROFILES.items():
+            assert spec.name == f"{dbms}/{level.value}"
+            assert spec.level is level
+            assert spec.mechanisms(), f"{spec.name} claims no mechanisms"

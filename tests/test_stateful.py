@@ -1,0 +1,174 @@
+"""Hypothesis stateful tests: structural invariants under random op
+sequences.
+
+* :class:`EngineLockManager` -- at no point may two transactions hold
+  incompatible locks on the same key, blocked transactions stay blocked
+  until a release, and every grant callback fires at most once.
+* :class:`VersionChain` -- chain order stays sorted by effective install,
+  cumulative images always equal the replay of deltas in chain order, and
+  pruning never changes what a later snapshot would read.
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.intervals import Interval
+from repro.core.versions import VersionChain
+from repro.dbsim.locks import DeadlockError, EngineLockManager, EngineLockMode
+
+KEYS = ["k0", "k1", "k2"]
+TXNS = ["a", "b", "c", "d"]
+
+
+class LockManagerMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.locks = EngineLockManager()
+        #: (txn, key) -> granted mode, tracked through callbacks.
+        self.held = {}
+        self.blocked = set()
+
+    def _on_grant(self, txn, key, mode):
+        def grant():
+            self.blocked.discard((txn, key))
+            current = self.held.get((txn, key))
+            if current is not EngineLockMode.EXCLUSIVE:
+                self.held[(txn, key)] = mode
+
+        return grant
+
+    @rule(
+        txn=st.sampled_from(TXNS),
+        key=st.sampled_from(KEYS),
+        exclusive=st.booleans(),
+    )
+    def acquire(self, txn, key, exclusive):
+        if (txn, key) in self.blocked:
+            return  # a real client waits; it cannot issue another request
+        if any(t == txn and (t, k) in self.blocked for t in TXNS for k in KEYS):
+            return  # the txn is blocked on something else
+        mode = EngineLockMode.EXCLUSIVE if exclusive else EngineLockMode.SHARED
+        try:
+            granted = self.locks.acquire(txn, key, mode, self._on_grant(txn, key, mode))
+        except DeadlockError:
+            return
+        if granted:
+            current = self.held.get((txn, key))
+            if mode is EngineLockMode.EXCLUSIVE or current is None:
+                if current is not EngineLockMode.EXCLUSIVE:
+                    self.held[(txn, key)] = mode
+        else:
+            self.blocked.add((txn, key))
+
+    @rule(txn=st.sampled_from(TXNS))
+    def release(self, txn):
+        for key in KEYS:
+            self.held.pop((txn, key), None)
+            self.blocked.discard((txn, key))
+        for grant in self.locks.release_all(txn):
+            grant()
+
+    @invariant()
+    def no_incompatible_holders(self):
+        for key in KEYS:
+            holders = [
+                (txn, mode)
+                for (txn, k), mode in self.held.items()
+                if k == key
+            ]
+            exclusive = [t for t, m in holders if m is EngineLockMode.EXCLUSIVE]
+            if exclusive:
+                assert len(holders) == 1, (
+                    f"{key}: exclusive holder {exclusive} coexists with "
+                    f"{holders}"
+                )
+
+    @invariant()
+    def model_matches_manager(self):
+        for (txn, key), mode in self.held.items():
+            actual = self.locks.holds(txn, key)
+            assert actual is not None, f"{txn} lost its lock on {key}"
+
+
+class VersionChainMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.chain = VersionChain("x", initial_image={"v": 0})
+        self.clock = 0.0
+        self.counter = 0
+        self.active = {}
+
+    def _tick(self, width=0.5):
+        start = self.clock
+        self.clock += width
+        return Interval(start, self.clock)
+
+    @rule()
+    def stage_and_commit(self):
+        txn = f"t{self.counter}"
+        self.counter += 1
+        install = self._tick()
+        self.chain.stage_write(txn, {"v": self.counter}, install)
+        commit = self._tick()
+        self.chain.commit_txn(txn, commit)
+
+    @rule()
+    def stage_and_abort(self):
+        txn = f"t{self.counter}"
+        self.counter += 1
+        self.chain.stage_write(txn, {"v": -self.counter}, self._tick())
+        self.chain.abort_txn(txn)
+
+    @rule(horizon_back=st.floats(0.0, 5.0))
+    def prune(self, horizon_back):
+        horizon_ts = max(0.0, self.clock - horizon_back)
+        before = self.chain.candidate_set(Interval(self.clock, self.clock + 1))
+        before_values = {v.columns["v"] for v in before}
+        self.chain.prune_garbage(
+            Interval(horizon_ts, horizon_ts), lambda txn: True
+        )
+        after = self.chain.candidate_set(Interval(self.clock, self.clock + 1))
+        after_values = {v.columns["v"] for v in after}
+        # Pruning must not change what a now-or-later snapshot can read.
+        assert after_values == before_values
+
+    @invariant()
+    def chain_sorted_by_effective_install(self):
+        stamps = [
+            v.effective_install.ts_aft for v in self.chain.committed_versions()
+        ]
+        assert stamps == sorted(stamps)
+
+    @invariant()
+    def images_are_replay_of_deltas(self):
+        image = {}
+        for version in self.chain.committed_versions():
+            image.update(version.columns)
+            for col, val in version.columns.items():
+                assert version.image[col] == val
+
+    @invariant()
+    def aborted_never_committed(self):
+        committed_txns = {v.txn_id for v in self.chain.committed_versions()}
+        assert not any(
+            v.txn_id in committed_txns for v in self.chain.aborted_versions()
+        )
+
+
+TestLockManagerStateful = LockManagerMachine.TestCase
+TestLockManagerStateful.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)
+TestVersionChainStateful = VersionChainMachine.TestCase
+TestVersionChainStateful.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,67 @@
+"""Workload-level semantic validators (TPC-C conditions, SmallBank)."""
+
+import pytest
+
+from repro import PG_READ_COMMITTED, PG_SERIALIZABLE
+from repro.dbsim import SimulatedDBMS
+from repro.workloads import (
+    SmallBank,
+    TpcC,
+    WorkloadRunner,
+    validate_smallbank,
+    validate_tpcc,
+)
+
+
+def run_engine(workload, spec, txns=400, clients=8, seed=7):
+    db = SimulatedDBMS(spec=spec, seed=seed)
+    WorkloadRunner(db, workload, clients=clients, seed=seed).run(txns=txns)
+    return db
+
+
+class TestTpcCConditions:
+    def test_serializable_run_consistent(self):
+        workload = TpcC(scale_factor=1, seed=7)
+        db = run_engine(workload, PG_SERIALIZABLE)
+        report = validate_tpcc(db, workload)
+        assert report.ok, report.failures[:5]
+        assert report.checks > 50
+
+    def test_read_committed_breaks_conditions(self):
+        """Under RC, concurrent Payments lose W_YTD updates and concurrent
+        NewOrders collide on order ids: TPC-C's own consistency conditions
+        catch what the isolation level permits."""
+        workload = TpcC(scale_factor=1, seed=7)
+        db = run_engine(workload, PG_READ_COMMITTED)
+        report = validate_tpcc(db, workload)
+        assert not report.ok
+
+    def test_deliveries_bounded(self):
+        workload = TpcC(scale_factor=1, seed=9)
+        db = run_engine(workload, PG_SERIALIZABLE, txns=300)
+        report = validate_tpcc(db, workload)
+        assert not any("delivered past" in f for f in report.failures)
+
+
+class TestSmallBank:
+    def test_serializable_run_consistent(self):
+        workload = SmallBank(scale_factor=0.05, seed=7)
+        db = run_engine(workload, PG_SERIALIZABLE)
+        report = validate_smallbank(db, workload)
+        assert report.ok
+        assert report.checks > 0
+
+
+class TestAgreementWithVerifier:
+    def test_clean_verification_implies_clean_semantics(self):
+        """Cross-check: whenever the black-box verifier passes a
+        serializable TPC-C run, the application-level invariants hold too."""
+        from tests.conftest import verify_run
+        from repro.workloads import WorkloadRunner
+
+        workload = TpcC(scale_factor=1, seed=11)
+        db = SimulatedDBMS(spec=PG_SERIALIZABLE, seed=11)
+        run = WorkloadRunner(db, workload, clients=8, seed=11).run(txns=300)
+        verifier_report = verify_run(run, PG_SERIALIZABLE)
+        semantic_report = validate_tpcc(db, workload)
+        assert verifier_report.ok and semantic_report.ok

@@ -1,0 +1,163 @@
+"""Verifier orchestration: end-to-end behaviour on crafted and generated
+histories, dependency derivation (Fig. 9), and API contracts."""
+
+import pytest
+
+from repro import (
+    DepType,
+    PG_READ_COMMITTED,
+    PG_REPEATABLE_READ,
+    PG_SERIALIZABLE,
+    Trace,
+    Verifier,
+    verify_traces,
+)
+from tests.conftest import verify_run
+
+INIT = {"x": {"v": 0}, "y": {"v": 0}}
+
+
+class TestApiContracts:
+    def test_process_after_finish_rejected(self):
+        verifier = Verifier(spec=PG_SERIALIZABLE)
+        verifier.finish()
+        with pytest.raises(RuntimeError):
+            verifier.process(Trace.commit(0, 1, "t"))
+
+    def test_trace_after_terminal_rejected(self):
+        verifier = Verifier(spec=PG_SERIALIZABLE)
+        verifier.process(Trace.commit(0.0, 0.1, "t1"))
+        with pytest.raises(ValueError):
+            verifier.process(Trace.read(0.2, 0.3, "t1", {}))
+
+    def test_process_all_chains(self):
+        traces = [
+            Trace.write(0.0, 0.1, "t1", {"x": 1}),
+            Trace.commit(0.2, 0.3, "t1"),
+        ]
+        verifier = Verifier(spec=PG_SERIALIZABLE, initial_db=INIT)
+        assert verifier.process_all(traces) is verifier
+
+    def test_empty_stream(self):
+        report = verify_traces([], spec=PG_SERIALIZABLE)
+        assert report.ok
+        assert report.stats.traces_processed == 0
+
+    def test_empty_transaction(self):
+        report = verify_traces(
+            [Trace.commit(0.0, 0.1, "t1")], spec=PG_SERIALIZABLE
+        )
+        assert report.ok
+
+    def test_failed_ops_carry_no_data(self):
+        from repro.core.trace import OpStatus
+
+        traces = [
+            Trace.write(0.0, 0.1, "t1", {}, status=OpStatus.FAILED),
+            Trace.abort(0.2, 0.3, "t1"),
+        ]
+        report = verify_traces(traces, spec=PG_SERIALIZABLE, initial_db=INIT)
+        assert report.ok
+        assert report.stats.txns_aborted == 1
+
+    def test_stats_counted(self):
+        traces = [
+            Trace.write(0.0, 0.1, "t1", {"x": 1}),
+            Trace.commit(0.2, 0.3, "t1"),
+            Trace.read(0.5, 0.6, "t2", {"x": 1}, client_id=1),
+            Trace.commit(0.7, 0.8, "t2", client_id=1),
+        ]
+        report = verify_traces(traces, spec=PG_SERIALIZABLE, initial_db=INIT)
+        assert report.stats.traces_processed == 4
+        assert report.stats.txns_committed == 2
+        assert report.stats.reads_checked == 1
+        assert report.stats.deps_wr == 1
+
+
+class TestRwDerivation:
+    """Fig. 9: rw edges derived from wr + confirmed version adjacency."""
+
+    def history(self):
+        return [
+            # t_r reads the initial version of x.
+            Trace.read(0.0, 0.1, "t_r", {"x": 0}, client_id=0),
+            Trace.commit(0.2, 0.3, "t_r", client_id=0),
+            # t_w later installs the successor version.
+            Trace.write(0.5, 0.6, "t_w", {"x": 1}, client_id=1),
+            Trace.commit(0.7, 0.8, "t_w", client_id=1),
+        ]
+
+    def test_rw_from_initial_read(self):
+        verifier = Verifier(spec=PG_SERIALIZABLE, initial_db=INIT, gc_every=0)
+        verifier.process_all(self.history())
+        verifier.finish()
+        assert DepType.RW in verifier.state.graph.edge_types("t_r", "t_w")
+
+    def test_rw_when_reader_commits_after_writer(self):
+        traces = [
+            Trace.write(0.0, 0.1, "t_a", {"x": 1}, client_id=0),
+            Trace.commit(0.2, 0.3, "t_a", client_id=0),
+            # Reader takes its snapshot before t_b commits, reads t_a's
+            # version, and commits last.
+            Trace.read(0.4, 0.5, "t_r", {"x": 1}, client_id=1),
+            Trace.write(0.6, 0.7, "t_b", {"x": 2}, client_id=2),
+            Trace.commit(0.8, 0.9, "t_b", client_id=2),
+            Trace.commit(1.0, 1.1, "t_r", client_id=1),
+        ]
+        verifier = Verifier(spec=PG_REPEATABLE_READ, initial_db=INIT, gc_every=0)
+        verifier.process_all(sorted(traces, key=Trace.sort_key))
+        report = verifier.finish()
+        assert report.ok
+        graph = verifier.state.graph
+        assert DepType.WR in graph.edge_types("t_a", "t_r")
+        assert DepType.RW in graph.edge_types("t_r", "t_b")
+        assert DepType.WW in graph.edge_types("t_a", "t_b")
+
+
+class TestAblationModes:
+    def test_no_exchange_still_sound(self, blindw_rw_run):
+        report = verify_run(
+            blindw_rw_run, PG_SERIALIZABLE, exchange_dependencies=False
+        )
+        assert report.ok
+
+    def test_naive_candidates_still_sound(self, blindw_rw_run):
+        report = verify_run(
+            blindw_rw_run, PG_SERIALIZABLE, minimize_candidates=False
+        )
+        assert report.ok
+
+    def test_naive_candidates_weaker(self):
+        """The naive all-versions candidate set cannot flag stale reads --
+        the minimisation is what gives CR its teeth."""
+        traces = [
+            Trace.write(0.0, 0.1, "t1", {"x": 1}),
+            Trace.commit(0.2, 0.3, "t1"),
+            Trace.read(1.0, 1.1, "t2", {"x": 0}, client_id=1),  # stale!
+            Trace.commit(1.2, 1.3, "t2", client_id=1),
+        ]
+        strict = verify_traces(
+            sorted(traces, key=Trace.sort_key),
+            spec=PG_SERIALIZABLE,
+            initial_db=INIT,
+        )
+        naive = verify_traces(
+            sorted(traces, key=Trace.sort_key),
+            spec=PG_SERIALIZABLE,
+            initial_db=INIT,
+            minimize_candidates=False,
+        )
+        assert not strict.ok
+        assert naive.ok  # the naive set contains the stale version
+
+
+class TestCleanWorkloads:
+    def test_blindw_clean(self, blindw_rw_run):
+        assert verify_run(blindw_rw_run, PG_SERIALIZABLE).ok
+
+    def test_smallbank_clean(self, smallbank_run):
+        assert verify_run(smallbank_run, PG_SERIALIZABLE).ok
+
+    def test_beta_small_on_clean_runs(self, blindw_rw_run):
+        report = verify_run(blindw_rw_run, PG_SERIALIZABLE)
+        assert 0.0 <= report.stats.beta < 0.3

@@ -1,0 +1,262 @@
+"""Version chains and the Fig. 6 candidate version set (Theorem 2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.intervals import Interval
+from repro.core.trace import INIT_TXN
+from repro.core.versions import Version, VersionChain
+
+
+def chain_with(*specs, initial=None):
+    """Build a committed chain from (txn, install, commit, value) tuples."""
+    chain = VersionChain("x", initial_image=initial)
+    for txn, install, commit, value in specs:
+        chain.stage_write(txn, {"v": value}, Interval(*install))
+        chain.commit_txn(txn, Interval(*commit))
+    return chain
+
+
+class TestStaging:
+    def test_stage_and_commit(self):
+        chain = VersionChain("x")
+        chain.stage_write("t1", {"v": 1}, Interval(0, 1))
+        assert chain.pending_count() == 1
+        installed = chain.commit_txn("t1", Interval(2, 3))
+        assert len(installed) == 1
+        assert installed[0].committed
+        assert installed[0].commit == Interval(2, 3)
+        assert chain.pending_count() == 0
+
+    def test_abort_discards(self):
+        chain = VersionChain("x")
+        chain.stage_write("t1", {"v": 1}, Interval(0, 1))
+        dropped = chain.abort_txn("t1")
+        assert len(dropped) == 1
+        assert len(chain) == 0
+        assert chain.aborted_versions()
+
+    def test_initial_version(self):
+        chain = VersionChain("x", initial_image={"v": 0})
+        assert len(chain) == 1
+        assert chain.committed_versions()[0].is_initial
+
+    def test_commit_unknown_txn_is_noop(self):
+        chain = VersionChain("x")
+        assert chain.commit_txn("ghost", Interval(0, 1)) == []
+
+
+class TestOrderingAndImages:
+    def test_sorted_by_commit(self):
+        chain = chain_with(
+            ("t2", (4, 5), (6, 7), 2),
+            ("t1", (0, 1), (2, 3), 1),
+        )
+        values = [v.columns["v"] for v in chain.committed_versions()]
+        assert values == [1, 2]
+
+    def test_cumulative_images_full_column(self):
+        chain = chain_with(
+            ("t1", (0, 1), (2, 3), 1),
+            ("t2", (4, 5), (6, 7), 2),
+        )
+        images = [v.image["v"] for v in chain.committed_versions()]
+        assert images == [1, 2]
+
+    def test_partial_column_images_merge(self):
+        chain = VersionChain("x", initial_image={"a": 0, "b": 0})
+        chain.stage_write("t1", {"a": 1}, Interval(0, 1))
+        chain.commit_txn("t1", Interval(2, 3))
+        chain.stage_write("t2", {"b": 2}, Interval(4, 5))
+        chain.commit_txn("t2", Interval(6, 7))
+        last = chain.committed_versions()[-1]
+        assert last.image == {"a": 1, "b": 2}
+        assert last.columns == {"b": 2}
+
+    def test_mid_insert_recomputes_suffix_images(self):
+        chain = VersionChain("x", initial_image={"a": 0, "b": 0})
+        chain.stage_write("late", {"a": 9}, Interval(10, 11))
+        chain.stage_write("early", {"b": 5}, Interval(0, 1))
+        chain.commit_txn("late", Interval(12, 13))
+        chain.commit_txn("early", Interval(2, 3))
+        images = [v.image for v in chain.committed_versions()]
+        assert images[-1] == {"a": 9, "b": 5}
+        assert images[-2] == {"a": 0, "b": 5}
+
+    def test_successor_predecessor(self):
+        chain = chain_with(
+            ("t1", (0, 1), (2, 3), 1),
+            ("t2", (4, 5), (6, 7), 2),
+        )
+        first, second = chain.committed_versions()
+        assert chain.successor_of(first) is second
+        assert chain.successor_of(second) is None
+        assert chain.predecessor_of(second) is first
+        assert chain.predecessor_of(first) is None
+
+
+class TestClassification:
+    """The five Fig. 6 categories, computed on effective install (commit)
+    intervals."""
+
+    def setup_method(self):
+        self.chain = chain_with(
+            ("garbage", (0, 1), (1, 2), 10),
+            ("pivot_overlap", (3, 4), (4.5, 6), 20),
+            ("pivot", (4, 5), (5, 7), 30),
+            ("overlap", (9, 10), (10, 12), 40),
+            ("future", (20, 21), (21, 22), 50),
+        )
+        self.snapshot = Interval(11, 13)
+
+    def test_pivot_identified(self):
+        result = self.chain.classify(self.snapshot)
+        assert result.pivot is not None and result.pivot.txn_id == "pivot"
+
+    def test_future_excluded(self):
+        result = self.chain.classify(self.snapshot)
+        assert [v.txn_id for v in result.future] == ["future"]
+        assert all(v.txn_id != "future" for v in result.candidates)
+
+    def test_garbage_excluded(self):
+        result = self.chain.classify(self.snapshot)
+        assert [v.txn_id for v in result.garbage] == ["garbage"]
+
+    def test_candidates_minimal(self):
+        result = self.chain.classify(self.snapshot)
+        assert {v.txn_id for v in result.candidates} == {
+            "pivot",
+            "pivot_overlap",
+            "overlap",
+        }
+
+    def test_snapshot_before_everything(self):
+        result = self.chain.classify(Interval(-5, -4))
+        assert result.pivot is None
+        assert not result.candidates
+        assert len(result.future) == 5
+
+    def test_snapshot_after_everything(self):
+        result = self.chain.classify(Interval(100, 101))
+        assert result.pivot is not None
+        # Only the last version (and its commit-overlaps) survive.
+        assert result.pivot.txn_id == "future"
+
+    def test_order_oracle_collapses_pivot_overlap(self):
+        def oracle(a, b):
+            order = {"pivot_overlap": 0, "pivot": 1}
+            if a.txn_id in order and b.txn_id in order:
+                return order[a.txn_id] < order[b.txn_id]
+            return None
+
+        result = self.chain.classify(self.snapshot, order_oracle=oracle)
+        names = {v.txn_id for v in result.candidates}
+        assert "pivot_overlap" not in names
+        assert "pivot" in names
+
+    def test_empty_chain(self):
+        chain = VersionChain("x")
+        result = chain.classify(Interval(0, 1))
+        assert result.candidates == ()
+        assert result.pivot is None
+
+
+class TestMatching:
+    def test_find_matching_committed(self):
+        chain = chain_with(("t1", (0, 1), (2, 3), 7))
+        assert chain.find_matching_committed({"v": 7})
+        assert not chain.find_matching_committed({"v": 8})
+
+    def test_find_matching_pending_covers_aborted(self):
+        chain = VersionChain("x")
+        chain.stage_write("t1", {"v": 9}, Interval(0, 1))
+        assert chain.find_matching_pending({"v": 9})
+        chain.abort_txn("t1")
+        assert chain.find_matching_pending({"v": 9})
+
+
+class TestPruning:
+    def make_long_chain(self, n=10):
+        specs = [
+            (f"t{i}", (i * 10, i * 10 + 1), (i * 10 + 2, i * 10 + 3), i)
+            for i in range(n)
+        ]
+        return chain_with(*specs)
+
+    def test_prunes_garbage_before_horizon(self):
+        chain = self.make_long_chain()
+        pruned = chain.prune_garbage(Interval(95, 95), lambda txn: True)
+        assert pruned > 0
+        # The pivot relative to the horizon must survive.
+        assert chain.committed_versions()
+
+    def test_respects_txn_pin(self):
+        chain = self.make_long_chain()
+        pruned = chain.prune_garbage(Interval(95, 95), lambda txn: False)
+        assert pruned == 0
+
+    def test_images_stay_correct_after_prune(self):
+        chain = VersionChain("x", initial_image={"a": 0, "b": 0})
+        chain.stage_write("t1", {"a": 1}, Interval(0, 1))
+        chain.commit_txn("t1", Interval(2, 3))
+        chain.stage_write("t2", {"b": 2}, Interval(10, 11))
+        chain.commit_txn("t2", Interval(12, 13))
+        chain.prune_garbage(Interval(100, 100), lambda txn: True)
+        survivors = chain.committed_versions()
+        assert survivors[-1].image == {"a": 1, "b": 2}
+
+    def test_never_empties_chain(self):
+        chain = self.make_long_chain(3)
+        chain.prune_garbage(Interval(1000, 1000), lambda txn: True)
+        assert len(chain) >= 1
+
+    def test_short_chain_skipped(self):
+        chain = chain_with(("t1", (0, 1), (2, 3), 1))
+        assert chain.prune_garbage(Interval(100, 100), lambda txn: True) == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(0, 100, allow_nan=False),  # install start
+            st.floats(0.01, 5, allow_nan=False),  # install width
+            st.floats(0.01, 5, allow_nan=False),  # gap to commit
+            st.floats(0.01, 5, allow_nan=False),  # commit width
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+    st.floats(0, 120, allow_nan=False),
+    st.floats(0.01, 5, allow_nan=False),
+)
+def test_candidate_set_property(specs, snap_start, snap_width):
+    """Theorem 2 invariants: candidates, future and garbage partition the
+    chain; nothing possibly-visible is excluded."""
+    chain = VersionChain("x")
+    for i, (start, width, gap, cwidth) in enumerate(specs):
+        install = Interval(start, start + width)
+        commit = Interval(install.ts_aft + gap, install.ts_aft + gap + cwidth)
+        chain.stage_write(f"t{i}", {"v": i}, install)
+        chain.commit_txn(f"t{i}", commit)
+    snapshot = Interval(snap_start, snap_start + snap_width)
+    result = chain.classify(snapshot)
+    partition = (
+        set(result.candidates) | set(result.future) | set(result.garbage)
+    )
+    assert partition == set(chain.committed_versions())
+    # Future versions are *definitely* invisible.
+    for version in result.future:
+        assert snapshot.precedes(version.effective_install)
+    # Every overlap version is a candidate.
+    for version in chain.committed_versions():
+        if version.effective_install.overlaps(snapshot):
+            assert version in result.candidates
+    # The pivot is a candidate and is the latest definitely-before version.
+    if result.pivot is not None:
+        assert result.pivot in result.candidates
+        for version in result.garbage:
+            assert (
+                version.effective_install.ts_aft
+                <= result.pivot.effective_install.ts_aft
+            )
