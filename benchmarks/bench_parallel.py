@@ -1,0 +1,138 @@
+"""Parallel verification: shard-count speedup on BlindW-RW.
+
+The per-record mechanisms (CR/ME/FUW) shard by key; only the merged global
+certification pass is serial.  This benchmark measures wall-clock for the
+whole verification (dispatch + shard workers + merge) at shards 1, 2 and 4
+against the serial verifier on the same history, asserting correctness
+invariants (every configuration returns the serial verdict) rather than a
+specific speedup -- CI machines differ.
+
+Standalone usage (the acceptance run uses a >= 20k-transaction history)::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py --txns 20000
+
+Under pytest-benchmark the history is smaller (session fixture scale).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+# Standalone invocation (python benchmarks/bench_parallel.py) needs the
+# benchmarks dir (for conftest) and src on the path; under pytest both are
+# already importable and these inserts are no-ops.
+_HERE = os.path.dirname(os.path.abspath(__file__))
+for _path in (_HERE, os.path.join(os.path.dirname(_HERE), "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+import pytest
+
+from repro import PG_SERIALIZABLE, Verifier, pipeline_from_client_streams
+from repro.core.parallel import ParallelVerifier
+from repro.workloads import BlindW, run_workload
+
+from conftest import scaled, verify_full
+
+
+def verify_parallel(run, shards, backend="process"):
+    verifier = ParallelVerifier(
+        spec=PG_SERIALIZABLE,
+        initial_db=run.initial_db,
+        shards=shards,
+        backend=backend,
+    )
+    for trace in pipeline_from_client_streams(run.client_streams):
+        verifier.process(trace)
+    return verifier.finish()
+
+
+@pytest.fixture(scope="module")
+def parallel_run():
+    return run_workload(
+        BlindW.rw(keys=1024),
+        PG_SERIALIZABLE,
+        clients=8,
+        txns=scaled(2000),
+        seed=11,
+    )
+
+
+@pytest.mark.benchmark(group="parallel-shards")
+def test_parallel_serial_baseline(benchmark, parallel_run):
+    report = benchmark(lambda: verify_full(parallel_run, PG_SERIALIZABLE))
+    assert report.ok
+
+
+@pytest.mark.benchmark(group="parallel-shards")
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_parallel_shards(benchmark, parallel_run, shards):
+    report = benchmark(lambda: verify_parallel(parallel_run, shards))
+    assert report.ok
+    assert (
+        report.stats.txns_committed
+        == parallel_run.committed
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="wall-clock of sharded verification on BlindW-RW"
+    )
+    parser.add_argument("--txns", type=int, default=20000)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--keys", type=int, default=4096)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--shards", type=int, nargs="*", default=[1, 2, 4]
+    )
+    parser.add_argument(
+        "--backend", choices=["process", "inline"], default="process"
+    )
+    args = parser.parse_args(argv)
+
+    print(
+        f"generating BlindW-RW history: {args.txns} txns, "
+        f"{args.clients} clients, {args.keys} keys ..."
+    )
+    run = run_workload(
+        BlindW.rw(keys=args.keys),
+        PG_SERIALIZABLE,
+        clients=args.clients,
+        txns=args.txns,
+        seed=args.seed,
+    )
+    print(f"  {run.trace_count} traces, {run.committed} committed txns")
+
+    start = time.perf_counter()
+    serial = Verifier(spec=PG_SERIALIZABLE, initial_db=run.initial_db)
+    for trace in pipeline_from_client_streams(run.client_streams):
+        serial.process(trace)
+    serial_report = serial.finish()
+    serial_seconds = time.perf_counter() - start
+    print(
+        f"serial         : {serial_seconds:8.3f} s   "
+        f"(ok={serial_report.ok}, {len(serial_report.violations)} violations)"
+    )
+
+    for shards in args.shards:
+        start = time.perf_counter()
+        report = verify_parallel(run, shards, backend=args.backend)
+        elapsed = time.perf_counter() - start
+        speedup = serial_seconds / elapsed if elapsed else float("inf")
+        print(
+            f"shards={shards:<2d} ({args.backend:7s}): {elapsed:8.3f} s   "
+            f"(ok={report.ok}, {len(report.violations)} violations, "
+            f"{speedup:4.2f}x vs serial)"
+        )
+        if report.ok != serial_report.ok:
+            print("  !! verdict mismatch against the serial verifier")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

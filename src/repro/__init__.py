@@ -44,9 +44,11 @@ from .core import (
     KeyRange,
     Mechanism,
     NaiveGlobalSorter,
+    MechanismVerifier,
     OnlineVerifier,
     OpKind,
     OpStatus,
+    ParallelVerifier,
     PG_READ_COMMITTED,
     PG_REPEATABLE_READ,
     PG_SERIALIZABLE,
@@ -55,6 +57,7 @@ from .core import (
     SNAPSHOT_ISOLATION,
     Trace,
     TwoLevelPipeline,
+    ShardRouter,
     VerificationReport,
     VerificationStats,
     Verifier,
@@ -63,9 +66,11 @@ from .core import (
     pipeline_from_client_streams,
     profile,
     profiles_for,
+    register_mechanism,
     sorted_traces,
     supported_dbms,
     verify_traces,
+    verify_traces_parallel,
 )
 
 __version__ = "1.0.0"
@@ -87,8 +92,11 @@ __all__ = [
     "IsolationSpec",
     "KeyRange",
     "Mechanism",
+    "MechanismVerifier",
     "NaiveGlobalSorter",
     "OnlineVerifier",
+    "ParallelVerifier",
+    "ShardRouter",
     "OpKind",
     "OpStatus",
     "PG_READ_COMMITTED",
@@ -109,6 +117,8 @@ __all__ = [
     "profiles_for",
     "sorted_traces",
     "supported_dbms",
+    "register_mechanism",
     "verify_traces",
+    "verify_traces_parallel",
     "__version__",
 ]

@@ -80,7 +80,7 @@ def _resolve_spec(dbms: str, level: str) -> IsolationSpec:
     try:
         iso_level = IsolationLevel(level.upper())
     except ValueError:
-        options = ", ".join(l.value for l in IsolationLevel)
+        options = ", ".join(lvl.value for lvl in IsolationLevel)
         raise SystemExit(f"unknown isolation level {level!r}; known: {options}")
     try:
         return profile(dbms, iso_level)
@@ -135,13 +135,26 @@ def cmd_verify(args) -> int:
     streams = load_client_streams(capture)
     initial_path = capture / "initial_db.json"
     initial_db = load_initial_db(initial_path) if initial_path.exists() else None
-    verifier = Verifier(
-        spec=spec,
-        initial_db=initial_db,
-        gc_every=args.gc_every,
-        exchange_dependencies=not args.no_exchange,
-        minimize_candidates=not args.naive_candidates,
-    )
+    if args.parallel > 0:
+        from .core.parallel import ParallelVerifier
+
+        verifier = ParallelVerifier(
+            spec=spec,
+            initial_db=initial_db,
+            shards=args.parallel,
+            backend=args.parallel_backend,
+            gc_every=args.gc_every,
+            exchange_dependencies=not args.no_exchange,
+            minimize_candidates=not args.naive_candidates,
+        )
+    else:
+        verifier = Verifier(
+            spec=spec,
+            initial_db=initial_db,
+            gc_every=args.gc_every,
+            exchange_dependencies=not args.no_exchange,
+            minimize_candidates=not args.naive_candidates,
+        )
     for trace in pipeline_from_client_streams(streams):
         verifier.process(trace)
     report = verifier.finish()
@@ -206,6 +219,19 @@ def build_parser() -> argparse.ArgumentParser:
     verify_p.add_argument("--gc-every", type=int, default=512)
     verify_p.add_argument("--no-exchange", action="store_true")
     verify_p.add_argument("--naive-candidates", action="store_true")
+    verify_p.add_argument(
+        "--parallel",
+        type=int,
+        default=0,
+        metavar="N",
+        help="verify with N key-partitioned shards (0 = serial verifier)",
+    )
+    verify_p.add_argument(
+        "--parallel-backend",
+        choices=["process", "inline"],
+        default="process",
+        help="shard execution backend for --parallel",
+    )
     verify_p.set_defaults(fn=cmd_verify)
 
     profiles_p = sub.add_parser("profiles", help="print the Fig. 1 registry")

@@ -21,7 +21,7 @@ import threading
 from typing import Dict, Mapping, Optional, Sequence
 
 from ..core.trace import Key
-from .base import Backend, BackendError
+from .base import Backend
 
 
 class DictBackend:

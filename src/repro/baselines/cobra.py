@@ -23,11 +23,10 @@ comparison is the asymptotic shape, not MonoSAT's constant factors.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Set, Tuple
 
-from .history import HistoryTxn, Value, flatten_value, initial_history_txn
+from .history import HistoryTxn, Value, initial_history_txn
 
 Key = Hashable
 

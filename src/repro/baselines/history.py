@@ -11,7 +11,7 @@ the interval timestamps that are Leopard's own contribution.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Hashable, Iterable, List, Mapping, Tuple
 
 from ..core.trace import OpKind, OpStatus, Trace
 

@@ -10,7 +10,7 @@ EXPERIMENTS.md.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from ..baselines import (
     CobraChecker,

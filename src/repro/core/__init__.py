@@ -14,8 +14,25 @@ from .io import (
     load_initial_db,
     load_traces,
 )
+from .bus import DependencyBus, VersionOrderDeriver
 from .dependencies import Dependency, DependencyGraph, DepType
+from .mechanism import (
+    MechanismContext,
+    MechanismVerifier,
+    build_mechanisms,
+    register_mechanism,
+    registered_mechanisms,
+    unregister_mechanism,
+)
 from .online import OnlineVerifier
+from .parallel import (
+    GraphOnlyCertifier,
+    ParallelVerifier,
+    ShardResult,
+    ShardVerifier,
+    verify_traces_parallel,
+)
+from .sharding import ShardedState, ShardRouter, stable_hash
 from .pipeline import (
     ClientFeed,
     NaiveGlobalSorter,
@@ -65,8 +82,24 @@ __all__ = [
     "INITIAL_INTERVAL",
     "Interval",
     "Dependency",
+    "DependencyBus",
     "DependencyGraph",
     "DepType",
+    "VersionOrderDeriver",
+    "MechanismContext",
+    "MechanismVerifier",
+    "build_mechanisms",
+    "register_mechanism",
+    "registered_mechanisms",
+    "unregister_mechanism",
+    "GraphOnlyCertifier",
+    "ParallelVerifier",
+    "ShardResult",
+    "ShardVerifier",
+    "verify_traces_parallel",
+    "ShardedState",
+    "ShardRouter",
+    "stable_hash",
     "OnlineVerifier",
     "ClientFeed",
     "NaiveGlobalSorter",

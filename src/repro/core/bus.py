@@ -1,0 +1,305 @@
+"""Dependency-exchange bus (Section V-A, Fig. 9).
+
+The four mechanisms continuously exchange the dependencies they deduce:
+CR produces ``wr``, ME/FUW produce ``ww``, and ``rw`` anti-dependencies are
+derived from the two (Fig. 9); everything flows into the serialization
+certifier.  Historically this exchange was an ad-hoc web of ``_emit``
+callbacks threaded through the :class:`~repro.core.verifier.Verifier`; the
+:class:`DependencyBus` makes it an explicit, single choke point:
+
+* **guard** -- dependencies whose endpoints were already pruned as garbage
+  (Definition 4) are dropped at publication: by Theorem 5 they cannot join
+  any future cycle, and inserting them would resurrect zombie graph nodes;
+* **counters** -- accepted dependencies are tallied globally (the
+  ``deps_*`` fields of :class:`~repro.core.report.VerificationStats`) and
+  per producing mechanism (:attr:`DependencyBus.counts`), which is the
+  Fig. 13 deduction-breakdown data;
+* **subscribers** -- delivery happens in a fixed priority order (the
+  certifier first, then the Fig. 9 rw-derivation), so re-entrant
+  publication from inside a delivery behaves exactly like the historical
+  recursive callbacks;
+* **taps** -- passive observers of the accepted-dependency stream, used by
+  the parallel path to journal per-shard dependencies for the merged
+  global certification pass (see :mod:`repro.core.parallel`);
+* **batching** -- :meth:`publish_deferred` + :meth:`flush` queue accepted
+  dependencies and deliver them later in publication order, the delivery
+  mode used when dependencies cross a process boundary in batches.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Callable, Dict, List, Tuple
+
+from .dependencies import Dependency, DepType
+from .mechanism import MechanismContext, MechanismVerifier, register_mechanism
+from .report import Mechanism
+from .versions import Version
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .state import VerifierState
+
+DeliverFn = Callable[[Dependency], None]
+TapFn = Callable[[Dependency], None]
+
+
+class DependencyBus:
+    """Single choke point for the inter-mechanism dependency exchange."""
+
+    def __init__(self, state: "VerifierState", count_stats: bool = True):
+        self._state = state
+        #: whether accepted dependencies update ``state.stats.deps_*``
+        #: (the merge path of the parallel verifier re-publishes already
+        #: counted dependencies and disables this).
+        self._count_stats = count_stats
+        #: (priority, insertion_seq, name, callback, timed)
+        self._subscribers: List[Tuple[int, int, str, DeliverFn, bool]] = []
+        self._sub_seq = 0
+        self._taps: List[TapFn] = []
+        #: accepted dependencies per producing mechanism and type, e.g.
+        #: ``counts["FUW"]["ww"] == 17``.
+        self.counts: Dict[str, Dict[str, int]] = {}
+        self.accepted = 0
+        self.dropped = 0
+        self._pending: List[Dependency] = []
+
+    # -- wiring ------------------------------------------------------------
+
+    def subscribe(
+        self,
+        name: str,
+        callback: DeliverFn,
+        priority: int = 0,
+        timed: bool = False,
+    ) -> None:
+        """Register a delivery target.  Lower ``priority`` is delivered
+        first; ``timed=True`` accumulates the callback's wall time into
+        ``stats.mechanism_seconds[name]`` (the time-breakdown experiment).
+        """
+        self._subscribers.append((priority, self._sub_seq, name, callback, timed))
+        self._sub_seq += 1
+        self._subscribers.sort(key=lambda entry: (entry[0], entry[1]))
+
+    def tap(self, fn: TapFn) -> None:
+        """Register a passive observer of every accepted dependency."""
+        self._taps.append(fn)
+
+    # -- publication -------------------------------------------------------
+
+    def _accept(self, dep: Dependency) -> bool:
+        """Guard + counters; returns whether the dependency is live."""
+        state = self._state
+        for endpoint in (dep.src, dep.dst):
+            if endpoint not in state.graph and state.get_txn(endpoint) is None:
+                self.dropped += 1
+                return False
+        if self._count_stats:
+            stats = state.stats
+            if dep.dep_type is DepType.WR:
+                stats.deps_wr += 1
+            elif dep.dep_type is DepType.WW:
+                stats.deps_ww += 1
+            elif dep.dep_type is DepType.SO:
+                stats.deps_so += 1
+            else:
+                stats.deps_rw += 1
+        self.accepted += 1
+        source = dep.source.value if dep.source is not None else "?"
+        per_source = self.counts.setdefault(source, {})
+        per_source[dep.dep_type.value] = per_source.get(dep.dep_type.value, 0) + 1
+        for fn in self._taps:
+            fn(dep)
+        return True
+
+    def _deliver(self, dep: Dependency) -> None:
+        for _, _, name, callback, timed in self._subscribers:
+            if not timed:
+                callback(dep)
+                continue
+            start = time.perf_counter()
+            try:
+                callback(dep)
+            finally:
+                bucket = self._state.stats.mechanism_seconds
+                bucket[name] = bucket.get(name, 0.0) + (
+                    time.perf_counter() - start
+                )
+
+    def publish(self, dep: Dependency) -> bool:
+        """Publish one dependency with immediate (depth-first) delivery.
+
+        Re-entrant publications from inside a subscriber (e.g. the rw
+        derivation reacting to a ww edge) are fully processed before the
+        outer publication returns -- the exchange semantics of Section V-A.
+        Returns whether the dependency survived the garbage guard.
+        """
+        if not self._accept(dep):
+            return False
+        self._deliver(dep)
+        return True
+
+    def publish_deferred(self, dep: Dependency) -> bool:
+        """Accept (guard + count) now, deliver at the next :meth:`flush`."""
+        if not self._accept(dep):
+            return False
+        self._pending.append(dep)
+        return True
+
+    def flush(self) -> int:
+        """Deliver all deferred dependencies in publication order.
+
+        Subscribers may publish further dependencies while a batch drains;
+        immediate publications are delivered depth-first as usual, deferred
+        ones are appended to the same batch and drained in turn.
+        """
+        delivered = 0
+        index = 0
+        while index < len(self._pending):
+            dep = self._pending[index]
+            index += 1
+            self._deliver(dep)
+            delivered += 1
+        self._pending.clear()
+        return delivered
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+
+@register_mechanism("RW-DERIVE", order=30)
+class VersionOrderDeriver(MechanismVerifier):
+    """Fig. 9: derive ``rw`` anti-dependencies from reads and ``ww`` edges.
+
+    Registered between FUW and CR so that newly confirmed version
+    adjacencies are materialised as anti-dependencies before the CR checks
+    of the same terminal trace run -- the order the exchange of Section V-A
+    prescribes.  The deriver is not one of the paper's four mechanisms; it
+    is the exchange rule connecting them, so it subscribes to the bus
+    (after the certifier) instead of owning verifier state.
+    """
+
+    name = "RW-DERIVE"
+    subscribes = True
+    subscribe_priority = 10
+    #: the serial verifier never timed the derivation as its own bucket;
+    #: nested emissions still time their certifier deliveries as "SC".
+    timed = False
+
+    def __init__(self, state: "VerifierState", bus: DependencyBus):
+        self._state = state
+        self._bus = bus
+
+    @classmethod
+    def build(cls, ctx: MechanismContext) -> "VersionOrderDeriver":
+        deriver = cls(ctx.state, ctx.bus)
+        ctx.shared["rw_deriver"] = deriver
+        return deriver
+
+    # -- confirmation oracle ----------------------------------------------
+
+    def _order_confirmed(self, earlier: Version, later: Version) -> bool:
+        """Whether the chain adjacency ``earlier -> later`` reflects a
+        certain installation order: non-overlapping installation intervals,
+        or a deduced ww dependency between the installers."""
+        if earlier.effective_install.precedes(later.effective_install):
+            return True
+        return self._state.ww_order(earlier, later) is True
+
+    # -- CR hook: a read was uniquely matched to a version ------------------
+
+    def on_read_match(self, version: Version, reader: str) -> None:
+        """Record the reader, emit the wr dependency, and derive the rw
+        anti-dependency towards the version's confirmed successor.  The rw
+        derivation also applies to reads of the initial database state,
+        which produce no wr edge but still anti-depend on the first
+        overwriter."""
+        from .trace import INIT_TXN
+
+        version.readers.add(reader)
+        if version.txn_id != INIT_TXN:
+            self._bus.publish(
+                Dependency(
+                    src=version.txn_id,
+                    dst=reader,
+                    dep_type=DepType.WR,
+                    key=version.key,
+                    source=Mechanism.CONSISTENT_READ,
+                )
+            )
+        chain = self._state.chains.get(version.key)
+        if chain is None:
+            return
+        successor = chain.successor_of(version)
+        if (
+            successor is not None
+            and successor.txn_id != reader
+            and self._order_confirmed(version, successor)
+        ):
+            self._bus.publish(
+                Dependency(
+                    src=reader,
+                    dst=successor.txn_id,
+                    dep_type=DepType.RW,
+                    key=version.key,
+                    source=Mechanism.SERIALIZATION_CERTIFIER,
+                )
+            )
+
+    # -- bus hook: a deduced ww edge confirms version adjacency --------------
+
+    def on_dependency(self, dep: Dependency) -> None:
+        if dep.dep_type is not DepType.WW:
+            return
+        if dep.key is None:
+            return
+        chain = self._state.chains.get(dep.key)
+        if chain is None:
+            return
+        for version in chain.committed_versions():
+            if version.txn_id != dep.src:
+                continue
+            successor = chain.successor_of(version)
+            if successor is None or successor.txn_id != dep.dst:
+                continue
+            for reader in version.readers:
+                if reader == dep.dst or reader == version.txn_id:
+                    continue
+                self._bus.publish(
+                    Dependency(
+                        src=reader,
+                        dst=dep.dst,
+                        dep_type=DepType.RW,
+                        key=dep.key,
+                        source=Mechanism.SERIALIZATION_CERTIFIER,
+                    )
+                )
+
+    # -- terminal hook: versions installed by a commit -----------------------
+
+    def on_terminal(self, txn, trace, installed) -> None:
+        """When versions land in their chains at commit, readers of each
+        now-confirmed predecessor anti-depend on the installer."""
+        if not txn.committed:
+            return
+        for version in installed:
+            chain = self._state.chains.get(version.key)
+            if chain is None:
+                continue
+            predecessor = chain.predecessor_of(version)
+            if predecessor is None or not self._order_confirmed(
+                predecessor, version
+            ):
+                continue
+            for reader in predecessor.readers:
+                if reader == version.txn_id:
+                    continue
+                self._bus.publish(
+                    Dependency(
+                        src=reader,
+                        dst=version.txn_id,
+                        dep_type=DepType.RW,
+                        key=version.key,
+                        source=Mechanism.SERIALIZATION_CERTIFIER,
+                    )
+                )

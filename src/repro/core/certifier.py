@@ -19,16 +19,27 @@ mechanisms deduce and mirrors the *certifier* the DBMS claims to run:
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Set
+from typing import List, Optional, Set
 
-from .dependencies import Dependency, DependencyGraph, DepType
+from .dependencies import Dependency, DepType
+from .mechanism import MechanismContext, MechanismVerifier, register_mechanism
 from .report import Mechanism, Violation, ViolationKind
 from .spec import CertifierKind, IsolationSpec
 from .state import VerifierState
 
 
-class SerializationCertifier:
-    """Mirrors the certifier of the DBMS under test."""
+@register_mechanism("SC", order=50)
+class SerializationCertifier(MechanismVerifier):
+    """Mirrors the certifier of the DBMS under test.
+
+    Unlike the other mechanisms the certifier consumes no traces directly:
+    it subscribes to the dependency bus (first in delivery order) and
+    certifies the graph the exchange builds.
+    """
+
+    name = "SC"
+    subscribes = True
+    subscribe_priority = 0
 
     def __init__(self, state: VerifierState, spec: IsolationSpec):
         self._state = state
@@ -40,6 +51,10 @@ class SerializationCertifier:
         #: true even if the peer transaction is later pruned.
         self._in_crw: Set[str] = set()
         self._out_crw: Set[str] = set()
+
+    @classmethod
+    def build(cls, ctx: MechanismContext) -> "SerializationCertifier":
+        return cls(ctx.state, ctx.spec)
 
     # -- dependency intake ---------------------------------------------------------
 
@@ -169,6 +184,9 @@ class SerializationCertifier:
 
     # -- garbage collection hook -------------------------------------------------------------------
 
-    def on_txn_pruned(self, txn_id: str) -> None:
+    def on_gc(self, txn_id: str) -> None:
         self._in_crw.discard(txn_id)
         self._out_crw.discard(txn_id)
+
+    #: kept as an alias -- the GC layer historically called this name.
+    on_txn_pruned = on_gc

@@ -19,21 +19,25 @@ happened before the read even if their trace intervals overlap.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional
 
-from .dependencies import Dependency, DepType
+from .dependencies import Dependency
 from .intervals import Interval
+from .mechanism import MechanismContext, MechanismVerifier, register_mechanism
 from .report import Mechanism, Violation, ViolationKind
 from .spec import CRLevel, IsolationSpec
 from .state import PendingRead, PendingScan, TxnState, VerifierState
-from .trace import INIT_TXN, Trace, apply_delta, is_tombstone
+from .trace import Trace, apply_delta, is_tombstone
 from .versions import Version
 
 EmitFn = Callable[[Dependency], None]
 
 
-class ConsistentReadVerifier:
+@register_mechanism("CR", order=40)
+class ConsistentReadVerifier(MechanismVerifier):
     """Mirrors the consistent-read mechanism of the DBMS under test."""
+
+    name = "CR"
 
     def __init__(
         self,
@@ -42,6 +46,7 @@ class ConsistentReadVerifier:
         emit: EmitFn,
         on_read_match=None,
         minimal: bool = True,
+        check_aborted_reads: bool = True,
     ):
         self._state = state
         self._spec = spec
@@ -50,12 +55,32 @@ class ConsistentReadVerifier:
         #: every committed version is a candidate, weakening the check).
         self._minimal = minimal
         #: called with (version, reader_txn_id) when a read is uniquely
-        #: matched to a version; the verifier uses it to record the wr
-        #: dependency and derive the rw anti-dependency of Fig. 9.
+        #: matched to a version; the Fig. 9 deriver uses it to record the
+        #: wr dependency and derive the rw anti-dependency.
         self._on_read_match = on_read_match
         #: stale/future reads are violations only when the spec claims CR;
         #: dirty reads and reads of never-written values are always bugs.
         self._flag_stale = spec.uses_cr
+        #: whether reads of aborted transactions are still checked (they
+        #: must be by default: an engine may not serve inconsistent data
+        #: even to a transaction that later rolls back).
+        self._check_aborted = check_aborted_reads
+
+    @classmethod
+    def build(cls, ctx: MechanismContext) -> "ConsistentReadVerifier":
+        deriver = ctx.shared.get("rw_deriver")
+        return cls(
+            ctx.state,
+            ctx.spec,
+            ctx.bus.publish,
+            on_read_match=(
+                deriver.on_read_match
+                if deriver is not None
+                else ctx.options.get("on_read_match")
+            ),
+            minimal=ctx.options.get("minimize_candidates", True),
+            check_aborted_reads=ctx.options.get("check_aborted_reads", True),
+        )
 
     # -- trace handlers ---------------------------------------------------------
 
@@ -78,7 +103,11 @@ class ConsistentReadVerifier:
                 )
             )
 
-    def on_terminal(self, txn: TxnState) -> None:
+    def on_terminal(self, txn: TxnState, trace=None, installed=None) -> None:
+        if not txn.committed and not self._check_aborted:
+            # Ablation: aborted transactions' reads go unchecked.
+            txn.pending_reads.clear()
+            return
         for pending in txn.pending_reads:
             self._check_read(txn, pending)
         txn.pending_reads.clear()

@@ -19,8 +19,8 @@ Edge direction convention: an edge ``u -> v`` means *v depends on u*, i.e.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from .intervals import Interval
 from .report import Mechanism

@@ -16,10 +16,11 @@ ordering.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List
 
 from .dependencies import Dependency, DepType
 from .intervals import Interval
+from .mechanism import MechanismContext, MechanismVerifier, register_mechanism
 from .report import Mechanism, Violation, ViolationKind
 from .spec import CertifierKind, IsolationSpec
 from .state import TxnState, VerifierState
@@ -28,13 +29,26 @@ from .versions import Version
 EmitFn = Callable[[Dependency], None]
 
 
-class FirstUpdaterWinsVerifier:
+@register_mechanism("FUW", order=20)
+class FirstUpdaterWinsVerifier(MechanismVerifier):
     """Mirrors the write-conflict (first updater/committer wins) rule."""
+
+    name = "FUW"
 
     def __init__(self, state: VerifierState, spec: IsolationSpec, emit: EmitFn):
         self._state = state
         self._spec = spec
         self._emit = emit
+
+    @classmethod
+    def build(cls, ctx: MechanismContext) -> "FirstUpdaterWinsVerifier":
+        return cls(ctx.state, ctx.spec, ctx.bus.publish)
+
+    def on_terminal(
+        self, txn: TxnState, trace, installed: List[Version]
+    ) -> None:
+        if txn.committed:
+            self.on_commit(txn, installed)
 
     def on_commit(self, txn: TxnState, installed: List[Version]) -> None:
         """Check each newly installed version against every other committed

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, IO, Iterable, Iterator, List, Mapping, Optional, Union
+from typing import Dict, IO, Iterable, Iterator, List, Mapping, Union
 
 from .trace import Key, KeyRange, OpKind, OpStatus, Trace
 

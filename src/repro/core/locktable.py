@@ -20,8 +20,8 @@ uncertainty statistics.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from .intervals import Interval, UNFINISHED_INTERVAL
 from .trace import Key

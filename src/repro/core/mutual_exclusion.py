@@ -15,6 +15,7 @@ from typing import Callable
 
 from .dependencies import Dependency, DepType
 from .locktable import LockEntry, LockMode, OrderOutcome, classify_pair
+from .mechanism import MechanismContext, MechanismVerifier, register_mechanism
 from .report import Mechanism, Violation, ViolationKind
 from .spec import IsolationSpec
 from .state import TxnState, VerifierState
@@ -23,13 +24,26 @@ from .trace import Trace
 EmitFn = Callable[[Dependency], None]
 
 
-class MutualExclusionVerifier:
-    """Mirrors the lock manager of the DBMS under test."""
+@register_mechanism("ME", order=10)
+class MutualExclusionVerifier(MechanismVerifier):
+    """Mirrors the lock manager of the DBMS under test.
+
+    Lock acquisition is mirrored under every spec (``FOR UPDATE`` claims
+    exclusive locks regardless of the level, and the lock table feeds the
+    memory accounting); the terminal pair checks and their ww deductions
+    only run when the spec claims mutual exclusion.
+    """
+
+    name = "ME"
 
     def __init__(self, state: VerifierState, spec: IsolationSpec, emit: EmitFn):
         self._state = state
         self._spec = spec
         self._emit = emit
+
+    @classmethod
+    def build(cls, ctx: MechanismContext) -> "MutualExclusionVerifier":
+        return cls(ctx.state, ctx.spec, ctx.bus.publish)
 
     # -- trace handlers ------------------------------------------------------
 
@@ -55,10 +69,14 @@ class MutualExclusionVerifier:
                 txn.txn_id, key, LockMode.SHARED, trace.interval
             )
 
-    def on_terminal(self, txn: TxnState, trace: Trace) -> None:
+    def on_terminal(self, txn: TxnState, trace: Trace, installed=None) -> None:
         """Close the transaction's locks and check each against conflicting
         finished locks (each conflicting pair is examined exactly once, by
         whichever transaction finishes second)."""
+        if not self._spec.me:
+            # The spec claims no lock manager: nothing to verify, and the
+            # deduced orders would duplicate what FUW already provides.
+            return
         released = self._state.locks.release_all(
             txn.txn_id, trace.interval, committed=txn.committed
         )

@@ -39,9 +39,20 @@ class OnlineVerifier:
         spec: IsolationSpec = PG_SERIALIZABLE,
         initial_db=None,
         on_violation: Optional[ViolationCallback] = None,
+        verifier=None,
         **verifier_kwargs,
     ):
-        self._verifier = Verifier(
+        """``verifier`` injects any verifier-shaped backend (``process`` /
+        ``finish`` plus either a ``violations_so_far()`` accessor or the
+        serial ``state.descriptor``) -- the parallel path plugs in a
+        :class:`~repro.core.parallel.ParallelVerifier` this way.  When
+        omitted, a serial :class:`Verifier` is built from the remaining
+        arguments."""
+        if verifier is not None and verifier_kwargs:
+            raise ValueError(
+                "pass construction kwargs or an injected verifier, not both"
+            )
+        self._verifier = verifier if verifier is not None else Verifier(
             spec=spec, initial_db=initial_db, **verifier_kwargs
         )
         self._on_violation = on_violation
@@ -124,8 +135,17 @@ class OnlineVerifier:
             self._alert_new()
         return dispatched
 
+    def _current_violations(self) -> List[Violation]:
+        """Violations detected so far, across verifier backends: the
+        parallel verifier exposes ``violations_so_far()``, the serial one
+        its shared descriptor."""
+        getter = getattr(self._verifier, "violations_so_far", None)
+        if callable(getter):
+            return getter()
+        return self._verifier.state.descriptor.violations
+
     def _alert_new(self) -> None:
-        violations = self._verifier.state.descriptor.violations
+        violations = self._current_violations()
         while self._alerted < len(violations):
             violation = violations[self._alerted]
             self._alerted += 1
@@ -145,9 +165,12 @@ class OnlineVerifier:
 
     @property
     def violations_so_far(self) -> List[Violation]:
-        return self._verifier.state.descriptor.violations
+        return self._current_violations()
 
     def live_structure_count(self) -> int:
+        counter = getattr(self._verifier, "live_structure_count", None)
+        if callable(counter):
+            return counter()
         return self._verifier.state.live_structure_count()
 
     def finish(self) -> VerificationReport:
@@ -165,4 +188,13 @@ class OnlineVerifier:
         for trace in remaining:
             self._verifier.process(trace)
             self._alert_new()
-        return self._verifier.finish()
+        report = self._verifier.finish()
+        # Backends that defer global certification to finish (the parallel
+        # merge pass) surface their remaining violations only now.
+        violations = report.violations
+        while self._alerted < len(violations):
+            violation = violations[self._alerted]
+            self._alerted += 1
+            if self._on_violation is not None:
+                self._on_violation(violation)
+        return report

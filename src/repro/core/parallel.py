@@ -1,0 +1,510 @@
+"""Parallel verification: per-shard CR/ME/FUW, one global certifier.
+
+Leopard's CR, ME and FUW checks are per-record (Section V): every candidate
+set, lock pair and write-conflict pair involves a single key, so hash-
+partitioning the key space (:mod:`repro.core.sharding`) makes them
+embarrassingly parallel.  Only the serialization certifier is global --
+dependency cycles cross keys -- so the parallel path splits the work:
+
+* each **shard worker** runs a full :class:`~repro.core.verifier.Verifier`
+  over its key partition, with the certifier swapped (through the
+  mechanism registry's override seam) for a :class:`GraphOnlyCertifier`
+  that maintains the local dependency graph -- the ww-order oracle CR and
+  the Fig. 9 derivation need -- but reports nothing;
+* every dependency a worker's bus accepts, and every violation its
+  mechanisms record, is **journaled** with the global index of the trace
+  being processed and a per-shard sequence number;
+* at :meth:`ParallelVerifier.finish` the journals are merge-sorted by
+  ``(trace index, shard, sequence)`` and replayed into a single global
+  :class:`~repro.core.certifier.SerializationCertifier`, which certifies
+  the complete cross-shard graph.
+
+With one shard the journal replay reproduces the serial verifier's event
+order exactly, so the merged report is identical to the serial report --
+the property the equivalence tests pin down.  With several shards the
+per-key checks and the certifier remain exact; the only relaxation is that
+a worker's ww-order *oracle* sees only the ww edges its own shard deduced,
+so a cross-key deduced order cannot shrink another shard's CR candidate
+sets (a precision loss that can only suppress deductions, never invent
+violations).
+
+Transaction lifecycle events are broadcast: terminals go to every shard,
+and the first trace of each transaction triggers a "begin" control message
+carrying the true first-operation interval, so every shard agrees on each
+transaction's snapshot-generation interval (Definition 2) regardless of
+which shard owned the keys of its first operation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from .bus import DependencyBus
+from .certifier import SerializationCertifier
+from .intervals import Interval
+from .mechanism import MechanismContext, MechanismVerifier
+from .report import (
+    BugDescriptor,
+    VerificationReport,
+    VerificationStats,
+    Violation,
+)
+from .sharding import ShardRouter
+from .spec import IsolationSpec, PG_SERIALIZABLE
+from .state import TxnStatus, VerifierState
+from .trace import Key, OpKind, Trace
+from .verifier import Verifier
+
+#: journaled event kinds: a dependency accepted by the shard's bus, or a
+#: violation recorded by one of the shard's mechanisms.
+_DEP = "d"
+_VIOLATION = "v"
+
+
+class GraphOnlyCertifier(MechanismVerifier):
+    """Shard-local stand-in for the serialization certifier.
+
+    Maintains the dependency graph (the ww-order oracle and the garbage
+    guard depend on it) but never reports: cycles and dangerous structures
+    can span shards, so certification belongs to the merged global pass.
+    """
+
+    name = "SC"
+    subscribes = True
+    subscribe_priority = 0
+
+    def __init__(self, state: VerifierState):
+        self._state = state
+
+    @classmethod
+    def build(cls, ctx: MechanismContext) -> "GraphOnlyCertifier":
+        return cls(ctx.state)
+
+    def on_dependency(self, dep) -> None:
+        self._state.graph.add_dependency(dep)
+
+
+class _JournalingDescriptor(BugDescriptor):
+    """Bug descriptor that journals every ``record`` call (witnesses
+    included, before deduplication) so the merged descriptor can replay
+    them and end up with the exact witness counts of a serial run."""
+
+    def __init__(self, journal) -> None:
+        super().__init__()
+        self._journal = journal
+
+    def record(self, violation: Violation) -> None:
+        self._journal(_VIOLATION, violation)
+        super().record(violation)
+
+
+@dataclass
+class ShardResult:
+    """Everything a shard worker ships back to the coordinator."""
+
+    shard_id: int
+    #: journaled events ``(trace_index, seq, kind, payload)`` in the exact
+    #: order the shard produced them.
+    events: List[Tuple[int, int, str, object]]
+    stats: VerificationStats
+
+
+class ShardVerifier(Verifier):
+    """A serial verifier over one key partition, journaling its output.
+
+    The certifier is swapped for :class:`GraphOnlyCertifier`; a bus tap
+    journals each accepted dependency and a descriptor subclass journals
+    each recorded violation, both tagged with the global index of the
+    trace currently being ingested and a shared per-shard sequence number
+    (so the merged replay preserves their relative order).
+    """
+
+    def __init__(self, shard_id: int = 0, **kwargs):
+        overrides = dict(kwargs.pop("mechanism_overrides", None) or {})
+        overrides.setdefault("SC", GraphOnlyCertifier.build)
+        super().__init__(mechanism_overrides=overrides, **kwargs)
+        self.shard_id = shard_id
+        self.events: List[Tuple[int, int, str, object]] = []
+        self._seq = 0
+        self._trace_index = -1
+        self.bus.tap(lambda dep: self._journal(_DEP, dep))
+        self.state.descriptor = _JournalingDescriptor(self._journal)
+
+    def _journal(self, kind: str, payload) -> None:
+        self.events.append((self._trace_index, self._seq, kind, payload))
+        self._seq += 1
+
+    def begin(self, txn_id: str, client_id: int, interval: Interval) -> None:
+        """Broadcast control: the transaction's true first-operation
+        interval, delivered before any of its traces route here."""
+        self.state.ensure_txn(txn_id, client_id, interval)
+
+    def ingest(self, trace_index: int, trace: Trace) -> None:
+        self._trace_index = trace_index
+        self.process(trace)
+
+    def finish_shard(self) -> ShardResult:
+        self.finish()
+        return ShardResult(
+            shard_id=self.shard_id, events=self.events, stats=self.state.stats
+        )
+
+
+# -- process backend -------------------------------------------------------------
+
+
+def _shard_worker_main(conn, shard_id: int, spec, initial_part, options) -> None:
+    """Worker process entry point: drain message batches, ship the result.
+
+    Messages arrive in batches (lists); each message is either a begin
+    control ``("b", txn_id, client_id, interval)`` or a routed trace
+    ``("t", trace_index, trace)``.  A ``None`` batch ends the stream.
+    """
+    try:
+        shard = ShardVerifier(
+            shard_id=shard_id, spec=spec, initial_db=initial_part, **options
+        )
+        while True:
+            batch = conn.recv()
+            if batch is None:
+                break
+            for message in batch:
+                if message[0] == "b":
+                    shard.begin(message[1], message[2], message[3])
+                else:
+                    shard.ingest(message[1], message[2])
+        conn.send(("ok", shard.finish_shard()))
+    except BaseException:  # noqa: BLE001 - forwarded to the coordinator
+        conn.send(("error", traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+def _make_context():
+    """Fork when available (cheap, inherits imports); spawn elsewhere."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+@dataclass
+class _TxnRecord:
+    """Coordinator-side transaction lifecycle registry entry."""
+
+    client_id: int
+    first_interval: Interval
+    status: TxnStatus = TxnStatus.ACTIVE
+    terminal_interval: Optional[Interval] = None
+
+
+class ParallelVerifier:
+    """Coordinator for sharded parallel verification.
+
+    Public surface mirrors :class:`~repro.core.verifier.Verifier`
+    (``process`` / ``process_all`` / ``finish``), so it drops into the
+    pipeline, the online wrapper and the CLI unchanged.
+
+    Parameters
+    ----------
+    shards:
+        Number of key partitions (1 reproduces the serial report exactly).
+    backend:
+        ``"process"`` runs one worker process per shard over pipes;
+        ``"inline"`` runs the shard verifiers in-process (deterministic
+        fallback -- same journals, same merge, byte-identical report).
+    batch_size:
+        Messages buffered per shard before a pipe send (process backend).
+    """
+
+    def __init__(
+        self,
+        spec: IsolationSpec = PG_SERIALIZABLE,
+        initial_db: Optional[Mapping[Key, Mapping[str, object]]] = None,
+        shards: int = 4,
+        backend: str = "process",
+        batch_size: int = 256,
+        gc_every: int = 512,
+        session_order: bool = True,
+        **verifier_kwargs,
+    ):
+        if backend not in ("process", "inline"):
+            raise ValueError(f"unknown parallel backend {backend!r}")
+        self.spec = spec
+        self.router = ShardRouter(shards)
+        self._backend = backend
+        self._batch_size = max(1, batch_size)
+        self._initial_parts = self.router.partition_initial_db(initial_db)
+        self._options = dict(verifier_kwargs)
+        self._options["gc_every"] = gc_every
+        self._session_order = session_order
+        self._txns: Dict[str, _TxnRecord] = {}
+        #: committed transactions in stream order: (trace_index, txn, interval)
+        self._commits: List[Tuple[int, str, Interval]] = []
+        self._trace_index = 0
+        self._txns_committed = 0
+        self._txns_aborted = 0
+        self._finished = False
+        self._report: Optional[VerificationReport] = None
+        self._workers: List = []
+        self._conns: List = []
+        self._buffers: List[List] = [[] for _ in range(shards)]
+        self._inline: List[ShardVerifier] = []
+        if backend == "inline":
+            self._inline = [
+                self._make_shard(shard) for shard in range(shards)
+            ]
+
+    def _shard_options(self, shard: int) -> Dict:
+        options = dict(self._options)
+        # Session-order edges are global facts; emitting them from every
+        # shard would multiply them in the merged graph, so shard 0 owns
+        # them (every shard sees every terminal, so its view is complete).
+        options["session_order"] = self._session_order and shard == 0
+        return options
+
+    def _make_shard(self, shard: int) -> ShardVerifier:
+        return ShardVerifier(
+            shard_id=shard,
+            spec=self.spec,
+            initial_db=self._initial_parts[shard],
+            **self._shard_options(shard),
+        )
+
+    # -- worker lifecycle ---------------------------------------------------------
+
+    def _ensure_workers(self) -> None:
+        if self._workers or self._backend != "process":
+            return
+        ctx = _make_context()
+        for shard in range(self.router.shards):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_worker_main,
+                args=(
+                    child_conn,
+                    shard,
+                    self.spec,
+                    self._initial_parts[shard],
+                    self._shard_options(shard),
+                ),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._workers.append(proc)
+            self._conns.append(parent_conn)
+
+    def _send(self, shard: int, message) -> None:
+        if self._backend == "inline":
+            sv = self._inline[shard]
+            if message[0] == "b":
+                sv.begin(message[1], message[2], message[3])
+            else:
+                sv.ingest(message[1], message[2])
+            return
+        buffer = self._buffers[shard]
+        buffer.append(message)
+        if len(buffer) >= self._batch_size:
+            self._conns[shard].send(buffer)
+            buffer.clear()
+
+    def _flush(self) -> None:
+        if self._backend != "process":
+            return
+        for shard, buffer in enumerate(self._buffers):
+            if buffer:
+                self._conns[shard].send(buffer)
+                self._buffers[shard] = []
+
+    # -- trace intake -------------------------------------------------------------
+
+    def process(self, trace: Trace) -> None:
+        if self._finished:
+            raise RuntimeError("verifier already finished")
+        self._ensure_workers()
+        record = self._txns.get(trace.txn_id)
+        if record is None:
+            record = _TxnRecord(
+                client_id=trace.client_id, first_interval=trace.interval
+            )
+            self._txns[trace.txn_id] = record
+            begin = ("b", trace.txn_id, trace.client_id, trace.interval)
+            for shard in range(self.router.shards):
+                self._send(shard, begin)
+        elif record.status is not TxnStatus.ACTIVE:
+            raise ValueError(
+                f"trace for already-terminated transaction {trace.txn_id}"
+            )
+        index = self._trace_index
+        self._trace_index += 1
+        if trace.is_terminal:
+            record.terminal_interval = trace.interval
+            if trace.kind is OpKind.COMMIT:
+                record.status = TxnStatus.COMMITTED
+                self._txns_committed += 1
+                self._commits.append((index, trace.txn_id, trace.interval))
+            else:
+                record.status = TxnStatus.ABORTED
+                self._txns_aborted += 1
+        for shard, part in self.router.split(trace).items():
+            self._send(shard, ("t", index, part))
+
+    def process_all(self, traces: Iterable[Trace]) -> "ParallelVerifier":
+        for trace in traces:
+            self.process(trace)
+        return self
+
+    # -- completion ---------------------------------------------------------------
+
+    def _collect(self) -> List[ShardResult]:
+        if self._backend == "inline":
+            return [shard.finish_shard() for shard in self._inline]
+        self._ensure_workers()
+        self._flush()
+        for conn in self._conns:
+            conn.send(None)
+        results: List[ShardResult] = []
+        errors: List[str] = []
+        for conn in self._conns:
+            status, payload = conn.recv()
+            if status == "ok":
+                results.append(payload)
+            else:
+                errors.append(payload)
+            conn.close()
+        for proc in self._workers:
+            proc.join()
+        if errors:
+            raise RuntimeError(
+                "shard worker failed:\n" + "\n".join(errors)
+            )
+        return results
+
+    def finish(self) -> VerificationReport:
+        if self._report is not None:
+            return self._report
+        self._finished = True
+        self._report = self._merge(self._collect())
+        return self._report
+
+    # -- merge: global certification over the journaled event stream ---------------
+
+    def _merge(self, results: List[ShardResult]) -> VerificationReport:
+        events: List[Tuple[int, int, int, str, object]] = []
+        for result in results:
+            for index, seq, kind, payload in result.events:
+                events.append((index, result.shard_id, seq, kind, payload))
+        events.sort(key=lambda event: (event[0], event[1], event[2]))
+
+        state = VerifierState()
+        descriptor = state.descriptor
+        for txn_id, record in self._txns.items():
+            txn = state.ensure_txn(
+                txn_id, record.client_id, record.first_interval
+            )
+            # Every journaled dependency's endpoints were terminal when it
+            # was deduced (mechanisms only relate finished transactions),
+            # so installing final statuses up front replays faithfully.
+            txn.status = record.status
+            txn.terminal_interval = record.terminal_interval
+        bus = DependencyBus(state, count_stats=False)
+        certifier = SerializationCertifier(state, self.spec)
+        bus.subscribe(certifier.name, certifier.on_dependency, priority=0)
+
+        commits = iter(self._commits)
+        next_commit = next(commits, None)
+        for index, _shard, _seq, kind, payload in events:
+            # Mirror the serial order: a committing transaction's graph
+            # node exists before any dependency or violation of that trace.
+            while next_commit is not None and next_commit[0] <= index:
+                state.graph.add_txn(next_commit[1], next_commit[2])
+                next_commit = next(commits, None)
+            if kind == _VIOLATION:
+                descriptor.record(payload)
+            else:
+                bus.publish(payload)
+        while next_commit is not None:
+            state.graph.add_txn(next_commit[1], next_commit[2])
+            next_commit = next(commits, None)
+
+        stats = self._merge_stats([result.stats for result in results])
+        return VerificationReport(
+            descriptor=descriptor, stats=stats, isolation_level=self.spec.name
+        )
+
+    def _merge_stats(
+        self, shard_stats: List[VerificationStats]
+    ) -> VerificationStats:
+        merged = VerificationStats()
+        summed = (
+            "reads_checked",
+            "writes_checked",
+            "deps_wr",
+            "deps_ww",
+            "deps_rw",
+            "deps_so",
+            "conflict_pairs",
+            "overlapped_pairs",
+            "deduced_overlapped_pairs",
+            "gc_versions_pruned",
+            "gc_locks_pruned",
+            "gc_txns_pruned",
+        )
+        for stats in shard_stats:
+            for name in summed:
+                setattr(merged, name, getattr(merged, name) + getattr(stats, name))
+            for bucket, seconds in stats.mechanism_seconds.items():
+                merged.mechanism_seconds[bucket] = (
+                    merged.mechanism_seconds.get(bucket, 0.0) + seconds
+                )
+        # Broadcast traces and terminals are processed by several shards;
+        # the coordinator's tallies are the true stream-level counts.
+        merged.traces_processed = self._trace_index
+        merged.txns_committed = self._txns_committed
+        merged.txns_aborted = self._txns_aborted
+        return merged
+
+    # -- online-wrapper surface -----------------------------------------------------
+
+    def violations_so_far(self) -> List[Violation]:
+        """Violations visible without the global certification pass: the
+        per-shard mechanism findings (inline backend) or, after
+        :meth:`finish`, the full merged list.  Cross-shard certifier
+        findings only exist after the merge."""
+        if self._report is not None:
+            return self._report.violations
+        merged = BugDescriptor()
+        for shard in self._inline:
+            merged.absorb(shard.state.descriptor)
+        return merged.violations
+
+    def live_structure_count(self) -> int:
+        """Total retained structures across shard states (inline backend;
+        the process backend's memory lives in the workers, so only the
+        coordinator-side registry is counted)."""
+        if self._inline:
+            return sum(
+                shard.state.live_structure_count() for shard in self._inline
+            )
+        return len(self._txns)
+
+
+def verify_traces_parallel(
+    traces: Iterable[Trace],
+    spec: IsolationSpec = PG_SERIALIZABLE,
+    initial_db: Optional[Mapping[Key, Mapping[str, object]]] = None,
+    shards: int = 4,
+    backend: str = "process",
+    **kwargs,
+) -> VerificationReport:
+    """One-shot parallel counterpart of
+    :func:`~repro.core.verifier.verify_traces`."""
+    verifier = ParallelVerifier(
+        spec=spec, initial_db=initial_db, shards=shards, backend=backend, **kwargs
+    )
+    verifier.process_all(traces)
+    return verifier.finish()

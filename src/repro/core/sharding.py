@@ -1,0 +1,159 @@
+"""Key-partitioned verifier state for the parallel verification path.
+
+Leopard's CR/ME/FUW checks are *per-record*: every candidate set, lock
+pair and write-conflict pair involves versions of a single key.  Hash-
+partitioning the key space therefore splits those checks into independent
+shards that never need each other's version chains or lock tables; only
+the serialization certifier is global (cycles cross keys), so the parallel
+path (:mod:`repro.core.parallel`) runs it once over the merged dependency
+stream.
+
+This module provides the partitioning primitives:
+
+* :func:`stable_hash` / :class:`ShardRouter` -- deterministic key-to-shard
+  assignment (stable across processes and runs, unlike the salted builtin
+  ``hash``) and per-trace routing: data operations are *split* so each
+  shard receives only its keys, while terminals, predicate scans and
+  keyless traces broadcast to every shard;
+* :class:`ShardedState` -- a facade over N :class:`VerifierState`
+  partitions with key-routed chain access and aggregated accounting.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import replace
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .state import TxnState, VerifierState
+from .trace import Key, Trace
+
+
+def stable_hash(key: Key) -> int:
+    """Process-stable hash of a record key.
+
+    The builtin ``hash`` is salted per interpreter process (PYTHONHASHSEED),
+    so it cannot be used to agree on a partition between the coordinator
+    and its workers; CRC-32 over the key's repr is stable and fast, and the
+    keys this repository produces (strings, ints, tuples of both) all have
+    canonical reprs.
+    """
+    return zlib.crc32(repr(key).encode("utf-8"))
+
+
+class ShardRouter:
+    """Deterministic key-to-shard assignment and trace routing."""
+
+    def __init__(self, shards: int):
+        if shards < 1:
+            raise ValueError(f"shard count must be >= 1, got {shards}")
+        self.shards = shards
+
+    def shard_of(self, key: Key) -> int:
+        return stable_hash(key) % self.shards
+
+    def partition_initial_db(
+        self, initial_db: Optional[Mapping[Key, Mapping[str, object]]]
+    ) -> List[Dict[Key, Mapping[str, object]]]:
+        """Split the initial database image by key ownership."""
+        parts: List[Dict[Key, Mapping[str, object]]] = [
+            {} for _ in range(self.shards)
+        ]
+        for key, image in (initial_db or {}).items():
+            parts[self.shard_of(key)][key] = image
+        return parts
+
+    def split(self, trace: Trace) -> Dict[int, Trace]:
+        """Route one trace: shard index -> the trace that shard processes.
+
+        * terminal traces broadcast unchanged -- every shard must close the
+          transaction's locks and run its deferred checks;
+        * predicate scans broadcast with the observed rows filtered to each
+          shard's keys -- the scan-completeness check compares against the
+          shard's own chains, so foreign observations are irrelevant there;
+        * plain data operations are split by key ownership, and shards with
+          no owned key do not see the trace at all;
+        * keyless data traces (e.g. failed operations, which carry their
+          interval but no read/write set) broadcast so every shard's
+          dispatch watermark advances identically.
+
+        With one shard every trace routes whole to shard 0 as the original
+        object -- the single-shard parallel path replays exactly the serial
+        stream.
+        """
+        if self.shards == 1:
+            return {0: trace}
+        if trace.is_terminal:
+            return {shard: trace for shard in range(self.shards)}
+        if trace.predicate is not None:
+            out: Dict[int, Trace] = {}
+            for shard in range(self.shards):
+                reads = {
+                    key: obs
+                    for key, obs in trace.reads.items()
+                    if self.shard_of(key) == shard
+                }
+                out[shard] = replace(trace, reads=reads)
+            return out
+        if not trace.reads and not trace.writes:
+            return {shard: trace for shard in range(self.shards)}
+        by_shard: Dict[int, Tuple[Dict, Dict]] = {}
+        for key, obs in trace.reads.items():
+            by_shard.setdefault(self.shard_of(key), ({}, {}))[0][key] = obs
+        for key, delta in trace.writes.items():
+            by_shard.setdefault(self.shard_of(key), ({}, {}))[1][key] = delta
+        out = {}
+        for shard, (reads, writes) in by_shard.items():
+            if len(by_shard) == 1:
+                # Single-owner trace: forward the original object.
+                out[shard] = trace
+            else:
+                out[shard] = replace(trace, reads=reads, writes=writes)
+        return out
+
+
+class ShardedState:
+    """Facade over N hash-partitioned :class:`VerifierState` instances.
+
+    The facade is intentionally thin: mechanisms never see it (each shard
+    verifier owns exactly one partition), but the orchestration layer uses
+    it for key-routed access and whole-run accounting, and the inline
+    parallel backend exposes it for memory instrumentation.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        initial_db: Optional[Mapping[Key, Mapping[str, object]]] = None,
+        incremental_graph: bool = True,
+    ):
+        self.router = ShardRouter(shards)
+        parts = self.router.partition_initial_db(initial_db)
+        self.partitions: List[VerifierState] = [
+            VerifierState(initial_db=part, incremental_graph=incremental_graph)
+            for part in parts
+        ]
+
+    @property
+    def shards(self) -> int:
+        return self.router.shards
+
+    def partition(self, shard: int) -> VerifierState:
+        return self.partitions[shard]
+
+    def partition_for(self, key: Key) -> VerifierState:
+        return self.partitions[self.router.shard_of(key)]
+
+    def chain(self, key: Key):
+        """Version chain of ``key`` in its owning partition."""
+        return self.partition_for(key).chain(key)
+
+    def get_txn(self, txn_id: str) -> Optional[TxnState]:
+        """Transaction state as seen by shard 0 (begin/terminal controls
+        broadcast, so every shard tracks every transaction's lifecycle)."""
+        return self.partitions[0].get_txn(txn_id)
+
+    def live_structure_count(self) -> int:
+        """Total retained structures across all partitions (the memory
+        axis of the scaling experiments)."""
+        return sum(part.live_structure_count() for part in self.partitions)

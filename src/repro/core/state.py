@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional
 
 from .dependencies import DependencyGraph
 from .intervals import Interval
@@ -136,6 +136,26 @@ class VerifierState:
         if state is None:
             state = TxnState(txn_id=trace.txn_id, client_id=trace.client_id)
             self.txns[trace.txn_id] = state
+        return state
+
+    def ensure_txn(
+        self,
+        txn_id: str,
+        client_id: int,
+        interval: Optional[Interval] = None,
+    ) -> TxnState:
+        """Materialise a transaction's state before any of its traces route
+        here.  The parallel path broadcasts per-transaction "begin" controls
+        so every shard knows the *true* first-operation interval (the
+        snapshot-generation interval of Definition 2) even when the
+        transaction's first operation touched keys owned by another shard.
+        """
+        state = self.txns.get(txn_id)
+        if state is None:
+            state = TxnState(txn_id=txn_id, client_id=client_id)
+            self.txns[txn_id] = state
+        if state.first_interval is None and interval is not None:
+            state.first_interval = interval
         return state
 
     def get_txn(self, txn_id: str) -> Optional[TxnState]:

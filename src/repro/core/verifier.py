@@ -3,33 +3,51 @@
 The Verifier consumes traces in monotone before-timestamp order (from the
 two-level pipeline) and mirrors the internal state of the DBMS -- version
 chains, lock table, dependency graph.  Each trace is executed against that
-state exactly as the engine would have executed the operation, and the four
+state exactly as the engine would have executed the operation, and the
 mechanism verifiers check the result:
 
 * data operations stage their effects and defer their checks;
-* commit/abort traces trigger the per-transaction checks of all four
+* commit/abort traces trigger the per-transaction checks of all
   mechanisms (by dispatch-order monotonicity, every trace able to influence
   those checks has already arrived);
-* deduced dependencies are exchanged between mechanisms (wr from CR, ww
-  from ME/FUW, rw derived per Fig. 9) and fed to the certifier;
+* deduced dependencies are exchanged between mechanisms over the
+  :class:`~repro.core.bus.DependencyBus` (wr from CR, ww from ME/FUW, rw
+  derived per Fig. 9) and fed to the certifier;
 * garbage structures are pruned periodically (Definition 4, Theorem 5).
+
+The Verifier itself is an *orchestrator*: the mechanism assembly is built
+from the :class:`~repro.core.spec.IsolationSpec` through the registry in
+:mod:`repro.core.mechanism`, so new mechanisms plug in without touching
+this module, and the parallel path (:mod:`repro.core.parallel`) swaps the
+certifier per shard through the same seam.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, List, Mapping, Optional
 
-from .certifier import SerializationCertifier
-from .consistent_read import ConsistentReadVerifier
+from .bus import DependencyBus
 from .dependencies import Dependency, DepType
-from .first_updater_wins import FirstUpdaterWinsVerifier
 from .gc import GarbageCollector
-from .mutual_exclusion import MutualExclusionVerifier
+from .mechanism import (
+    MechanismContext,
+    MechanismVerifier,
+    build_mechanisms,
+)
 from .report import Mechanism, VerificationReport
 from .spec import IsolationSpec, PG_SERIALIZABLE
 from .state import TxnState, TxnStatus, VerifierState
-from .trace import INIT_TXN, Key, OpKind, OpStatus, Trace
+from .trace import Key, OpKind, OpStatus, Trace
 from .versions import Version
+
+# The mechanism implementations register themselves on import; pulling the
+# modules in here guarantees the registry is populated before any Verifier
+# is constructed (bus brings the Fig. 9 deriver).
+from . import certifier as _certifier  # noqa: F401
+from . import consistent_read as _consistent_read  # noqa: F401
+from . import first_updater_wins as _first_updater_wins  # noqa: F401
+from . import mutual_exclusion as _mutual_exclusion  # noqa: F401
 
 
 class Verifier:
@@ -55,6 +73,12 @@ class Verifier:
         Whether reads of aborted transactions are still CR-checked (they
         must be: an engine may not serve inconsistent data even to a
         transaction that later rolls back).
+    state:
+        Inject a pre-built :class:`VerifierState` (the sharded facade hands
+        each shard verifier its partition this way); default builds one.
+    mechanism_overrides:
+        Per-name factory substitutions applied on top of the registry
+        (``{"SC": factory}`` swaps the certifier without re-registering).
     """
 
     def __init__(
@@ -67,6 +91,8 @@ class Verifier:
         check_aborted_reads: bool = True,
         incremental_graph: bool = True,
         session_order: bool = True,
+        state: Optional[VerifierState] = None,
+        mechanism_overrides=None,
     ):
         """``session_order`` adds same-client program-order edges to the
         dependency graph (strong-session guarantee).  Sound for every
@@ -77,32 +103,49 @@ class Verifier:
         self.spec = spec
         self._session_order = session_order
         self._session_tail: dict = {}
-        self.state = VerifierState(
+        self.state = state if state is not None else VerifierState(
             initial_db=initial_db, incremental_graph=incremental_graph
         )
-        self._exchange = exchange_dependencies
-        self._minimize = minimize_candidates
-        self._check_aborted_reads = check_aborted_reads
-        self._cr = ConsistentReadVerifier(
-            self.state,
-            spec,
-            self._emit,
-            on_read_match=self._on_read_match,
-            minimal=minimize_candidates,
+        self.bus = DependencyBus(self.state)
+        context = MechanismContext(
+            state=self.state,
+            spec=spec,
+            bus=self.bus,
+            options={
+                "minimize_candidates": minimize_candidates,
+                "check_aborted_reads": check_aborted_reads,
+            },
         )
-        self._me = MutualExclusionVerifier(self.state, spec, self._emit)
-        self._fuw = FirstUpdaterWinsVerifier(self.state, spec, self._emit)
-        self._sc = SerializationCertifier(self.state, spec)
+        self.mechanisms: List[MechanismVerifier] = build_mechanisms(
+            context, overrides=mechanism_overrides
+        )
+        base = MechanismVerifier
+        self._read_hooks = [
+            m for m in self.mechanisms if type(m).on_read is not base.on_read
+        ]
+        self._write_hooks = [
+            m for m in self.mechanisms if type(m).on_write is not base.on_write
+        ]
+        self._gc_hooks = [
+            m for m in self.mechanisms if type(m).on_gc is not base.on_gc
+        ]
         self._gc: Optional[GarbageCollector] = None
         if gc_every:
             self._gc = GarbageCollector(
-                self.state, every=gc_every, on_txn_pruned=self._sc.on_txn_pruned
+                self.state, every=gc_every, on_txn_pruned=self._on_txn_pruned
             )
         self._finished = False
         if not exchange_dependencies:
             # Ablation: mechanisms stop sharing deduced ww orders, so CR's
             # candidate sets cannot be shrunk by other mechanisms' findings.
             self.state.ww_order = lambda a, b: None  # type: ignore[method-assign]
+
+    def mechanism(self, name: str) -> MechanismVerifier:
+        """Look up an assembled mechanism by registry name."""
+        for m in self.mechanisms:
+            if m.name == name:
+                return m
+        raise KeyError(name)
 
     # -- trace intake -----------------------------------------------------------
 
@@ -121,11 +164,12 @@ class Verifier:
         txn.note_operation(trace)
         if trace.kind is OpKind.READ:
             if trace.status is OpStatus.OK:
-                self._cr.on_read(trace, txn)
-                self._me.on_read(trace, txn)
+                for mechanism in self._read_hooks:
+                    mechanism.on_read(trace, txn)
         elif trace.kind is OpKind.WRITE:
             if trace.status is OpStatus.OK:
-                self._me.on_write(trace, txn)
+                for mechanism in self._write_hooks:
+                    mechanism.on_write(trace, txn)
                 for key, columns in trace.writes.items():
                     version = state.chain(key).stage_write(
                         txn.txn_id, columns, trace.interval
@@ -146,6 +190,22 @@ class Verifier:
 
     # -- terminal handling ---------------------------------------------------------
 
+    def _dispatch_terminal(
+        self, txn: TxnState, trace: Trace, installed: List[Version]
+    ) -> None:
+        """Run every mechanism's terminal hook in registry order.  The
+        order is load-bearing: ME and FUW deduce the ww edges that confirm
+        version adjacency before the Fig. 9 rw derivation and the CR
+        checks consume them."""
+        for mechanism in self.mechanisms:
+            if mechanism.timed:
+                self._timed(
+                    mechanism.name,
+                    lambda m=mechanism: m.on_terminal(txn, trace, installed),
+                )
+            else:
+                mechanism.on_terminal(txn, trace, installed)
+
     def _on_commit(self, trace: Trace, txn: TxnState) -> None:
         state = self.state
         txn.status = TxnStatus.COMMITTED
@@ -155,7 +215,7 @@ class Verifier:
         if self._session_order:
             predecessor = self._session_tail.get(trace.client_id)
             if predecessor is not None and predecessor in state.graph:
-                self._emit(
+                self.bus.publish(
                     Dependency(
                         src=predecessor,
                         dst=txn.txn_id,
@@ -167,14 +227,7 @@ class Verifier:
         installed: List[Version] = []
         for key in {v.key for v in txn.staged_versions}:
             installed.extend(state.chain(key).commit_txn(txn.txn_id, trace.interval))
-        # Order matters: ME and FUW deduce the ww edges that confirm version
-        # adjacency before the rw derivation and the CR checks consume them.
-        if self.spec.me:
-            self._timed("ME", lambda: self._me.on_terminal(txn, trace))
-        self._timed("FUW", lambda: self._fuw.on_commit(txn, installed))
-        for version in installed:
-            self._derive_rw_for_new_version(version)
-        self._timed("CR", lambda: self._cr.on_terminal(txn))
+        self._dispatch_terminal(txn, trace, installed)
 
     def _on_abort(self, trace: Trace, txn: TxnState) -> None:
         state = self.state
@@ -183,20 +236,13 @@ class Verifier:
         state.stats.txns_aborted += 1
         for key in {v.key for v in txn.staged_versions}:
             state.chain(key).abort_txn(txn.txn_id)
-        if self.spec.me:
-            self._timed("ME", lambda: self._me.on_terminal(txn, trace))
-        if self._check_aborted_reads:
-            self._timed("CR", lambda: self._cr.on_terminal(txn))
-        else:
-            txn.pending_reads.clear()
+        self._dispatch_terminal(txn, trace, [])
 
     def _timed(self, mechanism: str, fn) -> None:
         """Run a mechanism step, accumulating its wall time for the
         time-breakdown experiment.  Nested calls (a mechanism emitting a
         dependency that the certifier times as SC) double-count by design:
         each bucket answers "how long did this mechanism's code run"."""
-        import time
-
         start = time.perf_counter()
         try:
             fn()
@@ -209,119 +255,14 @@ class Verifier:
     # -- dependency exchange (Section V-A / Fig. 9) ------------------------------------
 
     def _emit(self, dep: Dependency) -> None:
-        # A dependency endpoint that is neither a live graph node nor a
-        # tracked transaction refers to a transaction already pruned as
-        # garbage (Definition 4).  By Theorem 5 it cannot join any future
-        # cycle, so the edge carries no information -- and inserting it
-        # would resurrect a zombie node the GC could never release.
-        for endpoint in (dep.src, dep.dst):
-            if endpoint not in self.state.graph and self.state.get_txn(endpoint) is None:
-                return
-        stats = self.state.stats
-        if dep.dep_type is DepType.WR:
-            stats.deps_wr += 1
-        elif dep.dep_type is DepType.WW:
-            stats.deps_ww += 1
-        elif dep.dep_type is DepType.SO:
-            stats.deps_so += 1
-        else:
-            stats.deps_rw += 1
-        self._timed("SC", lambda: self._sc.on_dependency(dep))
-        if dep.dep_type is DepType.WW:
-            self._derive_rw_from_ww(dep)
+        """Historical emission entry point; now a bus publication."""
+        self.bus.publish(dep)
 
-    def _order_confirmed(self, earlier: Version, later: Version) -> bool:
-        """Whether the chain adjacency ``earlier -> later`` reflects a
-        certain installation order: non-overlapping installation intervals,
-        or a deduced ww dependency between the installers."""
-        if earlier.effective_install.precedes(later.effective_install):
-            return True
-        return self.state.ww_order(earlier, later) is True
+    # -- garbage collection fan-out -------------------------------------------------
 
-    def _on_read_match(self, version: Version, reader: str) -> None:
-        """A read was uniquely matched to ``version``: record the reader,
-        emit the wr dependency, and derive the rw anti-dependency towards
-        the version's confirmed successor (Fig. 9).  The rw derivation also
-        applies to reads of the initial database state, which produce no wr
-        edge but still anti-depend on the first overwriter."""
-        version.readers.add(reader)
-        if version.txn_id != INIT_TXN:
-            self._emit(
-                Dependency(
-                    src=version.txn_id,
-                    dst=reader,
-                    dep_type=DepType.WR,
-                    key=version.key,
-                    source=Mechanism.CONSISTENT_READ,
-                )
-            )
-        chain = self.state.chains.get(version.key)
-        if chain is None:
-            return
-        successor = chain.successor_of(version)
-        if (
-            successor is not None
-            and successor.txn_id != reader
-            and self._order_confirmed(version, successor)
-        ):
-            self._emit(
-                Dependency(
-                    src=reader,
-                    dst=successor.txn_id,
-                    dep_type=DepType.RW,
-                    key=version.key,
-                    source=Mechanism.SERIALIZATION_CERTIFIER,
-                )
-            )
-
-    def _derive_rw_from_ww(self, dep: Dependency) -> None:
-        """A deduced ww edge confirms version adjacency; readers of the
-        earlier version anti-depend on the later installer (Fig. 9)."""
-        if dep.key is None:
-            return
-        chain = self.state.chains.get(dep.key)
-        if chain is None:
-            return
-        for version in chain.committed_versions():
-            if version.txn_id != dep.src:
-                continue
-            successor = chain.successor_of(version)
-            if successor is None or successor.txn_id != dep.dst:
-                continue
-            for reader in version.readers:
-                if reader == dep.dst or reader == version.txn_id:
-                    continue
-                self._emit(
-                    Dependency(
-                        src=reader,
-                        dst=dep.dst,
-                        dep_type=DepType.RW,
-                        key=dep.key,
-                        source=Mechanism.SERIALIZATION_CERTIFIER,
-                    )
-                )
-
-    def _derive_rw_for_new_version(self, version: Version) -> None:
-        """When a version lands in the chain, readers of its now-confirmed
-        predecessor anti-depend on it."""
-        chain = self.state.chains.get(version.key)
-        if chain is None:
-            return
-        predecessor = chain.predecessor_of(version)
-        if predecessor is None or not self._order_confirmed(predecessor, version):
-            return
-        for reader in predecessor.readers:
-            if reader == version.txn_id:
-                continue
-            self._emit(
-                Dependency(
-                    src=reader,
-                    dst=version.txn_id,
-                    dep_type=DepType.RW,
-                    key=version.key,
-                    source=Mechanism.SERIALIZATION_CERTIFIER,
-                )
-            )
+    def _on_txn_pruned(self, txn_id: str) -> None:
+        for mechanism in self._gc_hooks:
+            mechanism.on_gc(txn_id)
 
     # -- completion -----------------------------------------------------------------
 

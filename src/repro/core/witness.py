@@ -11,7 +11,7 @@ report or replayed against the real system.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Iterable, List, Optional, Sequence, Set
 
 from .report import Violation
 from .trace import OpKind, Trace

@@ -22,7 +22,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
-from ..core.spec import CertifierKind, CRLevel, IsolationSpec, PG_SERIALIZABLE
+from ..core.spec import CertifierKind, IsolationSpec, PG_SERIALIZABLE
 from ..core.trace import as_columns, is_tombstone, squash_delta
 from .events import EventLoop
 from .faults import CLEAN, FaultDice, FaultPlan

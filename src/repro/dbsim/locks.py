@@ -12,7 +12,7 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Deque, Dict, Hashable, List, Optional, Set
 
 Key = Hashable
 

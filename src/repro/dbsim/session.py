@@ -21,8 +21,8 @@ logic changes, which is the black-box property of challenge C1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Generator, List, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Generator, List, Mapping, Optional, Sequence
 
 from ..core.trace import OpStatus, Trace, as_columns
 from .clock import PerfectClock

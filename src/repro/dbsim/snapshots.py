@@ -8,7 +8,6 @@ committed state) re-snapshots at every operation.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..core.spec import CRLevel
 

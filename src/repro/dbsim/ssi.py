@@ -12,7 +12,7 @@ violation, which is exactly the conservatism the real engine also accepts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Set, Tuple
+from typing import Dict, Hashable, List, Optional
 
 Key = Hashable
 

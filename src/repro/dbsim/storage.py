@@ -10,8 +10,8 @@ deduction -- behave exactly as in a relational engine.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional
 
 Key = Hashable
 

@@ -12,11 +12,10 @@ from __future__ import annotations
 
 import abc
 import itertools
-import math
 import random
-from typing import Dict, Generator, Hashable, List, Mapping, Optional, Sequence
+from typing import Dict, Hashable, List, Sequence
 
-from ..dbsim.session import AbortOp, Program, ReadOp, WriteOp
+from ..dbsim.session import Program
 
 Key = Hashable
 

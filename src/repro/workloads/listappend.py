@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Dict, Tuple
+from typing import Dict
 
 from ..dbsim.session import Program, ReadOp, WriteOp
 from .base import Key, Workload

@@ -21,7 +21,7 @@ setting ``scale factor = 1``.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from ..dbsim.session import AbortOp, Program, ReadOp, WriteOp
 from .base import Key, Workload, weighted_choice

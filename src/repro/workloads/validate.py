@@ -12,7 +12,7 @@ needed).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping
+from typing import Dict, List
 
 from ..dbsim.engine import SimulatedDBMS
 from .smallbank import CHECKING, SAVINGS
@@ -139,7 +139,7 @@ def validate_tpcc(db: SimulatedDBMS, workload: TpcC) -> ConsistencyReport:
 
     # Condition 3: per-order line counts.
     for (w, d, o), o_image in orders.items():
-        lines = [l for (lw, ld, lo, l) in order_lines if (lw, ld, lo) == (w, d, o)]
+        lines = [ln for (lw, ld, lo, ln) in order_lines if (lw, ld, lo) == (w, d, o)]
         report.record(
             len(lines) == o_image.get("ol_cnt"),
             f"order ({w},{d},{o}): ol_cnt={o_image.get('ol_cnt')} but "

@@ -5,8 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro import (
-    PG_READ_COMMITTED,
-    PG_REPEATABLE_READ,
     PG_SERIALIZABLE,
     Verifier,
     pipeline_from_client_streams,

@@ -4,7 +4,7 @@ import threading
 
 import pytest
 
-from repro import PG_READ_COMMITTED, PG_SERIALIZABLE, Verifier, ViolationKind
+from repro import PG_SERIALIZABLE, Verifier, ViolationKind
 from repro.adapters import Backend, BackendError, DictBackend, TracingClient
 from repro.core.pipeline import pipeline_from_client_streams
 from repro.core.spec import IsolationSpec, IsolationLevel, CRLevel

@@ -1,6 +1,5 @@
 """Anomaly taxonomy mapping and report classification."""
 
-import pytest
 
 from repro import (
     IsolationLevel,
@@ -11,7 +10,6 @@ from repro import (
 )
 from repro.core.anomalies import (
     Anomaly,
-    AnomalySummary,
     TOLERATED,
     VIOLATION_ANOMALIES,
     anomalies_of,

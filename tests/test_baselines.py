@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import PG_READ_COMMITTED, PG_REPEATABLE_READ, PG_SERIALIZABLE, Trace
+from repro import PG_READ_COMMITTED, PG_SERIALIZABLE, Trace
 from repro.baselines import (
     CobraChecker,
     ElleChecker,

@@ -1,6 +1,5 @@
 """SC mechanism: certifier mirroring (Algorithm 2, lines 27-31)."""
 
-import pytest
 
 from repro import (
     PG_REPEATABLE_READ,
@@ -9,7 +8,7 @@ from repro import (
     ViolationKind,
     verify_traces,
 )
-from repro.core.spec import CertifierKind, IsolationLevel, IsolationSpec, profile
+from repro.core.spec import IsolationLevel, IsolationSpec, profile
 
 INIT = {"x": {"v": 0}, "y": {"v": 0}}
 

@@ -1,6 +1,5 @@
 """CR mechanism on hand-crafted interval histories (Algorithm 2, 1-9)."""
 
-import pytest
 
 from repro import (
     PG_READ_COMMITTED,

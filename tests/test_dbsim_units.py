@@ -3,7 +3,6 @@ first-committer) and the bench metrics utilities."""
 
 from types import SimpleNamespace
 
-import pytest
 
 from repro.bench.metrics import MemorySeries, Timer, time_call
 from repro.core.spec import CRLevel

@@ -1,6 +1,5 @@
 """Dependency graph: typed edges, cycles, pruning, raw mode."""
 
-import pytest
 
 from repro.core.dependencies import Dependency, DependencyGraph, DepType
 from repro.core.intervals import Interval

@@ -9,7 +9,7 @@ from repro.core.spec import (
     PG_SERIALIZABLE,
     profile,
 )
-from repro.core.trace import OpKind, OpStatus
+from repro.core.trace import OpKind
 from repro.dbsim import (
     AbortOp,
     FaultPlan,

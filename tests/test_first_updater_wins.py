@@ -1,6 +1,5 @@
 """FUW mechanism on hand-crafted interval histories (Fig. 8, Theorem 4)."""
 
-import pytest
 
 from repro import (
     DepType,

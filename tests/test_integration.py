@@ -9,23 +9,20 @@ import pytest
 
 from repro import (
     IsolationLevel,
-    Mechanism,
     PG_READ_COMMITTED,
     PG_REPEATABLE_READ,
     PG_SERIALIZABLE,
     ViolationKind,
     profile,
 )
-from repro.dbsim import FaultPlan, SimulatedDBMS
+from repro.dbsim import FaultPlan
 from repro.workloads import (
     BlindW,
     LostUpdateWorkload,
     NoopUpdateWorkload,
-    ReadOnlyAuditWorkload,
     SelectForUpdateWorkload,
     SmallBank,
     TpcC,
-    WorkloadRunner,
     WriteSkewWorkload,
     YcsbA,
     run_workload,

@@ -1,6 +1,5 @@
 """Interval algebra: the foundation of every mechanism theorem."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

@@ -1,8 +1,7 @@
 """Verifier-side lock table: Theorem 3 order enumeration and pruning."""
 
-import pytest
 
-from repro.core.intervals import Interval, UNFINISHED_INTERVAL
+from repro.core.intervals import Interval
 from repro.core.locktable import (
     LockEntry,
     LockMode,

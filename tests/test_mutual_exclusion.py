@@ -1,6 +1,5 @@
 """ME mechanism on hand-crafted interval histories (Fig. 7, Theorem 3)."""
 
-import pytest
 
 from repro import (
     DepType,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import PG_REPEATABLE_READ, PG_SERIALIZABLE, Trace
+from repro import PG_SERIALIZABLE, Trace
 from repro.core.online import OnlineVerifier
 from repro.workloads import BlindW, run_workload
 from tests.conftest import verify_run

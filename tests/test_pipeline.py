@@ -162,3 +162,42 @@ def test_property_monotone_and_complete(gaps_per_client, batch_size, optimized):
     assert stamps == sorted(stamps)
     expected = sorted(t.trace_id for s in streams.values() for t in s)
     assert sorted(t.trace_id for t in out) == expected
+
+
+class TestRandomizedEquivalence:
+    """Seeded randomized check: over many random multi-client streams the
+    pipeline's dispatch order (optimized and unoptimized) is exactly the
+    globally sorted order, and its bookkeeping counts every trace."""
+
+    @staticmethod
+    def random_streams(rng):
+        n_clients = rng.randint(1, 6)
+        streams = {}
+        for client in range(n_clients):
+            t = rng.uniform(0.0, 5.0)
+            stamps = []
+            for _ in range(rng.randint(0, 40)):
+                t += rng.choice([0.0, rng.random(), 3.0 * rng.random()])
+                stamps.append(t)
+            streams[client] = make_stream(client, stamps)
+        return streams
+
+    @pytest.mark.parametrize("optimized", [True, False])
+    def test_matches_global_sort_over_random_streams(self, optimized):
+        rng = random.Random(0xC0FFEE)
+        for _ in range(50):
+            streams = self.random_streams(rng)
+            if not any(streams.values()):
+                continue
+            batch_size = rng.choice([1, 2, 7, 64])
+            expected = sorted_traces(streams)
+            pipeline = pipeline_from_client_streams(
+                streams, batch_size=batch_size, optimized=optimized
+            )
+            dispatched = list(pipeline)
+            assert [t.trace_id for t in dispatched] == [
+                t.trace_id for t in expected
+            ]
+            assert pipeline.stats.dispatched == sum(
+                len(s) for s in streams.values()
+            )

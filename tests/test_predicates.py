@@ -7,7 +7,6 @@ from repro import (
     PG_REPEATABLE_READ,
     PG_SERIALIZABLE,
     Trace,
-    Verifier,
     ViolationKind,
     verify_traces,
 )

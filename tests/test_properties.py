@@ -7,7 +7,6 @@ level.  Hypothesis generates random serial transaction programs and random
 concurrent workload parameters and asserts exactly that.
 """
 
-import random
 
 from hypothesis import given, settings, strategies as st
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro import PG_SERIALIZABLE
-from repro.core.trace import OpKind
 from repro.dbsim import SimulatedDBMS
 from repro.workloads import BlindW, WorkloadRunner, run_workload
 

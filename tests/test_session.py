@@ -7,7 +7,6 @@ from repro.core.trace import OpKind, OpStatus
 from repro.dbsim import (
     AbortOp,
     ClientSession,
-    FaultPlan,
     ReadOp,
     SimulatedDBMS,
     WriteOp,

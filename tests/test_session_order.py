@@ -1,6 +1,5 @@
 """Session-order edges and classic multi-transaction anomalies."""
 
-import pytest
 
 from repro import (
     DepType,
@@ -9,7 +8,6 @@ from repro import (
     Trace,
     Verifier,
     ViolationKind,
-    verify_traces,
 )
 
 INIT = {"x": {"v": 0}, "y": {"v": 0}, "saving": {"v": 0}, "checking": {"v": 0}}

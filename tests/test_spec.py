@@ -7,7 +7,6 @@ from repro.core.spec import (
     CertifierKind,
     CRLevel,
     IsolationLevel,
-    IsolationSpec,
     PG_READ_COMMITTED,
     PG_REPEATABLE_READ,
     PG_SERIALIZABLE,

@@ -9,13 +9,10 @@ sequences.
   pruning never changes what a later snapshot would read.
 """
 
-import random
 
 from hypothesis import settings
 from hypothesis.stateful import (
-    Bundle,
     RuleBasedStateMachine,
-    initialize,
     invariant,
     rule,
 )

@@ -3,7 +3,6 @@
 import random
 
 import networkx as nx
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.topo import IncrementalTopology

@@ -1,6 +1,5 @@
 """Workload-level semantic validators (TPC-C conditions, SmallBank)."""
 
-import pytest
 
 from repro import PG_READ_COMMITTED, PG_SERIALIZABLE
 from repro.dbsim import SimulatedDBMS

@@ -5,7 +5,6 @@ import pytest
 
 from repro import (
     DepType,
-    PG_READ_COMMITTED,
     PG_REPEATABLE_READ,
     PG_SERIALIZABLE,
     Trace,

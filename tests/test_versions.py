@@ -1,11 +1,9 @@
 """Version chains and the Fig. 6 candidate version set (Theorem 2)."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.intervals import Interval
-from repro.core.trace import INIT_TXN
-from repro.core.versions import Version, VersionChain
+from repro.core.versions import VersionChain
 
 
 def chain_with(*specs, initial=None):

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro import PG_REPEATABLE_READ, PG_SERIALIZABLE, Verifier, Trace
-from repro.core.pipeline import pipeline_from_client_streams
+from repro import PG_REPEATABLE_READ, Verifier, Trace
 from repro.core.witness import (
     extract_witness,
     transactions_touching,

@@ -52,7 +52,6 @@ class TestZipf:
         assert min(samples) >= 0 and max(samples) < 100
 
     def test_skew_concentrates_mass(self):
-        rng = random.Random(0)
         flat = ZipfGenerator(1000, 0.0, random.Random(0))
         skewed = ZipfGenerator(1000, 0.99, random.Random(0))
         flat_hot = sum(1 for _ in range(2000) if flat.sample() < 10)
