@@ -5,6 +5,7 @@ search, and its per-transaction cost stays flat as the history doubles
 (linearity).  Benchmark groups time both checkers on the same run.
 """
 
+import json
 import time
 
 import pytest
@@ -14,7 +15,7 @@ from repro.baselines import NaiveCycleSearchChecker
 from repro.core.pipeline import pipeline_from_client_streams
 from repro.workloads import BlindW, run_workload
 
-from conftest import scaled, verify_full
+from conftest import scaled, verify_full, verify_full_stats
 
 
 def run_cycle_search(run):
@@ -67,6 +68,30 @@ def test_fig11_linear_in_txn_scale():
         times[txns] = (time.perf_counter() - start) / txns
     small, large = sorted(times)
     assert times[large] < times[small] * 3
+
+
+def test_fig11_stats_breakdown(blindw_rw_plus_run, tmp_path):
+    """The instrumented Fig. 11 run emits the ``repro.stats/v1`` document
+    attributing wall time across the pipeline-sort, mechanism and merge
+    phases (the worked example of docs/observability.md)."""
+    report, document = verify_full_stats(blindw_rw_plus_run, PG_SERIALIZABLE)
+    assert report.ok
+    assert document["schema"] == "repro.stats/v1"
+    phases = document["phases"]
+    for phase in ("pipeline-sort", "CR", "ME", "FUW", "SC", "merge"):
+        assert phase in phases
+    # The mechanisms did real work on this history; serial runs have no
+    # merge pass.
+    assert phases["CR"] > 0 and phases["ME"] > 0 and phases["FUW"] > 0
+    assert phases["merge"] == 0.0
+    assert sum(phases.values()) <= document["wall_seconds"]
+    counters = document["metrics"]["counters"]
+    assert counters["cr.reads.checked"] > 0
+    assert counters["me.lock_pairs.checked"] > 0
+    # Round-trips through JSON exactly as ``verify --stats-json`` writes it.
+    path = tmp_path / "fig11_stats.json"
+    path.write_text(json.dumps(document, indent=2, sort_keys=True))
+    assert json.loads(path.read_text())["phases"] == phases
 
 
 def test_fig11_longer_txns_cost_more():

@@ -10,22 +10,82 @@ dispatch, mechanism-mirrored verification, baseline checkers -- is what
 
 from __future__ import annotations
 
+import itertools
+import json
 import os
+import time
+from pathlib import Path
 
 import pytest
 
-from repro import PG_SERIALIZABLE, Verifier, pipeline_from_client_streams
+from repro import (
+    MetricsRegistry,
+    PG_SERIALIZABLE,
+    Verifier,
+    pipeline_from_client_streams,
+    run_stats,
+)
 from repro.workloads import BlindW, SmallBank, TpcC, YcsbA, run_workload
 
 #: scale multiplier for benchmark workloads (override: REPRO_BENCH_SCALE).
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: suite-wide stats hook (docs/observability.md): when set, every
+#: ``verify_full`` call across the benchmark files instruments its run and
+#: drops a ``repro.stats/v1`` JSON document into this directory.
+BENCH_STATS_DIR = os.environ.get("REPRO_BENCH_STATS_DIR")
+
+_stats_seq = itertools.count()
 
 
 def scaled(n: int, floor: int = 50) -> int:
     return max(floor, int(n * BENCH_SCALE))
 
 
-def verify_full(run, spec=PG_SERIALIZABLE, **kwargs):
+def verify_full_stats(run, spec=PG_SERIALIZABLE, **kwargs):
+    """Instrumented counterpart of :func:`verify_full`: returns
+    ``(report, stats_document)`` where the document is the shared
+    ``repro.stats/v1`` schema with the pipeline-sort phase measured by
+    timing the pipeline iterator separately from ``process()``."""
+    metrics = MetricsRegistry()
+    verifier = Verifier(
+        spec=spec, initial_db=run.initial_db, metrics=metrics, **kwargs
+    )
+    pipeline = iter(pipeline_from_client_streams(run.client_streams, metrics=metrics))
+    wall_start = time.perf_counter()
+    sort_seconds = 0.0
+    while True:
+        tick = time.perf_counter()
+        trace = next(pipeline, None)
+        sort_seconds += time.perf_counter() - tick
+        if trace is None:
+            break
+        verifier.process(trace)
+    report = verifier.finish()
+    wall_seconds = time.perf_counter() - wall_start
+    document = run_stats(
+        report,
+        metrics=metrics,
+        pipeline_sort_seconds=sort_seconds,
+        wall_seconds=wall_seconds,
+    )
+    return report, document
+
+
+def _write_stats(document, name):
+    out = Path(BENCH_STATS_DIR)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"{name}-{next(_stats_seq):04d}.json"
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def verify_full(run, spec=PG_SERIALIZABLE, stats_name="verify", **kwargs):
+    if BENCH_STATS_DIR is not None and "metrics" not in kwargs:
+        report, document = verify_full_stats(run, spec=spec, **kwargs)
+        _write_stats(document, stats_name)
+        return report
     verifier = Verifier(spec=spec, initial_db=run.initial_db, **kwargs)
     for trace in pipeline_from_client_streams(run.client_streams):
         verifier.process(trace)

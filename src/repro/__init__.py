@@ -43,6 +43,7 @@ from .core import (
     IsolationSpec,
     KeyRange,
     Mechanism,
+    MetricsRegistry,
     NaiveGlobalSorter,
     MechanismVerifier,
     OnlineVerifier,
@@ -55,6 +56,7 @@ from .core import (
     READ_COMMITTED,
     SERIALIZABLE,
     SNAPSHOT_ISOLATION,
+    SpanTracer,
     Trace,
     TwoLevelPipeline,
     ShardRouter,
@@ -67,6 +69,7 @@ from .core import (
     profile,
     profiles_for,
     register_mechanism,
+    run_stats,
     sorted_traces,
     supported_dbms,
     verify_traces,
@@ -93,8 +96,10 @@ __all__ = [
     "KeyRange",
     "Mechanism",
     "MechanismVerifier",
+    "MetricsRegistry",
     "NaiveGlobalSorter",
     "OnlineVerifier",
+    "SpanTracer",
     "ParallelVerifier",
     "ShardRouter",
     "OpKind",
@@ -118,6 +123,7 @@ __all__ = [
     "sorted_traces",
     "supported_dbms",
     "register_mechanism",
+    "run_stats",
     "verify_traces",
     "verify_traces_parallel",
     "__version__",

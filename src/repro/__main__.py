@@ -33,6 +33,7 @@ from .core.io import (
     load_client_streams,
     load_initial_db,
 )
+from .core.metrics import MetricsRegistry, render_stats, run_stats
 from .core.pipeline import pipeline_from_client_streams
 from .core.spec import IsolationLevel, IsolationSpec, profile, supported_dbms
 from .core.verifier import Verifier
@@ -130,11 +131,16 @@ def cmd_run(args) -> int:
 
 
 def cmd_verify(args) -> int:
+    import json
+    import time
+
     spec = _resolve_spec(args.dbms, args.level)
     capture = Path(args.capture)
     streams = load_client_streams(capture)
     initial_path = capture / "initial_db.json"
     initial_db = load_initial_db(initial_path) if initial_path.exists() else None
+    instrumented = args.stats or args.stats_json is not None
+    metrics = MetricsRegistry() if instrumented else None
     if args.parallel > 0:
         from .core.parallel import ParallelVerifier
 
@@ -146,6 +152,7 @@ def cmd_verify(args) -> int:
             gc_every=args.gc_every,
             exchange_dependencies=not args.no_exchange,
             minimize_candidates=not args.naive_candidates,
+            metrics=metrics,
         )
     else:
         verifier = Verifier(
@@ -154,11 +161,45 @@ def cmd_verify(args) -> int:
             gc_every=args.gc_every,
             exchange_dependencies=not args.no_exchange,
             minimize_candidates=not args.naive_candidates,
+            metrics=metrics,
         )
-    for trace in pipeline_from_client_streams(streams):
-        verifier.process(trace)
-    report = verifier.finish()
+    pipeline = pipeline_from_client_streams(streams, metrics=metrics)
+    if instrumented:
+        # Charge the pipeline's own sort/dispatch work (the time spent
+        # inside the iterator, between traces) to the "pipeline-sort"
+        # phase; everything inside process() is the mechanisms' time.
+        wall_start = time.perf_counter()
+        sort_seconds = 0.0
+        iterator = iter(pipeline)
+        while True:
+            tick = time.perf_counter()
+            trace = next(iterator, None)
+            sort_seconds += time.perf_counter() - tick
+            if trace is None:
+                break
+            verifier.process(trace)
+        report = verifier.finish()
+        wall_seconds = time.perf_counter() - wall_start
+        document = run_stats(
+            report,
+            metrics=metrics,
+            pipeline_sort_seconds=sort_seconds,
+            wall_seconds=wall_seconds,
+        )
+    else:
+        for trace in pipeline:
+            verifier.process(trace)
+        report = verifier.finish()
+        document = None
     print(report.summary())
+    if document is not None:
+        if args.stats:
+            print(render_stats(document))
+        if args.stats_json is not None:
+            Path(args.stats_json).write_text(
+                json.dumps(document, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
     return 0 if report.ok else 1
 
 
@@ -231,6 +272,17 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["process", "inline"],
         default="process",
         help="shard execution backend for --parallel",
+    )
+    verify_p.add_argument(
+        "--stats",
+        action="store_true",
+        help="instrument the run and print the stats block under the report",
+    )
+    verify_p.add_argument(
+        "--stats-json",
+        metavar="PATH",
+        default=None,
+        help="instrument the run and write the repro.stats/v1 JSON document",
     )
     verify_p.set_defaults(fn=cmd_verify)
 

@@ -12,8 +12,12 @@ callbacks threaded through the :class:`~repro.core.verifier.Verifier`; the
   any future cycle, and inserting them would resurrect zombie graph nodes;
 * **counters** -- accepted dependencies are tallied globally (the
   ``deps_*`` fields of :class:`~repro.core.report.VerificationStats`) and
-  per producing mechanism (:attr:`DependencyBus.counts`), which is the
-  Fig. 13 deduction-breakdown data;
+  per producing mechanism and edge type in the bus's
+  :class:`~repro.core.metrics.MetricsRegistry` (``bus.deps.accepted`` /
+  ``delivered`` / ``deferred`` / ``dropped``), which is the Fig. 13
+  deduction-breakdown data; :attr:`DependencyBus.counts`,
+  :attr:`DependencyBus.accepted` and :attr:`DependencyBus.dropped` remain
+  as read-only views over the registry for compatibility;
 * **subscribers** -- delivery happens in a fixed priority order (the
   certifier first, then the Fig. 9 rw-derivation), so re-entrant
   publication from inside a delivery behaves exactly like the historical
@@ -29,10 +33,11 @@ callbacks threaded through the :class:`~repro.core.verifier.Verifier`; the
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, Callable, Dict, List, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from .dependencies import Dependency, DepType
 from .mechanism import MechanismContext, MechanismVerifier, register_mechanism
+from .metrics import MetricsRegistry, parse_metric_key
 from .report import Mechanism
 from .versions import Version
 
@@ -46,7 +51,12 @@ TapFn = Callable[[Dependency], None]
 class DependencyBus:
     """Single choke point for the inter-mechanism dependency exchange."""
 
-    def __init__(self, state: "VerifierState", count_stats: bool = True):
+    def __init__(
+        self,
+        state: "VerifierState",
+        count_stats: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         self._state = state
         #: whether accepted dependencies update ``state.stats.deps_*``
         #: (the merge path of the parallel verifier re-publishes already
@@ -56,11 +66,17 @@ class DependencyBus:
         self._subscribers: List[Tuple[int, int, str, DeliverFn, bool]] = []
         self._sub_seq = 0
         self._taps: List[TapFn] = []
-        #: accepted dependencies per producing mechanism and type, e.g.
-        #: ``counts["FUW"]["ww"] == 17``.
-        self.counts: Dict[str, Dict[str, int]] = {}
-        self.accepted = 0
-        self.dropped = 0
+        #: the single source of truth for the bus counters.  The Fig. 13
+        #: breakdown (``counts``) must exist even when the run is not
+        #: instrumented, so a disabled (or absent) registry is replaced by
+        #: a bus-private enabled one -- same cost, just not exported.
+        if metrics is not None and metrics.enabled:
+            self.metrics = metrics
+        else:
+            self.metrics = MetricsRegistry()
+        #: per-(mechanism, type) counter handles, resolved once per pair so
+        #: the hot publication path pays one dict lookup per event.
+        self._handles: Dict[Tuple[str, Tuple[str, str]], object] = {}
         self._pending: List[Dependency] = []
 
     # -- wiring ------------------------------------------------------------
@@ -84,6 +100,47 @@ class DependencyBus:
         """Register a passive observer of every accepted dependency."""
         self._taps.append(fn)
 
+    # -- registry-backed counters ------------------------------------------
+
+    def _count(self, metric: str, dep: Dependency) -> None:
+        """Bump ``bus.deps.<metric>{mechanism=...,type=...}``, caching the
+        counter handle per (metric, mechanism, type)."""
+        source = dep.source.value if dep.source is not None else "?"
+        key = (metric, (source, dep.dep_type.value))
+        handle = self._handles.get(key)
+        if handle is None:
+            handle = self._handles[key] = self.metrics.counter(
+                metric, mechanism=source, type=dep.dep_type.value
+            )
+        handle.inc()
+
+    @property
+    def counts(self) -> Dict[str, Dict[str, int]]:
+        """Accepted dependencies per producing mechanism and type, e.g.
+        ``counts["FUW"]["ww"] == 17`` -- a read-only view reconstructed
+        from the ``bus.deps.accepted`` registry counters."""
+        nested: Dict[str, Dict[str, int]] = {}
+        for key, value in self.metrics.counters_with_name(
+            "bus.deps.accepted"
+        ).items():
+            _, labels = parse_metric_key(key)
+            nested.setdefault(labels["mechanism"], {})[labels["type"]] = value
+        return nested
+
+    @property
+    def accepted(self) -> int:
+        """Total dependencies that survived the garbage guard."""
+        return sum(
+            self.metrics.counters_with_name("bus.deps.accepted").values()
+        )
+
+    @property
+    def dropped(self) -> int:
+        """Total dependencies dropped by the garbage guard."""
+        return sum(
+            self.metrics.counters_with_name("bus.deps.dropped").values()
+        )
+
     # -- publication -------------------------------------------------------
 
     def _accept(self, dep: Dependency) -> bool:
@@ -91,7 +148,7 @@ class DependencyBus:
         state = self._state
         for endpoint in (dep.src, dep.dst):
             if endpoint not in state.graph and state.get_txn(endpoint) is None:
-                self.dropped += 1
+                self._count("bus.deps.dropped", dep)
                 return False
         if self._count_stats:
             stats = state.stats
@@ -103,15 +160,13 @@ class DependencyBus:
                 stats.deps_so += 1
             else:
                 stats.deps_rw += 1
-        self.accepted += 1
-        source = dep.source.value if dep.source is not None else "?"
-        per_source = self.counts.setdefault(source, {})
-        per_source[dep.dep_type.value] = per_source.get(dep.dep_type.value, 0) + 1
+        self._count("bus.deps.accepted", dep)
         for fn in self._taps:
             fn(dep)
         return True
 
     def _deliver(self, dep: Dependency) -> None:
+        self._count("bus.deps.delivered", dep)
         for _, _, name, callback, timed in self._subscribers:
             if not timed:
                 callback(dep)
@@ -142,6 +197,7 @@ class DependencyBus:
         """Accept (guard + count) now, deliver at the next :meth:`flush`."""
         if not self._accept(dep):
             return False
+        self._count("bus.deps.deferred", dep)
         self._pending.append(dep)
         return True
 

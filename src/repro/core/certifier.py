@@ -41,10 +41,17 @@ class SerializationCertifier(MechanismVerifier):
     subscribes = True
     subscribe_priority = 0
 
-    def __init__(self, state: VerifierState, spec: IsolationSpec):
+    def __init__(self, state: VerifierState, spec: IsolationSpec, metrics=None):
+        from .metrics import NULL_REGISTRY
+
         self._state = state
         self._spec = spec
         self._kind = spec.certifier
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        #: dependencies certified (graph insertions driven by the bus).
+        self._m_certified = registry.counter("sc.deps.certified")
+        self._m_cycles = registry.counter("sc.cycles.reported")
+        self._m_dangerous = registry.counter("sc.dangerous_structures.reported")
         #: transactions with an incoming/outgoing rw edge whose endpoints
         #: were *necessarily concurrent* -- the precondition for the SSI
         #: dangerous structure.  Sticky: once observed, the fact remains
@@ -54,11 +61,12 @@ class SerializationCertifier(MechanismVerifier):
 
     @classmethod
     def build(cls, ctx: MechanismContext) -> "SerializationCertifier":
-        return cls(ctx.state, ctx.spec)
+        return cls(ctx.state, ctx.spec, metrics=ctx.metrics)
 
     # -- dependency intake ---------------------------------------------------------
 
     def on_dependency(self, dep: Dependency) -> None:
+        self._m_certified.inc()
         graph = self._state.graph
         cycle = graph.add_dependency(dep)
         if cycle is not None:
@@ -82,6 +90,7 @@ class SerializationCertifier(MechanismVerifier):
             if contradictory
             else ViolationKind.DEPENDENCY_CYCLE
         )
+        self._m_cycles.inc()
         self._state.descriptor.record(
             Violation(
                 mechanism=Mechanism.SERIALIZATION_CERTIFIER,
@@ -129,6 +138,7 @@ class SerializationCertifier(MechanismVerifier):
         self._in_crw.add(dep.dst)
         if structure is None:
             return
+        self._m_dangerous.inc()
         self._state.descriptor.record(
             Violation(
                 mechanism=Mechanism.SERIALIZATION_CERTIFIER,

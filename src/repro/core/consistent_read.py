@@ -47,10 +47,21 @@ class ConsistentReadVerifier(MechanismVerifier):
         on_read_match=None,
         minimal: bool = True,
         check_aborted_reads: bool = True,
+        metrics=None,
     ):
+        from .metrics import NULL_REGISTRY
+
         self._state = state
         self._spec = spec
         self._emit = emit
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        #: size of the (minimal) candidate version set per checked read --
+        #: the quantity the Fig. 6 optimisation shrinks.
+        self._m_candidates = registry.histogram("cr.candidate_set.size")
+        self._m_reads = registry.counter("cr.reads.checked")
+        self._m_unique = registry.counter("cr.reads.unique_match")
+        self._m_ambiguous = registry.counter("cr.reads.ambiguous")
+        self._m_scans = registry.counter("cr.scans.checked")
         #: use the Fig. 6 minimal candidate set (False = naive ablation:
         #: every committed version is a candidate, weakening the check).
         self._minimal = minimal
@@ -80,6 +91,7 @@ class ConsistentReadVerifier(MechanismVerifier):
             ),
             minimal=ctx.options.get("minimize_candidates", True),
             check_aborted_reads=ctx.options.get("check_aborted_reads", True),
+            metrics=ctx.metrics,
         )
 
     # -- trace handlers ---------------------------------------------------------
@@ -126,6 +138,7 @@ class ConsistentReadVerifier(MechanismVerifier):
 
     def _check_read(self, txn: TxnState, pending: PendingRead) -> None:
         self._state.stats.reads_checked += 1
+        self._m_reads.inc()
         snapshot = self._snapshot_interval(txn, pending)
         observed = pending.observed
         own_delta = pending.own_delta
@@ -160,6 +173,7 @@ class ConsistentReadVerifier(MechanismVerifier):
             ]
         else:
             candidates = chain.committed_versions()
+        self._m_candidates.observe(len(candidates))
         matches = [
             version
             for version in candidates
@@ -175,6 +189,7 @@ class ConsistentReadVerifier(MechanismVerifier):
         if overlapped:
             self._state.stats.overlapped_pairs += 1
         if len(matches) == 1:
+            self._m_unique.inc()
             version = matches[0]
             if overlapped:
                 self._state.stats.deduced_overlapped_pairs += 1
@@ -183,8 +198,11 @@ class ConsistentReadVerifier(MechanismVerifier):
             # but it contributes no graph node.
             if txn.committed and self._on_read_match is not None:
                 self._on_read_match(version, txn.txn_id)
-        # More than one match: the read is legal but the exact version read
-        # is uncertain (duplicate values, Fig. 13's SmallBank residue).
+        else:
+            # More than one match: the read is legal but the exact version
+            # read is uncertain (duplicate values, Fig. 13's SmallBank
+            # residue).
+            self._m_ambiguous.inc()
 
     # -- scan completeness (phantom rows) -----------------------------------------
 
@@ -195,6 +213,7 @@ class ConsistentReadVerifier(MechanismVerifier):
         consistent snapshot)."""
         if not self._flag_stale:
             return  # no CR claim: scan freshness is not promised
+        self._m_scans.inc()
         predicate = scan.trace.predicate
         snapshot = self._snapshot_interval(
             txn, PendingRead(trace=scan.trace, key=None, observed={}, own_delta={})

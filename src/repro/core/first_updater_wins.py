@@ -35,14 +35,28 @@ class FirstUpdaterWinsVerifier(MechanismVerifier):
 
     name = "FUW"
 
-    def __init__(self, state: VerifierState, spec: IsolationSpec, emit: EmitFn):
+    def __init__(
+        self,
+        state: VerifierState,
+        spec: IsolationSpec,
+        emit: EmitFn,
+        metrics=None,
+    ):
+        from .metrics import NULL_REGISTRY
+
         self._state = state
         self._spec = spec
         self._emit = emit
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        #: committed-writer pairs whose snapshot/commit interval orders
+        #: were checked (Fig. 8 / Theorem 4).
+        self._m_pairs = registry.counter("fuw.interval_pairs.checked")
+        self._m_writes = registry.counter("fuw.writes.checked")
+        self._m_deduced = registry.counter("fuw.ww.deduced")
 
     @classmethod
     def build(cls, ctx: MechanismContext) -> "FirstUpdaterWinsVerifier":
-        return cls(ctx.state, ctx.spec, ctx.bus.publish)
+        return cls(ctx.state, ctx.spec, ctx.bus.publish, metrics=ctx.metrics)
 
     def on_terminal(
         self, txn: TxnState, trace, installed: List[Version]
@@ -56,6 +70,7 @@ class FirstUpdaterWinsVerifier(MechanismVerifier):
         their rolled-back updates cannot lose anybody's update."""
         for version in installed:
             self._state.stats.writes_checked += 1
+            self._m_writes.inc()
             chain = self._state.chain(version.key)
             for other in chain.committed_versions():
                 if other.txn_id == txn.txn_id or other.is_initial:
@@ -83,6 +98,7 @@ class FirstUpdaterWinsVerifier(MechanismVerifier):
         self_first = commit.can_precede(other_snapshot)
         overlapped = self._spans_overlap(snapshot, commit, other_snapshot, other_commit)
         self._state.stats.conflict_pairs += 1
+        self._m_pairs.inc()
         if overlapped:
             self._state.stats.overlapped_pairs += 1
         if not other_first and not self_first:
@@ -128,6 +144,7 @@ class FirstUpdaterWinsVerifier(MechanismVerifier):
             src, dst = other.txn_id, txn.txn_id
         else:
             src, dst = txn.txn_id, other.txn_id
+        self._m_deduced.inc()
         self._emit(
             Dependency(
                 src=src,

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from .intervals import Interval
+from .metrics import NULL_REGISTRY, MetricsRegistry
 from .state import VerifierState
 
 
@@ -33,6 +34,7 @@ class GarbageCollector:
         state: VerifierState,
         every: int = 512,
         on_txn_pruned: Optional[Callable[[str], None]] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if every < 1:
             raise ValueError("GC period must be positive")
@@ -40,6 +42,8 @@ class GarbageCollector:
         self._every = every
         self._since_last = 0
         self._on_txn_pruned = on_txn_pruned
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self._m_collect = registry.histogram("gc.collect.seconds")
 
     def maybe_collect(self) -> bool:
         """Called once per processed trace; runs a collection every
@@ -56,10 +60,11 @@ class GarbageCollector:
         horizon_ts = state.earliest_unverified_snapshot()
         if horizon_ts == float("-inf"):
             return
-        self._prune_graph(horizon_ts)
-        self._prune_locks(horizon_ts)
-        self._prune_versions(horizon_ts)
-        self._prune_txn_states(horizon_ts)
+        with self._m_collect.time():
+            self._prune_graph(horizon_ts)
+            self._prune_locks(horizon_ts)
+            self._prune_versions(horizon_ts)
+            self._prune_txn_states(horizon_ts)
 
     # -- Definition 4 / Theorem 5 -------------------------------------------------
 

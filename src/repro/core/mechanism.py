@@ -98,6 +98,16 @@ class MechanismContext:
     #: dispatch order stash collaborators here for later ones (e.g. the
     #: Fig. 9 deriver exposes ``on_read_match`` for CR).
     shared: Dict[str, Any] = field(default_factory=dict)
+    #: observability registry (``docs/observability.md``).  Defaults to the
+    #: shared disabled registry, so mechanisms may resolve instrument
+    #: handles unconditionally at build time and pay a no-op per event.
+    metrics: Any = None
+
+    def __post_init__(self) -> None:
+        if self.metrics is None:
+            from .metrics import NULL_REGISTRY
+
+            self.metrics = NULL_REGISTRY
 
 
 MechanismFactory = Callable[[MechanismContext], MechanismVerifier]

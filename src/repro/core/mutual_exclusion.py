@@ -36,19 +36,34 @@ class MutualExclusionVerifier(MechanismVerifier):
 
     name = "ME"
 
-    def __init__(self, state: VerifierState, spec: IsolationSpec, emit: EmitFn):
+    def __init__(
+        self,
+        state: VerifierState,
+        spec: IsolationSpec,
+        emit: EmitFn,
+        metrics=None,
+    ):
+        from .metrics import NULL_REGISTRY
+
         self._state = state
         self._spec = spec
         self._emit = emit
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        #: conflicting lock pairs whose hidden-instant orders were
+        #: enumerated at a terminal (Fig. 7 / Theorem 3).
+        self._m_pairs = registry.counter("me.lock_pairs.checked")
+        self._m_locks = registry.counter("me.locks.acquired")
+        self._m_deduced = registry.counter("me.ww.deduced")
 
     @classmethod
     def build(cls, ctx: MechanismContext) -> "MutualExclusionVerifier":
-        return cls(ctx.state, ctx.spec, ctx.bus.publish)
+        return cls(ctx.state, ctx.spec, ctx.bus.publish, metrics=ctx.metrics)
 
     # -- trace handlers ------------------------------------------------------
 
     def on_write(self, trace: Trace, txn: TxnState) -> None:
         for key in trace.writes:
+            self._m_locks.inc()
             self._state.locks.acquire(
                 txn.txn_id, key, LockMode.EXCLUSIVE, trace.interval
             )
@@ -90,6 +105,7 @@ class MutualExclusionVerifier(MechanismVerifier):
         outcome = classify_pair(entry, other)
         overlapped = self._spans_overlap(entry, other)
         self._state.stats.conflict_pairs += 1
+        self._m_pairs.inc()
         if overlapped:
             self._state.stats.overlapped_pairs += 1
         if outcome is OrderOutcome.VIOLATION:
@@ -124,6 +140,7 @@ class MutualExclusionVerifier(MechanismVerifier):
             src, dst = entry.txn_id, other.txn_id
         else:
             src, dst = other.txn_id, entry.txn_id
+        self._m_deduced.inc()
         self._emit(
             Dependency(
                 src=src,

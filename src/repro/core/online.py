@@ -173,6 +173,29 @@ class OnlineVerifier:
             return counter()
         return self._verifier.state.live_structure_count()
 
+    def snapshot(self) -> Dict[str, object]:
+        """Live operator view: streaming state plus the backend registry's
+        instruments (empty maps when the backend is not instrumented).
+        Safe to call at any time; it never advances the watermark.
+        Documented in ``docs/observability.md``."""
+        registry = getattr(self._verifier, "metrics", None)
+        watermark = self._watermark()
+        return {
+            "clients": len(self._stages),
+            "pending": self.pending,
+            "dispatched": self._dispatched,
+            # -inf (no client has vouched yet) is not JSON-representable.
+            "watermark": watermark if watermark > float("-inf") else None,
+            "violations": len(self._current_violations()),
+            "alerted": self._alerted,
+            "live_structures": self.live_structure_count(),
+            "metrics": (
+                registry.snapshot()
+                if registry is not None and registry.enabled
+                else {"counters": {}, "gauges": {}, "histograms": {}}
+            ),
+        }
+
     def finish(self) -> VerificationReport:
         """Drain everything staged (all clients are declared done) and
         return the final report."""

@@ -38,14 +38,16 @@ which shard owned the keys of its first operation.
 from __future__ import annotations
 
 import multiprocessing
+import time
 import traceback
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from .bus import DependencyBus
 from .certifier import SerializationCertifier
 from .intervals import Interval
 from .mechanism import MechanismContext, MechanismVerifier
+from .metrics import NULL_REGISTRY, MetricsRegistry
 from .report import (
     BugDescriptor,
     VerificationReport,
@@ -110,6 +112,11 @@ class ShardResult:
     #: order the shard produced them.
     events: List[Tuple[int, int, str, object]]
     stats: VerificationStats
+    #: worker-side :meth:`MetricsRegistry.snapshot` (empty dicts when the
+    #: run was not instrumented) and the shard's trace-processing wall
+    #: time, for the ``parallel.shard.*`` coordinator metrics.
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    wall_seconds: float = 0.0
 
 
 class ShardVerifier(Verifier):
@@ -125,11 +132,16 @@ class ShardVerifier(Verifier):
     def __init__(self, shard_id: int = 0, **kwargs):
         overrides = dict(kwargs.pop("mechanism_overrides", None) or {})
         overrides.setdefault("SC", GraphOnlyCertifier.build)
+        # Registries do not cross the process pipe, so the coordinator
+        # ships a bool and each worker builds (and later snapshots) its own.
+        if kwargs.pop("metrics_enabled", False) and "metrics" not in kwargs:
+            kwargs["metrics"] = MetricsRegistry()
         super().__init__(mechanism_overrides=overrides, **kwargs)
         self.shard_id = shard_id
         self.events: List[Tuple[int, int, str, object]] = []
         self._seq = 0
         self._trace_index = -1
+        self._wall_seconds = 0.0
         self.bus.tap(lambda dep: self._journal(_DEP, dep))
         self.state.descriptor = _JournalingDescriptor(self._journal)
 
@@ -144,12 +156,28 @@ class ShardVerifier(Verifier):
 
     def ingest(self, trace_index: int, trace: Trace) -> None:
         self._trace_index = trace_index
-        self.process(trace)
+        if self.metrics.enabled:
+            start = time.perf_counter()
+            self.process(trace)
+            self._wall_seconds += time.perf_counter() - start
+        else:
+            self.process(trace)
 
     def finish_shard(self) -> ShardResult:
-        self.finish()
+        if self.metrics.enabled:
+            start = time.perf_counter()
+            self.finish()
+            self._wall_seconds += time.perf_counter() - start
+            snapshot = self.metrics.snapshot()
+        else:
+            self.finish()
+            snapshot = {}
         return ShardResult(
-            shard_id=self.shard_id, events=self.events, stats=self.state.stats
+            shard_id=self.shard_id,
+            events=self.events,
+            stats=self.state.stats,
+            metrics=snapshot,
+            wall_seconds=self._wall_seconds,
         )
 
 
@@ -218,6 +246,15 @@ class ParallelVerifier:
         fallback -- same journals, same merge, byte-identical report).
     batch_size:
         Messages buffered per shard before a pipe send (process backend).
+    metrics:
+        Coordinator-side :class:`~repro.core.metrics.MetricsRegistry`.
+        When enabled, each shard builds its own registry (registries do
+        not cross the worker pipe), ships its snapshot back inside
+        :class:`ShardResult`, and the coordinator folds the snapshots in
+        via :meth:`~repro.core.metrics.MetricsRegistry.merge_snapshot`,
+        adding ``parallel.shard.seconds{shard=i}`` /
+        ``parallel.shard.journal.events{shard=i}`` gauges and the
+        ``parallel.merge.seconds`` histogram.  Default: disabled.
     """
 
     def __init__(
@@ -229,10 +266,12 @@ class ParallelVerifier:
         batch_size: int = 256,
         gc_every: int = 512,
         session_order: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
         **verifier_kwargs,
     ):
         if backend not in ("process", "inline"):
             raise ValueError(f"unknown parallel backend {backend!r}")
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.spec = spec
         self.router = ShardRouter(shards)
         self._backend = backend
@@ -264,6 +303,7 @@ class ParallelVerifier:
         # shard would multiply them in the merged graph, so shard 0 owns
         # them (every shard sees every terminal, so its view is complete).
         options["session_order"] = self._session_order and shard == 0
+        options["metrics_enabled"] = self.metrics.enabled
         return options
 
     def _make_shard(self, shard: int) -> ShardVerifier:
@@ -394,6 +434,27 @@ class ParallelVerifier:
     # -- merge: global certification over the journaled event stream ---------------
 
     def _merge(self, results: List[ShardResult]) -> VerificationReport:
+        if self.metrics.enabled:
+            self._absorb_shard_metrics(results)
+            with self.metrics.timer("parallel.merge.seconds"):
+                return self._merge_events(results)
+        return self._merge_events(results)
+
+    def _absorb_shard_metrics(self, results: List[ShardResult]) -> None:
+        for result in results:
+            self.metrics.merge_snapshot(result.metrics)
+            self.metrics.set_gauge(
+                "parallel.shard.seconds",
+                result.wall_seconds,
+                shard=result.shard_id,
+            )
+            self.metrics.set_gauge(
+                "parallel.shard.journal.events",
+                len(result.events),
+                shard=result.shard_id,
+            )
+
+    def _merge_events(self, results: List[ShardResult]) -> VerificationReport:
         events: List[Tuple[int, int, int, str, object]] = []
         for result in results:
             for index, seq, kind, payload in result.events:
@@ -411,8 +472,13 @@ class ParallelVerifier:
             # so installing final statuses up front replays faithfully.
             txn.status = record.status
             txn.terminal_interval = record.terminal_interval
+        # The merge bus gets no coordinator registry on purpose: its
+        # accept/deliver counters would double-count the shard-journaled
+        # dependencies the worker buses already counted.  The certifier
+        # *does* count here -- shards run the report-free GraphOnlyCertifier,
+        # so certification happens exactly once, in this pass.
         bus = DependencyBus(state, count_stats=False)
-        certifier = SerializationCertifier(state, self.spec)
+        certifier = SerializationCertifier(state, self.spec, metrics=self.metrics)
         bus.subscribe(certifier.name, certifier.on_dependency, priority=0)
 
         commits = iter(self._commits)

@@ -27,10 +27,12 @@ provided for the same comparison.
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .intervals import POS_INF
+from .metrics import NULL_REGISTRY, MetricsRegistry
 from .trace import Trace
 
 
@@ -129,6 +131,7 @@ class TwoLevelPipeline:
         self,
         feeds: Sequence[ClientFeed],
         optimized: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if not feeds:
             raise ValueError("pipeline needs at least one client feed")
@@ -138,6 +141,12 @@ class TwoLevelPipeline:
         self._last_dispatched_ts = -POS_INF
         self._last_round_dispatched = 0
         self.stats = PipelineStats()
+        self._metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._m_fetch = self._metrics.histogram("pipeline.fetch.seconds")
+        self._m_heap = self._metrics.histogram("pipeline.heap.size")
+        self._m_dispatched = self._metrics.counter("pipeline.traces.dispatched")
+        self._m_lag = self._metrics.gauge("pipeline.watermark.lag")
+        self._max_pushed_ts = -POS_INF
 
     # -- internals ---------------------------------------------------------
 
@@ -148,7 +157,24 @@ class TwoLevelPipeline:
         return sum(len(buf.pending) for buf in self._locals)
 
     def _push(self, trace: Trace) -> None:
+        if trace.ts_bef > self._max_pushed_ts:
+            self._max_pushed_ts = trace.ts_bef
         heapq.heappush(self._heap, (trace.ts_bef, trace.trace_id, trace))
+
+    def _observe_round(self) -> None:
+        """Per-round gauges/histograms (instrumented runs only): heap
+        size, per-client staged depth, and the watermark lag -- how far
+        ahead of the watermark fetched traces have piled up while a
+        laggard client holds dispatch back."""
+        self._m_heap.observe(len(self._heap))
+        for index, buf in enumerate(self._locals):
+            self._metrics.gauge(
+                "pipeline.client.depth", client=index
+            ).high_watermark(len(buf.pending))
+        if self._heap:
+            lag = self._max_pushed_ts - self._watermark()
+            if lag > 0:
+                self._m_lag.high_watermark(lag)
 
     def _fetch_round(self) -> None:
         """One fetch stage: move staged traces into the heap and restage.
@@ -159,6 +185,9 @@ class TwoLevelPipeline:
         heap size bounded by the dispatch rate.
         """
         self.stats.rounds += 1
+        instrumented = self._metrics.enabled
+        if instrumented:
+            fetch_start = time.perf_counter()
         buffers = [buf for buf in self._locals if not buf.done]
         for buf in buffers:
             buf.refill()
@@ -186,6 +215,9 @@ class TwoLevelPipeline:
                 buf.refill()
         self.stats.observe(len(self._heap), self._buffered())
         self._last_round_dispatched = 0
+        if instrumented:
+            self._m_fetch.observe(time.perf_counter() - fetch_start)
+            self._observe_round()
 
     def _all_done(self) -> bool:
         return all(buf.done for buf in self._locals)
@@ -208,6 +240,7 @@ class TwoLevelPipeline:
                 self._last_dispatched_ts = trace.ts_bef
                 self.stats.dispatched += 1
                 self._last_round_dispatched += 1
+                self._m_dispatched.inc()
                 yield trace
             if self._all_done():
                 # Drain: nothing remains in any local buffer or client.
@@ -215,6 +248,7 @@ class TwoLevelPipeline:
                     _, _, trace = heapq.heappop(self._heap)
                     self._last_dispatched_ts = trace.ts_bef
                     self.stats.dispatched += 1
+                    self._m_dispatched.inc()
                     yield trace
                 return
             self._fetch_round()
@@ -251,13 +285,14 @@ def pipeline_from_client_streams(
     streams: Dict[int, Sequence[Trace]],
     batch_size: int = 64,
     optimized: bool = True,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> TwoLevelPipeline:
     """Convenience constructor from ``{client_id: [traces...]}``."""
     feeds = [
         ClientFeed(traces, batch_size=batch_size)
         for _, traces in sorted(streams.items())
     ]
-    return TwoLevelPipeline(feeds, optimized=optimized)
+    return TwoLevelPipeline(feeds, optimized=optimized, metrics=metrics)
 
 
 def sorted_traces(streams: Dict[int, Sequence[Trace]]) -> List[Trace]:

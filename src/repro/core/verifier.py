@@ -35,6 +35,7 @@ from .mechanism import (
     MechanismVerifier,
     build_mechanisms,
 )
+from .metrics import NULL_REGISTRY, MetricsRegistry
 from .report import Mechanism, VerificationReport
 from .spec import IsolationSpec, PG_SERIALIZABLE
 from .state import TxnState, TxnStatus, VerifierState
@@ -79,6 +80,11 @@ class Verifier:
     mechanism_overrides:
         Per-name factory substitutions applied on top of the registry
         (``{"SC": factory}`` swaps the certifier without re-registering).
+    metrics:
+        A :class:`~repro.core.metrics.MetricsRegistry` to instrument the
+        run with (``docs/observability.md``).  ``None`` (the default)
+        wires every layer to the shared disabled registry: zero side
+        effects, report output byte-identical to an uninstrumented build.
     """
 
     def __init__(
@@ -93,6 +99,7 @@ class Verifier:
         session_order: bool = True,
         state: Optional[VerifierState] = None,
         mechanism_overrides=None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         """``session_order`` adds same-client program-order edges to the
         dependency graph (strong-session guarantee).  Sound for every
@@ -103,10 +110,11 @@ class Verifier:
         self.spec = spec
         self._session_order = session_order
         self._session_tail: dict = {}
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.state = state if state is not None else VerifierState(
             initial_db=initial_db, incremental_graph=incremental_graph
         )
-        self.bus = DependencyBus(self.state)
+        self.bus = DependencyBus(self.state, metrics=self.metrics)
         context = MechanismContext(
             state=self.state,
             spec=spec,
@@ -115,6 +123,7 @@ class Verifier:
                 "minimize_candidates": minimize_candidates,
                 "check_aborted_reads": check_aborted_reads,
             },
+            metrics=self.metrics,
         )
         self.mechanisms: List[MechanismVerifier] = build_mechanisms(
             context, overrides=mechanism_overrides
@@ -129,10 +138,23 @@ class Verifier:
         self._gc_hooks = [
             m for m in self.mechanisms if type(m).on_gc is not base.on_gc
         ]
+        #: per-mechanism terminal-time histograms (no-op handles when the
+        #: registry is disabled, so ``_timed`` needs no enabled check).
+        self._terminal_hists = {
+            m.name: self.metrics.histogram(
+                "mechanism.terminal.seconds", mechanism=m.name
+            )
+            for m in self.mechanisms
+            if m.timed
+        }
+        self._m_txns_pruned = self.metrics.counter("gc.txns.pruned")
         self._gc: Optional[GarbageCollector] = None
         if gc_every:
             self._gc = GarbageCollector(
-                self.state, every=gc_every, on_txn_pruned=self._on_txn_pruned
+                self.state,
+                every=gc_every,
+                on_txn_pruned=self._on_txn_pruned,
+                metrics=self.metrics,
             )
         self._finished = False
         if not exchange_dependencies:
@@ -247,10 +269,12 @@ class Verifier:
         try:
             fn()
         finally:
+            elapsed = time.perf_counter() - start
             bucket = self.state.stats.mechanism_seconds
-            bucket[mechanism] = bucket.get(mechanism, 0.0) + (
-                time.perf_counter() - start
-            )
+            bucket[mechanism] = bucket.get(mechanism, 0.0) + elapsed
+            hist = self._terminal_hists.get(mechanism)
+            if hist is not None:
+                hist.observe(elapsed)
 
     # -- dependency exchange (Section V-A / Fig. 9) ------------------------------------
 
@@ -261,6 +285,7 @@ class Verifier:
     # -- garbage collection fan-out -------------------------------------------------
 
     def _on_txn_pruned(self, txn_id: str) -> None:
+        self._m_txns_pruned.inc()
         for mechanism in self._gc_hooks:
             mechanism.on_gc(txn_id)
 

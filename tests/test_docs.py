@@ -1,0 +1,43 @@
+"""Documentation health: intra-repo markdown links resolve, and the pages
+the code references by name actually exist."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_intra_repo_markdown_links_resolve():
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "check_doc_links.py")],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "0 broken link(s)" in result.stdout
+
+
+def test_documented_operator_pages_exist():
+    docs = REPO_ROOT / "docs"
+    for page in (
+        "usage.md",
+        "architecture.md",
+        "paper_mapping.md",
+        "observability.md",
+        "plugins.md",
+    ):
+        assert (docs / page).exists(), page
+
+
+def test_observability_doc_matches_the_schema():
+    """The documented schema tag and phase names must track the code."""
+    from repro.core.metrics import PHASES
+
+    text = (REPO_ROOT / "docs" / "observability.md").read_text()
+    assert "repro.stats/v1" in text
+    for phase in PHASES:
+        assert phase in text
+    for surface in ("--stats-json", "snapshot()", "REPRO_BENCH_STATS_DIR"):
+        assert surface in text

@@ -1,0 +1,452 @@
+"""Metrics/tracing subsystem: registry semantics, no-op guarantees,
+end-to-end instrumentation equivalence and the operator surfaces.
+
+Schema and naming conventions are documented in docs/observability.md;
+the mechanism-author side is in docs/plugins.md.
+"""
+
+import json
+
+import pytest
+
+from repro import (
+    MetricsRegistry,
+    OnlineVerifier,
+    PG_SERIALIZABLE,
+    SpanTracer,
+    Verifier,
+    pipeline_from_client_streams,
+    run_stats,
+)
+from repro.core.bus import DependencyBus
+from repro.core.dependencies import Dependency, DepType
+from repro.core.intervals import Interval
+from repro.core.metrics import (
+    NULL_REGISTRY,
+    NullInstrument,
+    PHASES,
+    metric_key,
+    parse_metric_key,
+    phase_breakdown,
+    render_stats,
+)
+from repro.core.parallel import ParallelVerifier
+from repro.core.report import Mechanism
+from repro.core.state import VerifierState
+from repro.workloads import BlindW, run_workload
+
+
+@pytest.fixture(scope="module")
+def workload_run():
+    return run_workload(
+        BlindW.rw(keys=128), PG_SERIALIZABLE, clients=6, txns=300, seed=11
+    )
+
+
+def _instrumented_verify(run, **kwargs):
+    metrics = MetricsRegistry()
+    verifier = Verifier(
+        spec=PG_SERIALIZABLE, initial_db=run.initial_db, metrics=metrics, **kwargs
+    )
+    for trace in pipeline_from_client_streams(run.client_streams, metrics=metrics):
+        verifier.process(trace)
+    return verifier.finish(), metrics
+
+
+MECHANISM_PREFIXES = ("cr.", "me.", "fuw.", "sc.", "bus.", "gc.")
+
+
+def _mechanism_counters(registry):
+    return {
+        key: value
+        for key, value in registry.snapshot()["counters"].items()
+        if key.startswith(MECHANISM_PREFIXES)
+    }
+
+
+class TestMetricKeys:
+    def test_round_trip(self):
+        key = metric_key("bus.deps.accepted", {"type": "ww", "mechanism": "ME"})
+        assert key == "bus.deps.accepted{mechanism=ME,type=ww}"
+        assert parse_metric_key(key) == (
+            "bus.deps.accepted",
+            {"mechanism": "ME", "type": "ww"},
+        )
+
+    def test_unlabelled(self):
+        assert metric_key("cr.reads.checked", {}) == "cr.reads.checked"
+        assert parse_metric_key("cr.reads.checked") == ("cr.reads.checked", {})
+
+
+class TestRegistrySemantics:
+    def test_counter_handles_are_shared(self):
+        registry = MetricsRegistry()
+        handle = registry.counter("x.events", kind="a")
+        handle.inc()
+        registry.counter("x.events", kind="a").inc(2)
+        assert registry.counter_value("x.events", kind="a") == 3
+        assert registry.counter_value("x.events", kind="b") == 0
+
+    def test_gauge_set_and_high_watermark(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("x.depth")
+        gauge.set(5)
+        gauge.high_watermark(3)
+        assert registry.snapshot()["gauges"]["x.depth"] == 5
+        gauge.high_watermark(9)
+        assert registry.snapshot()["gauges"]["x.depth"] == 9
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("x.seconds")
+        for value in (1.0, 3.0, 2.0):
+            hist.observe(value)
+        summary = registry.snapshot()["histograms"]["x.seconds"]
+        assert summary["count"] == 3
+        assert summary["total"] == 6.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["mean"] == 2.0
+
+    def test_histogram_timer_observes_elapsed(self):
+        registry = MetricsRegistry()
+        with registry.timer("x.seconds"):
+            pass
+        summary = registry.snapshot()["histograms"]["x.seconds"]
+        assert summary["count"] == 1
+        assert summary["total"] >= 0.0
+
+    def test_merge_snapshot(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("n.events", 2)
+        b.inc("n.events", 3)
+        b.set_gauge("n.depth", 7)
+        b.observe("n.seconds", 1.5)
+        a.observe("n.seconds", 0.5)
+        a.merge_snapshot(b.snapshot())
+        snap = a.snapshot()
+        assert snap["counters"]["n.events"] == 5
+        assert snap["gauges"]["n.depth"] == 7
+        assert snap["histograms"]["n.seconds"]["count"] == 2
+        assert snap["histograms"]["n.seconds"]["total"] == 2.0
+        assert snap["histograms"]["n.seconds"]["max"] == 1.5
+
+
+class TestDisabledRegistry:
+    def test_disabled_registry_records_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("x.events").inc()
+        registry.gauge("x.depth").set(4)
+        with registry.timer("x.seconds"):
+            pass
+        assert registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_disabled_handles_are_the_shared_null_instrument(self):
+        registry = MetricsRegistry(enabled=False)
+        assert isinstance(registry.counter("a"), NullInstrument)
+        assert registry.counter("a") is registry.histogram("b")
+        assert registry.gauge("c") is NULL_REGISTRY.counter("d")
+
+    def test_uninstrumented_verification_has_zero_side_effects(self, workload_run):
+        baseline, _ = _instrumented_verify(workload_run)
+        verifier = Verifier(
+            spec=PG_SERIALIZABLE, initial_db=workload_run.initial_db
+        )
+        for trace in pipeline_from_client_streams(workload_run.client_streams):
+            verifier.process(trace)
+        report = verifier.finish()
+        assert report.summary() == baseline.summary()
+        assert verifier.metrics.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+class TestEndToEndInstrumentation:
+    def test_serial_counters_cover_every_mechanism(self, workload_run):
+        report, metrics = _instrumented_verify(workload_run)
+        assert report.ok
+        counters = metrics.snapshot()["counters"]
+        assert counters["cr.reads.checked"] > 0
+        assert counters["me.locks.acquired"] > 0
+        assert counters["fuw.writes.checked"] > 0
+        assert counters["sc.deps.certified"] > 0
+        assert counters["pipeline.traces.dispatched"] == len(
+            [t for s in workload_run.client_streams.values() for t in s]
+        )
+        hists = metrics.snapshot()["histograms"]
+        assert hists["cr.candidate_set.size"]["count"] > 0
+        assert hists["mechanism.terminal.seconds{mechanism=CR}"]["count"] > 0
+
+    def test_counters_match_report_stats(self, workload_run):
+        report, metrics = _instrumented_verify(workload_run)
+        stats = report.stats
+        counters = metrics.snapshot()["counters"]
+        assert counters["cr.reads.checked"] == stats.reads_checked
+        assert counters["fuw.writes.checked"] == stats.writes_checked
+        assert counters["gc.txns.pruned"] == stats.gc_txns_pruned
+        delivered_ww = sum(
+            value
+            for key, value in counters.items()
+            if key.startswith("bus.deps.accepted{") and key.endswith("type=ww}")
+        )
+        assert delivered_ww == stats.deps_ww
+
+    def test_parallel_one_shard_matches_serial_mechanism_counters(
+        self, workload_run
+    ):
+        serial_report, serial_metrics = _instrumented_verify(workload_run)
+        metrics = MetricsRegistry()
+        parallel = ParallelVerifier(
+            spec=PG_SERIALIZABLE,
+            initial_db=workload_run.initial_db,
+            shards=1,
+            backend="inline",
+            metrics=metrics,
+        )
+        for trace in pipeline_from_client_streams(workload_run.client_streams):
+            parallel.process(trace)
+        parallel_report = parallel.finish()
+        assert parallel_report.summary() == serial_report.summary()
+        assert _mechanism_counters(metrics) == _mechanism_counters(serial_metrics)
+
+    def test_parallel_coordinator_metrics(self, workload_run):
+        metrics = MetricsRegistry()
+        parallel = ParallelVerifier(
+            spec=PG_SERIALIZABLE,
+            initial_db=workload_run.initial_db,
+            shards=3,
+            backend="inline",
+            metrics=metrics,
+        )
+        for trace in pipeline_from_client_streams(workload_run.client_streams):
+            parallel.process(trace)
+        parallel.finish()
+        snap = metrics.snapshot()
+        for shard in range(3):
+            assert f"parallel.shard.seconds{{shard={shard}}}" in snap["gauges"]
+            assert (
+                f"parallel.shard.journal.events{{shard={shard}}}" in snap["gauges"]
+            )
+        assert snap["histograms"]["parallel.merge.seconds"]["count"] == 1
+
+
+class TestBusDelegation:
+    def _bus(self, metrics=None):
+        state = VerifierState()
+        # Endpoints must be live or the garbage guard drops the edge.
+        for index, txn_id in enumerate(("t1", "t2", "t3", "a", "b")):
+            state.ensure_txn(txn_id, index, Interval(0.0, 1.0))
+        return DependencyBus(state, metrics=metrics)
+
+    def test_counts_view_reads_the_registry(self):
+        bus = self._bus()
+        bus.publish(
+            Dependency(
+                src="t1", dst="t2", dep_type=DepType.WW, key="k",
+                source=Mechanism.MUTUAL_EXCLUSION,
+            )
+        )
+        bus.publish(
+            Dependency(
+                src="t1", dst="t3", dep_type=DepType.WR, key="k",
+                source=Mechanism.CONSISTENT_READ,
+            )
+        )
+        assert bus.counts == {"ME": {"ww": 1}, "CR": {"wr": 1}}
+        assert bus.accepted == 2
+        assert bus.dropped == 0
+        assert bus.metrics.counter_value(
+            "bus.deps.accepted", mechanism="ME", type="ww"
+        ) == 1
+
+    def test_shared_registry_is_single_source_of_truth(self):
+        metrics = MetricsRegistry()
+        bus = self._bus(metrics=metrics)
+        bus.publish(
+            Dependency(
+                src="a", dst="b", dep_type=DepType.RW, key="k",
+                source=Mechanism.SERIALIZATION_CERTIFIER,
+            )
+        )
+        assert bus.metrics is metrics
+        assert metrics.counter_value(
+            "bus.deps.accepted", mechanism="SC", type="rw"
+        ) == 1
+        assert bus.counts == {"SC": {"rw": 1}}
+
+    def test_disabled_registry_still_backs_the_views(self):
+        bus = self._bus(metrics=MetricsRegistry(enabled=False))
+        bus.publish(
+            Dependency(
+                src="a", dst="b", dep_type=DepType.SO, key=None,
+                source=Mechanism.SERIALIZATION_CERTIFIER,
+            )
+        )
+        # A disabled registry must never accumulate, so the bus keeps a
+        # private enabled one for its Fig. 13 counters.
+        assert bus.accepted == 1
+        assert bus.metrics.enabled
+
+
+class TestSpanTracer:
+    def test_spans_are_well_formed_and_nested(self):
+        tracer = SpanTracer()
+        with tracer.span("verify", workload="blindw"):
+            with tracer.span("pipeline-sort"):
+                pass
+            with tracer.span("mechanisms"):
+                pass
+        events = tracer.events
+        assert [e["ev"] for e in events] == [
+            "begin", "begin", "end", "begin", "end", "end",
+        ]
+        assert events[0]["span"] == "verify"
+        assert events[0]["workload"] == "blindw"
+        # Matching begin/end pairs share a depth; children are one deeper.
+        assert events[0]["depth"] == events[-1]["depth"] == 0
+        assert events[1]["depth"] == events[2]["depth"] == 1
+        # End events carry non-negative durations within the parent's.
+        assert events[2]["dur"] >= 0.0
+        assert events[-1]["dur"] >= events[2]["dur"]
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 4
+        parsed = [json.loads(line) for line in lines]
+        depth = 0
+        for event in parsed:
+            if event["ev"] == "begin":
+                assert event["depth"] == depth
+                depth += 1
+            else:
+                depth -= 1
+                assert event["depth"] == depth
+        assert depth == 0
+
+    def test_disabled_tracer_emits_nothing(self):
+        tracer = SpanTracer(enabled=False)
+        with tracer.span("anything"):
+            pass
+        assert tracer.events == []
+        assert tracer.to_jsonl() == ""
+
+    def test_sink_streams_events(self):
+        seen = []
+        tracer = SpanTracer(sink=seen.append)
+        with tracer.span("s"):
+            pass
+        assert len(seen) == 2 and seen is not tracer.events
+
+
+class TestStatsDocument:
+    def test_phase_breakdown_covers_all_phases(self):
+        breakdown = phase_breakdown(
+            {"CR": 1.0, "ME": 0.5}, pipeline_sort_seconds=0.25, merge_seconds=0.1
+        )
+        assert set(breakdown) == set(PHASES)
+        assert breakdown["CR"] == 1.0
+        assert breakdown["pipeline-sort"] == 0.25
+        assert breakdown["merge"] == 0.1
+        assert breakdown["FUW"] == 0.0
+
+    def test_run_stats_schema(self, workload_run):
+        report, metrics = _instrumented_verify(workload_run)
+        document = run_stats(report, metrics=metrics, wall_seconds=1.0)
+        assert document["schema"] == "repro.stats/v1"
+        assert document["ok"] is True
+        assert set(document["phases"]) == set(PHASES)
+        assert document["stats"]["traces_processed"] > 0
+        assert document["metrics"]["counters"]
+        json.dumps(document)  # must be JSON-serialisable as-is
+
+    def test_render_stats_lists_instruments(self, workload_run):
+        report, metrics = _instrumented_verify(workload_run)
+        text = render_stats(run_stats(report, metrics=metrics))
+        assert text.startswith("-- stats --")
+        assert "cr.reads.checked" in text
+        assert "phase seconds" in text
+
+
+class TestOperatorSurfaces:
+    def test_cli_stats_flag(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        capture = tmp_path / "capture"
+        assert main(
+            [
+                "run", "--workload", "blindw-rw", "--txns", "120",
+                "--clients", "4", "--out", str(capture),
+            ]
+        ) == 0
+        stats_path = tmp_path / "stats.json"
+        assert main(
+            [
+                "verify", str(capture), "--stats",
+                "--stats-json", str(stats_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "-- stats --" in out
+        assert "cr.reads.checked" in out
+        document = json.loads(stats_path.read_text())
+        assert document["schema"] == "repro.stats/v1"
+        assert document["phases"]["pipeline-sort"] >= 0.0
+        assert document["wall_seconds"] > 0.0
+
+    def test_cli_default_output_has_no_stats_block(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        capture = tmp_path / "capture"
+        main(
+            [
+                "run", "--workload", "blindw-rw", "--txns", "120",
+                "--clients", "4", "--out", str(capture),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["verify", str(capture)]) == 0
+        out = capsys.readouterr().out
+        assert "-- stats --" not in out
+        assert "counters" not in out
+
+    def test_online_snapshot(self, workload_run):
+        online = OnlineVerifier(
+            verifier=Verifier(
+                spec=PG_SERIALIZABLE,
+                initial_db=workload_run.initial_db,
+                metrics=MetricsRegistry(),
+            )
+        )
+        snapshot = online.snapshot()
+        assert snapshot["dispatched"] == 0
+        assert snapshot["watermark"] is None
+        for client_id, stream in workload_run.client_streams.items():
+            for trace in stream[:20]:
+                online.feed(trace)
+        snapshot = online.snapshot()
+        assert snapshot["clients"] == len(workload_run.client_streams)
+        assert snapshot["dispatched"] > 0
+        assert snapshot["violations"] == 0
+        assert snapshot["metrics"]["counters"]
+        json.dumps(snapshot)
+
+    def test_online_snapshot_uninstrumented_backend(self, workload_run):
+        online = OnlineVerifier(spec=PG_SERIALIZABLE)
+        snapshot = online.snapshot()
+        assert snapshot["metrics"] == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Check intra-repository markdown links.
+
+Walks every tracked ``*.md`` file (repo root, ``docs/``, and any other
+directory), extracts ``[text](target)`` links, and verifies that each
+*local* target exists relative to the file containing the link.  External
+links (``http(s)://``, ``mailto:``) and pure in-page anchors (``#...``)
+are skipped; a ``path#anchor`` target is checked for the path part only.
+
+Exit status 0 when every local link resolves, 1 otherwise (one line per
+broken link) -- which is exactly what the CI docs job needs.
+
+Usage::
+
+    python tools/check_doc_links.py [ROOT]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: inline markdown links; deliberately simple -- no reference-style links
+#: are used in this repository's docs.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+#: directories never scanned for markdown sources.
+SKIP_DIRS = {".git", ".pytest_cache", "__pycache__", ".ruff_cache", "node_modules"}
+
+#: top-level files produced by external tooling (paper retrieval, issue
+#: tracking) rather than authored as repository documentation; their
+#: scraped content may legitimately reference assets that were never
+#: vendored in.
+SKIP_FILES = {"PAPERS.md", "SNIPPETS.md", "ISSUE.md", "CHANGES.md"}
+
+
+def iter_markdown_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.parts):
+            continue
+        if path.parent == root and path.name in SKIP_FILES:
+            continue
+        yield path
+
+
+def check_file(path: Path, root: Path):
+    """Yield ``(link, reason)`` for each broken local link in ``path``."""
+    text = path.read_text(encoding="utf-8")
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+            continue
+        candidate, _, _anchor = target.partition("#")
+        if not candidate:
+            continue
+        if candidate.startswith("/"):
+            resolved = root / candidate.lstrip("/")
+        else:
+            resolved = path.parent / candidate
+        if not resolved.exists():
+            yield target, f"{resolved} does not exist"
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    root = Path(argv[0]).resolve() if argv else Path(__file__).resolve().parents[1]
+    broken = 0
+    checked = 0
+    for md in iter_markdown_files(root):
+        checked += 1
+        for target, reason in check_file(md, root):
+            broken += 1
+            print(f"{md.relative_to(root)}: broken link '{target}' ({reason})")
+    print(f"checked {checked} markdown files: {broken} broken link(s)")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
