@@ -39,6 +39,7 @@ from .dependencies import Dependency, DepType
 from .mechanism import MechanismContext, MechanismVerifier, register_mechanism
 from .metrics import MetricsRegistry, parse_metric_key
 from .report import Mechanism
+from .trace import INIT_TXN
 from .versions import Version
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -58,6 +59,13 @@ class DependencyBus:
         metrics: Optional[MetricsRegistry] = None,
     ):
         self._state = state
+        #: direct references to the graph's node table and the transaction
+        #: table: the garbage guard runs four membership tests per published
+        #: dependency, and dict containment is C-level where the graph's
+        #: ``__contains__`` is a Python call.  Both structures are mutated
+        #: in place only, so the references stay valid for the bus lifetime.
+        self._graph_nodes = state.graph._nodes
+        self._txns = state.txns
         #: whether accepted dependencies update ``state.stats.deps_*``
         #: (the merge path of the parallel verifier re-publishes already
         #: counted dependencies and disables this).
@@ -65,6 +73,10 @@ class DependencyBus:
         #: (priority, insertion_seq, name, callback, timed)
         self._subscribers: List[Tuple[int, int, str, DeliverFn, bool]] = []
         self._sub_seq = 0
+        #: delivery-order callables compiled from ``_subscribers`` (timed
+        #: subscribers are wrapped once here instead of branching and
+        #: unpacking per event).
+        self._dispatch: Tuple[DeliverFn, ...] = ()
         self._taps: List[TapFn] = []
         #: the single source of truth for the bus counters.  The Fig. 13
         #: breakdown (``counts``) must exist even when the run is not
@@ -74,9 +86,16 @@ class DependencyBus:
             self.metrics = metrics
         else:
             self.metrics = MetricsRegistry()
-        #: per-(mechanism, type) counter handles, resolved once per pair so
-        #: the hot publication path pays one dict lookup per event.
-        self._handles: Dict[Tuple[str, Tuple[str, str]], object] = {}
+        #: per-(metric, mechanism, type) counter handles for the cold
+        #: metrics (dropped, deferred), resolved once per triple.
+        self._handles: Dict[Tuple[str, object, object], object] = {}
+        #: per-(mechanism, type) ``(accepted, delivered)`` handle pairs:
+        #: every surviving publication bumps both, so the hot path fetches
+        #: them with a single dict lookup per event instead of two
+        #: :meth:`_count` calls (two key tuples + two lookups).
+        self._pair_handles: Dict[
+            Tuple[object, object], Tuple[object, object]
+        ] = {}
         self._pending: List[Dependency] = []
 
     # -- wiring ------------------------------------------------------------
@@ -95,6 +114,25 @@ class DependencyBus:
         self._subscribers.append((priority, self._sub_seq, name, callback, timed))
         self._sub_seq += 1
         self._subscribers.sort(key=lambda entry: (entry[0], entry[1]))
+        self._dispatch = tuple(
+            self._timed_wrapper(entry[2], entry[3]) if entry[4] else entry[3]
+            for entry in self._subscribers
+        )
+
+    def _timed_wrapper(self, name: str, callback: DeliverFn) -> DeliverFn:
+        state = self._state
+
+        def deliver_timed(dep: Dependency) -> None:
+            start = time.perf_counter()
+            try:
+                callback(dep)
+            finally:
+                bucket = state.stats.mechanism_seconds
+                bucket[name] = bucket.get(name, 0.0) + (
+                    time.perf_counter() - start
+                )
+
+        return deliver_timed
 
     def tap(self, fn: TapFn) -> None:
         """Register a passive observer of every accepted dependency."""
@@ -105,14 +143,32 @@ class DependencyBus:
     def _count(self, metric: str, dep: Dependency) -> None:
         """Bump ``bus.deps.<metric>{mechanism=...,type=...}``, caching the
         counter handle per (metric, mechanism, type)."""
-        source = dep.source.value if dep.source is not None else "?"
-        key = (metric, (source, dep.dep_type.value))
+        key = (metric, dep.source, dep.dep_type)
         handle = self._handles.get(key)
         if handle is None:
+            source = dep.source.value if dep.source is not None else "?"
             handle = self._handles[key] = self.metrics.counter(
                 metric, mechanism=source, type=dep.dep_type.value
             )
         handle.inc()
+
+    def _pair(self, dep: Dependency) -> Tuple[object, object]:
+        """``(accepted, delivered)`` counter handles for the dependency's
+        (mechanism, type) pair, created together on first sight."""
+        key = (dep.source, dep.dep_type)
+        pair = self._pair_handles.get(key)
+        if pair is None:
+            source = dep.source.value if dep.source is not None else "?"
+            dep_type = dep.dep_type.value
+            pair = self._pair_handles[key] = (
+                self.metrics.counter(
+                    "bus.deps.accepted", mechanism=source, type=dep_type
+                ),
+                self.metrics.counter(
+                    "bus.deps.delivered", mechanism=source, type=dep_type
+                ),
+            )
+        return pair
 
     @property
     def counts(self) -> Dict[str, Dict[str, int]]:
@@ -143,15 +199,20 @@ class DependencyBus:
 
     # -- publication -------------------------------------------------------
 
-    def _accept(self, dep: Dependency) -> bool:
-        """Guard + counters; returns whether the dependency is live."""
-        state = self._state
-        for endpoint in (dep.src, dep.dst):
-            if endpoint not in state.graph and state.get_txn(endpoint) is None:
-                self._count("bus.deps.dropped", dep)
-                return False
+    def _accept(self, dep: Dependency) -> Optional[Tuple[object, object]]:
+        """Guard + accepted counter; returns the ``(accepted, delivered)``
+        handle pair when the dependency is live, ``None`` when dropped."""
+        nodes = self._graph_nodes
+        txns = self._txns
+        src = dep.src
+        dst = dep.dst
+        if (src not in nodes and src not in txns) or (
+            dst not in nodes and dst not in txns
+        ):
+            self._count("bus.deps.dropped", dep)
+            return None
         if self._count_stats:
-            stats = state.stats
+            stats = self._state.stats
             if dep.dep_type is DepType.WR:
                 stats.deps_wr += 1
             elif dep.dep_type is DepType.WW:
@@ -160,25 +221,16 @@ class DependencyBus:
                 stats.deps_so += 1
             else:
                 stats.deps_rw += 1
-        self._count("bus.deps.accepted", dep)
+        pair = self._pair(dep)
+        pair[0].inc()
         for fn in self._taps:
             fn(dep)
-        return True
+        return pair
 
     def _deliver(self, dep: Dependency) -> None:
-        self._count("bus.deps.delivered", dep)
-        for _, _, name, callback, timed in self._subscribers:
-            if not timed:
-                callback(dep)
-                continue
-            start = time.perf_counter()
-            try:
-                callback(dep)
-            finally:
-                bucket = self._state.stats.mechanism_seconds
-                bucket[name] = bucket.get(name, 0.0) + (
-                    time.perf_counter() - start
-                )
+        self._pair(dep)[1].inc()
+        for fn in self._dispatch:
+            fn(dep)
 
     def publish(self, dep: Dependency) -> bool:
         """Publish one dependency with immediate (depth-first) delivery.
@@ -188,14 +240,35 @@ class DependencyBus:
         outer publication returns -- the exchange semantics of Section V-A.
         Returns whether the dependency survived the garbage guard.
         """
-        if not self._accept(dep):
+        pair = self._accept(dep)
+        if pair is None:
             return False
-        self._deliver(dep)
+        pair[1].inc()
+        for fn in self._dispatch:
+            fn(dep)
         return True
+
+    def publish_many(self, deps) -> int:
+        """Publish a batch with immediate delivery in order; returns how
+        many survived the garbage guard.  Equivalent to calling
+        :meth:`publish` per dependency, but the batch shape lets callers
+        (the mechanism terminal loop, the parallel merge replay) hand over
+        whole deduction groups without per-event call overhead."""
+        accept = self._accept
+        dispatch = self._dispatch
+        accepted = 0
+        for dep in deps:
+            pair = accept(dep)
+            if pair is not None:
+                pair[1].inc()
+                for fn in dispatch:
+                    fn(dep)
+                accepted += 1
+        return accepted
 
     def publish_deferred(self, dep: Dependency) -> bool:
         """Accept (guard + count) now, deliver at the next :meth:`flush`."""
-        if not self._accept(dep):
+        if self._accept(dep) is None:
             return False
         self._count("bus.deps.deferred", dep)
         self._pending.append(dep)
@@ -270,8 +343,6 @@ class VersionOrderDeriver(MechanismVerifier):
         derivation also applies to reads of the initial database state,
         which produce no wr edge but still anti-depend on the first
         overwriter."""
-        from .trace import INIT_TXN
-
         version.readers.add(reader)
         if version.txn_id != INIT_TXN:
             self._bus.publish(
@@ -312,7 +383,7 @@ class VersionOrderDeriver(MechanismVerifier):
         chain = self._state.chains.get(dep.key)
         if chain is None:
             return
-        for version in chain.committed_versions():
+        for version in list(chain.iter_committed()):
             if version.txn_id != dep.src:
                 continue
             successor = chain.successor_of(version)

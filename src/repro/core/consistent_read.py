@@ -27,7 +27,7 @@ from .mechanism import MechanismContext, MechanismVerifier, register_mechanism
 from .report import Mechanism, Violation, ViolationKind
 from .spec import CRLevel, IsolationSpec
 from .state import PendingRead, PendingScan, TxnState, VerifierState
-from .trace import Trace, apply_delta, is_tombstone
+from .trace import Trace, apply_delta, is_tombstone, reads_match
 from .versions import Version
 
 EmitFn = Callable[[Dependency], None]
@@ -65,6 +65,9 @@ class ConsistentReadVerifier(MechanismVerifier):
         #: use the Fig. 6 minimal candidate set (False = naive ablation:
         #: every committed version is a candidate, weakening the check).
         self._minimal = minimal
+        #: transaction-level CR: snapshots are generated at the first
+        #: operation (Definition 2), hoisted out of the per-read check.
+        self._txn_snapshot = spec.cr is CRLevel.TRANSACTION
         #: called with (version, reader_txn_id) when a read is uniquely
         #: matched to a version; the Fig. 9 deriver uses it to record the
         #: wr dependency and derive the rw anti-dependency.
@@ -99,15 +102,10 @@ class ConsistentReadVerifier(MechanismVerifier):
     def on_read(self, trace: Trace, txn: TxnState) -> None:
         """Defer the read until the transaction finishes, capturing the
         own-write context visible at this point of the program."""
+        append = txn.pending_reads.append
+        own_delta_for = txn.own_delta_for
         for key, observed in trace.reads.items():
-            txn.pending_reads.append(
-                PendingRead(
-                    trace=trace,
-                    key=key,
-                    observed=observed,
-                    own_delta=txn.own_delta_for(key),
-                )
-            )
+            append(PendingRead(trace, key, observed, own_delta_for(key)))
         if trace.predicate is not None:
             txn.pending_scans.append(
                 PendingScan(
@@ -139,7 +137,11 @@ class ConsistentReadVerifier(MechanismVerifier):
     def _check_read(self, txn: TxnState, pending: PendingRead) -> None:
         self._state.stats.reads_checked += 1
         self._m_reads.inc()
-        snapshot = self._snapshot_interval(txn, pending)
+        # Inline _snapshot_interval for the per-read hot path.
+        if self._txn_snapshot and txn.first_interval is not None:
+            snapshot = txn.first_interval
+        else:
+            snapshot = pending.trace.interval
         observed = pending.observed
         own_delta = pending.own_delta
 
@@ -158,41 +160,60 @@ class ConsistentReadVerifier(MechanismVerifier):
             )
             return
 
-        chain = self._state.chain(pending.key)
-        if is_tombstone(observed) and not chain.committed_versions():
+        state = self._state
+        chain = state.chains.get(pending.key)
+        if chain is None:
+            chain = state.chain(pending.key)
+        if len(chain) == 0 and is_tombstone(observed):
             # The row never existed and the read observed its absence.
             return
-        if self._minimal:
-            classification = chain.classify(
-                snapshot, order_oracle=self._state.ww_order
-            )
-            candidates = [
-                version
-                for version in classification.candidates
-                if not self._definitely_invisible(version, snapshot)
-            ]
+        minimal = self._minimal
+        if minimal:
+            raw_candidates = chain.classify(
+                snapshot, state.ww_order
+            ).candidates
         else:
-            candidates = chain.committed_versions()
-        self._m_candidates.observe(len(candidates))
-        matches = [
-            version
-            for version in candidates
-            if self._matches_with_own(version, observed, own_delta)
-        ]
+            raw_candidates = chain.committed_versions()
+        # One pass: visibility filter (minimal mode only, inlined
+        # _definitely_invisible) and observation matching together.
+        snap_aft = snapshot.ts_aft
+        n_candidates = 0
+        matches = []
+        for version in raw_candidates:
+            if minimal:
+                commit = version.commit
+                if commit is not None and snap_aft <= commit.ts_bef:
+                    continue
+            n_candidates += 1
+            if own_delta:
+                if self._matches_with_own(version, observed, own_delta):
+                    matches.append(version)
+            elif reads_match(observed, version.image):
+                matches.append(version)
+        self._m_candidates.observe(n_candidates)
         if not matches:
             self._diagnose_miss(txn, pending, snapshot, chain, observed)
             return
-        self._state.stats.conflict_pairs += 1
-        overlapped = any(
-            v.effective_install.overlaps(snapshot) for v in matches
-        )
+        stats = state.stats
+        stats.conflict_pairs += 1
+        # Inlined Interval.overlaps over the (usually single-element) match
+        # list: three method calls per read otherwise.
+        snap_bef = snapshot.ts_bef
+        overlapped = False
+        for v in matches:
+            installed = v.effective_install
+            if not (
+                installed.ts_aft <= snap_bef or snap_aft <= installed.ts_bef
+            ):
+                overlapped = True
+                break
         if overlapped:
-            self._state.stats.overlapped_pairs += 1
+            stats.overlapped_pairs += 1
         if len(matches) == 1:
             self._m_unique.inc()
             version = matches[0]
             if overlapped:
-                self._state.stats.deduced_overlapped_pairs += 1
+                stats.deduced_overlapped_pairs += 1
             # Dependencies are defined between *committed* transactions
             # (Section II-A); an aborted reader's checks still ran above,
             # but it contributes no graph node.

@@ -35,9 +35,14 @@ class DepType(enum.Enum):
     SO = "so"
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class Dependency:
-    """A deduced dependency edge ``src -> dst`` (dst depends on src)."""
+    """A deduced dependency edge ``src -> dst`` (dst depends on src).
+
+    Treated as immutable by every consumer but not ``frozen``: one is
+    built per deduced edge on the hot path, and the frozen-dataclass
+    ``__init__`` (``object.__setattr__`` per field) costs ~3x a plain
+    one.  Nothing hashes dependencies; equality stays field-wise."""
 
     src: str
     dst: str
@@ -134,6 +139,11 @@ class DependencyGraph:
 
     def edge_types(self, src: str, dst: str) -> Set[DepType]:
         return set(self._edge_types.get((src, dst), ()))
+
+    def has_edge_type(self, src: str, dst: str, dep_type: DepType) -> bool:
+        """Membership test without materialising the :meth:`edge_types`
+        copy -- the ww-order oracle calls this per candidate pair."""
+        return dep_type in self._edge_types.get((src, dst), ())
 
     # -- edges ----------------------------------------------------------------
 

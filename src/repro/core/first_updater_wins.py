@@ -24,6 +24,7 @@ from .mechanism import MechanismContext, MechanismVerifier, register_mechanism
 from .report import Mechanism, Violation, ViolationKind
 from .spec import CertifierKind, IsolationSpec
 from .state import TxnState, VerifierState
+from .trace import INIT_TXN
 from .versions import Version
 
 EmitFn = Callable[[Dependency], None]
@@ -68,12 +69,19 @@ class FirstUpdaterWinsVerifier(MechanismVerifier):
         """Check each newly installed version against every other committed
         version of the same record.  Aborted transactions never reach here:
         their rolled-back updates cannot lose anybody's update."""
+        state = self._state
+        stats = state.stats
+        m_writes = self._m_writes
+        chains = state.chains
+        txn_id = txn.txn_id
         for version in installed:
-            self._state.stats.writes_checked += 1
-            self._m_writes.inc()
-            chain = self._state.chain(version.key)
-            for other in chain.committed_versions():
-                if other.txn_id == txn.txn_id or other.is_initial:
+            stats.writes_checked += 1
+            m_writes.inc()
+            # The chain exists: ``installed`` came out of it at commit.
+            chain = chains[version.key]
+            for other in chain.iter_committed():
+                other_txn_id = other.txn_id
+                if other_txn_id == txn_id or other_txn_id == INIT_TXN:
                     continue
                 self._check_pair(txn, version, other)
 

@@ -62,9 +62,31 @@ class GarbageCollector:
             return
         with self._m_collect.time():
             self._prune_graph(horizon_ts)
-            self._prune_locks(horizon_ts)
-            self._prune_versions(horizon_ts)
+            # Lock and version pruning share the releasability predicate
+            # and neither mutates the graph or transaction table, so one
+            # memo serves both: a transaction's verdict is computed once
+            # per collection instead of once per lock entry / version.
+            can_prune = self._make_can_prune()
+            self._prune_locks(horizon_ts, can_prune)
+            self._prune_versions(horizon_ts, can_prune)
             self._prune_txn_states(horizon_ts)
+
+    def _make_can_prune(self):
+        state = self._state
+        cache: dict = {}
+
+        def can_prune(txn_id: str) -> bool:
+            verdict = cache.get(txn_id)
+            if verdict is None:
+                if txn_id in state.graph:
+                    verdict = False
+                else:
+                    txn = state.get_txn(txn_id)
+                    verdict = txn is None or txn.finished
+                cache[txn_id] = verdict
+            return verdict
+
+        return can_prune
 
     # -- Definition 4 / Theorem 5 -------------------------------------------------
 
@@ -96,33 +118,34 @@ class GarbageCollector:
 
     # -- lock table -----------------------------------------------------------------
 
-    def _prune_locks(self, horizon_ts: float) -> None:
+    def _prune_locks(self, horizon_ts: float, can_prune=None) -> None:
         state = self._state
-
-        def can_prune(txn_id: str) -> bool:
-            if txn_id in state.graph:
-                return False
-            txn = state.get_txn(txn_id)
-            return txn is None or txn.finished
-
+        if can_prune is None:
+            can_prune = self._make_can_prune()
         state.stats.gc_locks_pruned += state.locks.prune(horizon_ts, can_prune)
 
     # -- version chains ----------------------------------------------------------------
 
-    def _prune_versions(self, horizon_ts: float) -> None:
+    def _prune_versions(self, horizon_ts: float, can_prune=None) -> None:
         state = self._state
         horizon = Interval(horizon_ts, horizon_ts)
-
-        def can_prune(txn_id: str) -> bool:
-            if txn_id in state.graph:
-                return False
-            txn = state.get_txn(txn_id)
-            return txn is None or txn.finished
-
-        for chain in state.chains.values():
-            state.stats.gc_versions_pruned += chain.prune_garbage(
-                horizon, can_prune
-            )
+        if can_prune is None:
+            can_prune = self._make_can_prune()
+        # Only chains the verifier marked as candidates (two or more
+        # committed versions, or aborted residue) can prune anything;
+        # everything else is skipped without even a length check.  A chain
+        # GC'd back to a single version leaves the candidate set until its
+        # next commit re-marks it.
+        candidates = state.gc_version_candidates
+        if not candidates:
+            return
+        pruned = 0
+        for key in list(candidates):
+            chain = candidates[key]
+            pruned += chain.prune_garbage(horizon, can_prune)
+            if len(chain) < 2:
+                del candidates[key]
+        state.stats.gc_versions_pruned += pruned
 
     # -- transaction metadata -------------------------------------------------------------
 

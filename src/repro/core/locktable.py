@@ -15,16 +15,29 @@ feasible, the order is certain and a ``ww`` dependency is deduced
 (Theorem 3).  When both remain feasible the pair stays *uncertain* -- this
 happens only for near-identical intervals and is counted in the Fig. 13
 uncertainty statistics.
+
+Like the version chains, lock chains are index-maintained: each per-key
+chain keeps a parallel sorted key list (``(acquire.ts_aft, seq)`` -- the
+``seq`` tie-break makes the key a total order, so equal after-timestamps
+keep insertion order exactly as the historical insertion sort did) driving
+bisect insertion, plus per-key *finished* sublists in chain order so ME
+pair enumeration walks only genuine candidates instead of filtering the
+full chain, and a per-(key, txn) open-entry index so acquisition folding
+is a dict hit instead of a chain scan (Section V-B).
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+import itertools
+from bisect import insort
+from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from .intervals import Interval, UNFINISHED_INTERVAL
 from .trace import Key
+
+_lock_seq = itertools.count()
 
 
 class LockMode(enum.Enum):
@@ -48,7 +61,7 @@ class OrderOutcome(enum.Enum):
     UNCERTAIN = "uncertain"
 
 
-@dataclass
+@dataclass(slots=True)
 class LockEntry:
     """One lock acquisition observed in the traces."""
 
@@ -61,11 +74,21 @@ class LockEntry:
     #: only applies between committed transactions).
     committed: bool = False
     finished: bool = False
+    #: process-wide acquisition sequence; breaks sort-key ties so chain
+    #: order is total and bisect-searchable.
+    seq: int = field(default_factory=lambda: next(_lock_seq))
 
     def close(self, release: Interval, committed: bool) -> None:
         self.release = release
         self.committed = committed
         self.finished = True
+
+
+def lock_sort_key(entry: LockEntry) -> Tuple[float, int]:
+    """Chain order for lock entries: acquire after-timestamp, with the
+    acquisition sequence as a total-order tie-break (equal timestamps keep
+    acquisition order, matching the historical insertion sort)."""
+    return (entry.acquire.ts_aft, entry.seq)
 
 
 def classify_pair(first: LockEntry, second: LockEntry) -> OrderOutcome:
@@ -90,7 +113,7 @@ def classify_pair(first: LockEntry, second: LockEntry) -> OrderOutcome:
 
 
 class LockTable:
-    """All lock intervals per record, with insertion-sorted chains.
+    """All lock intervals per record, with index-maintained chains.
 
     The table retains finished locks until garbage collection decides they
     can no longer conflict with (or order against) anything still active,
@@ -99,7 +122,17 @@ class LockTable:
 
     def __init__(self) -> None:
         self._by_key: Dict[Key, List[LockEntry]] = {}
+        #: parallel sorted :func:`lock_sort_key` list per key chain.
+        self._key_sort: Dict[Key, List[Tuple[float, int]]] = {}
         self._by_txn: Dict[str, List[LockEntry]] = {}
+        #: open (unfinished) entries per (key, txn) in chain order -- at
+        #: most two in practice (a shared entry plus its upgrade).
+        self._open: Dict[Tuple[Key, str], List[LockEntry]] = {}
+        #: finished entries per key in chain order -- the only candidates
+        #: ME pair enumeration has to walk.  Exclusive peers for a shared
+        #: entry are filtered from this list on release (shared locks only
+        #: exist under pure-2PL specs, so the filter rarely runs).
+        self._finished: Dict[Key, List[LockEntry]] = {}
 
     # -- structure -----------------------------------------------------------
 
@@ -130,21 +163,39 @@ class LockTable:
         coexisted with the earlier shared phase), so back-dating the X to
         the original S acquire would produce false ME violations.
         """
-        chain = self._by_key.setdefault(key, [])
-        for entry in chain:
-            if entry.txn_id == txn_id and not entry.finished:
-                if mode is LockMode.EXCLUSIVE and entry.mode is LockMode.SHARED:
-                    break  # record the upgrade as its own exclusive entry
-                return entry
+        open_key = (key, txn_id)
+        open_entries = self._open.get(open_key)
+        if open_entries:
+            # Fold into the first open entry in chain order -- unless this
+            # is an S-to-X upgrade, which becomes its own exclusive entry.
+            first = open_entries[0]
+            if not (mode is LockMode.EXCLUSIVE and first.mode is LockMode.SHARED):
+                return first
         entry = LockEntry(key=key, txn_id=txn_id, mode=mode, acquire=interval)
-        # Insertion sort by acquire after-timestamp (Section V-B).
-        position = len(chain)
-        for idx, existing in enumerate(chain):
-            if interval.ts_aft < existing.acquire.ts_aft:
-                position = idx
-                break
-        chain.insert(position, entry)
-        self._by_txn.setdefault(txn_id, []).append(entry)
+        sort_key = (interval.ts_aft, entry.seq)
+        chain = self._by_key.get(key)
+        if chain is None:
+            chain = self._by_key[key] = []
+            keys = self._key_sort[key] = []
+        else:
+            keys = self._key_sort[key]
+        if not keys or sort_key > keys[-1]:
+            # Acquisitions arrive roughly in timestamp order: tail append.
+            keys.append(sort_key)
+            chain.append(entry)
+        else:
+            position = _bisect_keys(keys, sort_key)
+            keys.insert(position, sort_key)
+            chain.insert(position, entry)
+        txn_entries = self._by_txn.get(txn_id)
+        if txn_entries is None:
+            self._by_txn[txn_id] = [entry]
+        else:
+            txn_entries.append(entry)
+        if open_entries is None:
+            self._open[open_key] = [entry]
+        else:
+            _insert_open(open_entries, entry)
         return entry
 
     def release_all(
@@ -158,18 +209,49 @@ class LockTable:
         examined exactly once (by whichever transaction finishes second).
         """
         results: List[Tuple[LockEntry, List[LockEntry]]] = []
+        open_map = self._open
+        finished_map = self._finished
+        exclusive = LockMode.EXCLUSIVE
         for entry in self._by_txn.get(txn_id, ()):  # preserves acquire order
             if entry.finished:
                 continue
-            entry.close(release, committed)
-            conflicts = [
-                other
-                for other in self._by_key.get(entry.key, ())
-                if other.txn_id != txn_id
-                and other.finished
-                and other.mode.conflicts_with(entry.mode)
-            ]
+            entry.release = release
+            entry.committed = committed
+            entry.finished = True
+            key = entry.key
+            open_entries = open_map.pop((key, txn_id), None)
+            if open_entries is not None and len(open_entries) > 1:
+                remaining = [e for e in open_entries if e is not entry]
+                if remaining:
+                    open_map[(key, txn_id)] = remaining
+            # Only exclusive peers conflict with a shared lock; everything
+            # conflicts with an exclusive one.  The finished sublist is
+            # kept in chain order, so enumeration order matches a
+            # full-chain scan.
+            peers = finished_map.get(key)
+            if peers is None:
+                results.append((entry, []))
+                finished_map[key] = [entry]
+                continue
+            if entry.mode is exclusive:
+                conflicts = [o for o in peers if o.txn_id != txn_id]
+            else:
+                conflicts = [
+                    o
+                    for o in peers
+                    if o.txn_id != txn_id and o.mode is exclusive
+                ]
             results.append((entry, conflicts))
+            # Inlined tail-append insert (transactions mostly finish in
+            # acquisition order); out-of-order completions insort.
+            last = peers[-1]
+            aft = entry.acquire.ts_aft
+            if aft > last.acquire.ts_aft or (
+                aft == last.acquire.ts_aft and entry.seq > last.seq
+            ):
+                peers.append(entry)
+            else:
+                insort(peers, entry, key=lock_sort_key)
         return results
 
     # -- garbage collection ---------------------------------------------------------
@@ -184,31 +266,76 @@ class LockTable:
         are covered by the dependency-graph pruning rule (Theorem 5).
         """
         pruned = 0
-        for key in list(self._by_key):
+        dropped: set = set()
+        #: txn -> number of its entries dropped, so the ownership index is
+        #: rebuilt only for affected transactions instead of swept whole.
+        dropped_of_txn: Dict[str, int] = {}
+        # Only finished entries are prunable, so the walk is driven by the
+        # (far smaller) finished sublists instead of every chain.
+        for key in list(self._finished):
+            finished = self._finished[key]
+            removed = 0
+            for entry in finished:
+                if entry.release.ts_aft < horizon_ts and can_prune_txn(
+                    entry.txn_id
+                ):
+                    dropped.add(id(entry))
+                    owner = entry.txn_id
+                    dropped_of_txn[owner] = dropped_of_txn.get(owner, 0) + 1
+                    removed += 1
+            if not removed:
+                continue
+            pruned += removed
             chain = self._by_key[key]
-            kept = [
-                entry
-                for entry in chain
-                if not (
-                    entry.finished
-                    and entry.release.ts_aft < horizon_ts
-                    and can_prune_txn(entry.txn_id)
-                )
-            ]
-            pruned += len(chain) - len(kept)
+            kept = [e for e in chain if id(e) not in dropped]
             if kept:
                 self._by_key[key] = kept
+                self._key_sort[key] = [lock_sort_key(e) for e in kept]
+                kept_finished = [
+                    e for e in finished if id(e) not in dropped
+                ]
+                if kept_finished:
+                    self._finished[key] = kept_finished
+                else:
+                    del self._finished[key]
             else:
                 del self._by_key[key]
-        if pruned:
-            for txn_id in list(self._by_txn):
-                kept_txn = [
-                    entry
-                    for entry in self._by_txn[txn_id]
-                    if self._by_key.get(entry.key) and entry in self._by_key[entry.key]
+                self._key_sort.pop(key, None)
+                del self._finished[key]
+        for txn_id, count in dropped_of_txn.items():
+            entries = self._by_txn.get(txn_id)
+            if entries is None:
+                continue
+            if count >= len(entries):
+                # Every lock of the transaction was dropped (the common
+                # case: pruning is keyed on the owner being releasable).
+                del self._by_txn[txn_id]
+            else:
+                self._by_txn[txn_id] = [
+                    entry for entry in entries if id(entry) not in dropped
                 ]
-                if kept_txn:
-                    self._by_txn[txn_id] = kept_txn
-                else:
-                    del self._by_txn[txn_id]
         return pruned
+
+
+def _bisect_keys(keys: List[Tuple[float, int]], sort_key: Tuple[float, int]) -> int:
+    """bisect_left over the per-key sort list (keys are a total order, so
+    left/right bisection coincide; a fresh entry's seq exceeds all
+    existing ones, placing equal timestamps after -- insertion order)."""
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] < sort_key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def _insert_open(open_entries: List[LockEntry], entry: LockEntry) -> None:
+    """Keep the (at most two-element) open list in chain order."""
+    sort_key = lock_sort_key(entry)
+    for idx, existing in enumerate(open_entries):
+        if sort_key < lock_sort_key(existing):
+            open_entries.insert(idx, entry)
+            return
+    open_entries.append(entry)

@@ -62,11 +62,13 @@ class MutualExclusionVerifier(MechanismVerifier):
     # -- trace handlers ------------------------------------------------------
 
     def on_write(self, trace: Trace, txn: TxnState) -> None:
-        for key in trace.writes:
-            self._m_locks.inc()
-            self._state.locks.acquire(
-                txn.txn_id, key, LockMode.EXCLUSIVE, trace.interval
-            )
+        writes = trace.writes
+        self._m_locks.inc(len(writes))
+        acquire = self._state.locks.acquire
+        txn_id = txn.txn_id
+        interval = trace.interval
+        for key in writes:
+            acquire(txn_id, key, LockMode.EXCLUSIVE, interval)
 
     def on_read(self, trace: Trace, txn: TxnState) -> None:
         if trace.for_update:

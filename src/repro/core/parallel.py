@@ -483,16 +483,30 @@ class ParallelVerifier:
 
         commits = iter(self._commits)
         next_commit = next(commits, None)
+        # Runs of consecutive dependencies (no commit boundary, no
+        # violation) are handed to the bus as one batch; publish_many
+        # delivers in order, so the replay is operation-for-operation
+        # identical to publishing each event individually.
+        batch: List = []
         for index, _shard, _seq, kind, payload in events:
             # Mirror the serial order: a committing transaction's graph
             # node exists before any dependency or violation of that trace.
-            while next_commit is not None and next_commit[0] <= index:
-                state.graph.add_txn(next_commit[1], next_commit[2])
-                next_commit = next(commits, None)
+            if next_commit is not None and next_commit[0] <= index:
+                if batch:
+                    bus.publish_many(batch)
+                    batch.clear()
+                while next_commit is not None and next_commit[0] <= index:
+                    state.graph.add_txn(next_commit[1], next_commit[2])
+                    next_commit = next(commits, None)
             if kind == _VIOLATION:
+                if batch:
+                    bus.publish_many(batch)
+                    batch.clear()
                 descriptor.record(payload)
             else:
-                bus.publish(payload)
+                batch.append(payload)
+        if batch:
+            bus.publish_many(batch)
         while next_commit is not None:
             state.graph.add_txn(next_commit[1], next_commit[2])
             next_commit = next(commits, None)

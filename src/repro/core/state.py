@@ -19,7 +19,7 @@ from .intervals import Interval
 from .locktable import LockTable
 from .report import BugDescriptor, VerificationStats
 from .trace import ColumnMap, Key, Trace, apply_delta
-from .versions import Version, VersionChain
+from .versions import NULL_CHAIN_COUNTERS, Version, VersionChain
 
 
 class TxnStatus(enum.Enum):
@@ -28,7 +28,13 @@ class TxnStatus(enum.Enum):
     ABORTED = "aborted"
 
 
-@dataclass
+#: shared empty own-write delta handed to reads whose transaction wrote
+#: nothing to the key yet (the overwhelmingly common case) -- treated as
+#: read-only by every consumer, so one allocation serves all of them.
+_EMPTY_DELTA: Dict[str, object] = {}
+
+
+@dataclass(slots=True)
 class PendingRead:
     """A read deferred until its transaction's terminal trace.
 
@@ -45,7 +51,7 @@ class PendingRead:
     own_delta: Dict[str, object]
 
 
-@dataclass
+@dataclass(slots=True)
 class PendingScan:
     """A predicate read deferred until its transaction's terminal trace,
     for the scan-completeness (phantom) check."""
@@ -54,7 +60,7 @@ class PendingScan:
     observed_keys: frozenset
 
 
-@dataclass
+@dataclass(slots=True)
 class TxnState:
     """Everything the verifier mirrors about one transaction."""
 
@@ -90,7 +96,8 @@ class TxnState:
         self.op_count += 1
 
     def own_delta_for(self, key: Key) -> Dict[str, object]:
-        return dict(self.own_images.get(key, ()))
+        image = self.own_images.get(key)
+        return dict(image) if image else _EMPTY_DELTA
 
     def merge_own_write(self, key: Key, columns: Mapping[str, object]) -> None:
         apply_delta(self.own_images.setdefault(key, {}), columns)
@@ -103,6 +110,7 @@ class VerifierState:
         self,
         initial_db: Optional[Mapping[Key, Mapping[str, object]]] = None,
         incremental_graph: bool = True,
+        chain_index: Optional[bool] = None,
     ):
         self.chains: Dict[Key, VersionChain] = {}
         self.locks = LockTable()
@@ -114,6 +122,34 @@ class VerifierState:
         #: monotone dispatch order makes this a watermark over all clients.
         self.watermark: float = float("-inf")
         self._initial_db = dict(initial_db or {})
+        #: indexed-chain toggle: None defers to REPRO_CR_INDEX per chain.
+        self.chain_index = chain_index
+        #: (hits, misses, invalidations) handles shared by every chain;
+        #: replaced by :meth:`attach_metrics` on instrumented runs.
+        self._chain_counters = NULL_CHAIN_COUNTERS
+        #: chains that could have prunable versions (two or more committed
+        #: versions, or aborted residue).  The verifier marks chains here at
+        #: commit/abort so version GC visits only candidates instead of
+        #: sweeping every chain (the sweep dominated collection cost once
+        #: steady-state chains shrank to one version).
+        self.gc_version_candidates: Dict[Key, VersionChain] = {}
+
+    def attach_metrics(self, registry) -> None:
+        """Hand chain/lock memo counters out of a metrics registry
+        (``chain.memo.*`` in docs/observability.md).  Optional -- states
+        built without a verifier (e.g. the parallel merge replay) keep the
+        no-op counters."""
+        if registry is None or not getattr(registry, "enabled", False):
+            return
+        self._chain_counters = (
+            registry.counter("chain.memo.hits"),
+            registry.counter("chain.memo.misses"),
+            registry.counter("chain.memo.invalidations"),
+        )
+        for chain in self.chains.values():
+            chain._c_hits, chain._c_misses, chain._c_invalidations = (
+                self._chain_counters
+            )
 
     # -- accessors -----------------------------------------------------------
 
@@ -127,7 +163,12 @@ class VerifierState:
         existing = self.chains.get(key)
         if existing is None:
             initial = self._initial_db.get(key)
-            existing = VersionChain(key, initial_image=initial)
+            existing = VersionChain(
+                key,
+                initial_image=initial,
+                use_index=self.chain_index,
+                counters=self._chain_counters,
+            )
             self.chains[key] = existing
         return existing
 
@@ -184,9 +225,9 @@ class VerifierState:
 
         if a.txn_id == b.txn_id:
             return None
-        if DepType.WW in self.graph.edge_types(a.txn_id, b.txn_id):
+        if self.graph.has_edge_type(a.txn_id, b.txn_id, DepType.WW):
             return True
-        if DepType.WW in self.graph.edge_types(b.txn_id, a.txn_id):
+        if self.graph.has_edge_type(b.txn_id, a.txn_id, DepType.WW):
             return False
         return None
 

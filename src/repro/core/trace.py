@@ -65,7 +65,8 @@ def apply_delta(image: Dict[str, Value], delta: Mapping[str, Value]) -> None:
     write on top of a tombstone is a re-insert starting from an empty row;
     ordinary writes merge columns.
     """
-    if is_tombstone(delta):
+    # is_tombstone inlined: this runs per staged write and per image rebuild.
+    if delta.get(TOMBSTONE_COLUMN):
         replacement = {
             col: val for col, val in delta.items() if col != TOMBSTONE_COLUMN
         }
@@ -75,7 +76,7 @@ def apply_delta(image: Dict[str, Value], delta: Mapping[str, Value]) -> None:
         else:
             image[TOMBSTONE_COLUMN] = True
         return
-    if is_tombstone(image):
+    if image.get(TOMBSTONE_COLUMN):
         image.clear()
     image.update(delta)
 
@@ -153,12 +154,14 @@ def as_columns(value: Any) -> Dict[str, Value]:
 _trace_counter = itertools.count()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Trace:
     """One interval-based trace.
 
     Instances are immutable so they can be shared freely between the
     pipeline, the four verification mechanisms and reports.
+    ``slots=True``: traces are read field-by-field by every mechanism hook,
+    making attribute access on them the hottest load in the verifier.
     """
 
     interval: Interval
@@ -303,9 +306,11 @@ def reads_match(observed: ColumnMap, image: ColumnMap) -> bool:
     tombstone marker) matches only a deleted image, and a value observation
     never matches a deleted image.
     """
-    if is_tombstone(observed):
-        return is_tombstone(image)
-    if is_tombstone(image):
+    # is_tombstone inlined: this predicate runs once per candidate version
+    # per read.
+    if observed.get(TOMBSTONE_COLUMN):
+        return bool(image.get(TOMBSTONE_COLUMN))
+    if image.get(TOMBSTONE_COLUMN):
         return False
     for column, value in observed.items():
         if image.get(column) != value:

@@ -85,6 +85,12 @@ class Verifier:
         run with (``docs/observability.md``).  ``None`` (the default)
         wires every layer to the shared disabled registry: zero side
         effects, report output byte-identical to an uninstrumented build.
+    chain_index:
+        Whether version chains keep the bisect-maintained key index and
+        classification memo (``docs/architecture.md``).  ``None`` (the
+        default) defers to the ``REPRO_CR_INDEX`` environment escape
+        hatch; ignored when ``state`` is injected (the state owns its
+        chains).
     """
 
     def __init__(
@@ -100,6 +106,7 @@ class Verifier:
         state: Optional[VerifierState] = None,
         mechanism_overrides=None,
         metrics: Optional[MetricsRegistry] = None,
+        chain_index: Optional[bool] = None,
     ):
         """``session_order`` adds same-client program-order edges to the
         dependency graph (strong-session guarantee).  Sound for every
@@ -112,8 +119,11 @@ class Verifier:
         self._session_tail: dict = {}
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.state = state if state is not None else VerifierState(
-            initial_db=initial_db, incremental_graph=incremental_graph
+            initial_db=initial_db,
+            incremental_graph=incremental_graph,
+            chain_index=chain_index,
         )
+        self.state.attach_metrics(self.metrics)
         self.bus = DependencyBus(self.state, metrics=self.metrics)
         context = MechanismContext(
             state=self.state,
@@ -138,15 +148,27 @@ class Verifier:
         self._gc_hooks = [
             m for m in self.mechanisms if type(m).on_gc is not base.on_gc
         ]
-        #: per-mechanism terminal-time histograms (no-op handles when the
-        #: registry is disabled, so ``_timed`` needs no enabled check).
-        self._terminal_hists = {
-            m.name: self.metrics.histogram(
-                "mechanism.terminal.seconds", mechanism=m.name
+        #: pre-bound hook methods: the per-trace loop calls these without
+        #: re-resolving ``on_read``/``on_write`` attributes per operation.
+        self._read_hook_fns = tuple(m.on_read for m in self._read_hooks)
+        self._write_hook_fns = tuple(m.on_write for m in self._write_hooks)
+        #: precompiled terminal dispatch: (mechanism, name, histogram) with
+        #: name/histogram None for untimed mechanisms.  Computing this once
+        #: keeps the per-terminal loop free of closures and branches on
+        #: mechanism flags (the histogram handles are no-ops when the
+        #: registry is disabled, so timing needs no enabled check).
+        self._terminal_dispatch = tuple(
+            (
+                m,
+                m.name if m.timed else None,
+                self.metrics.histogram(
+                    "mechanism.terminal.seconds", mechanism=m.name
+                )
+                if m.timed
+                else None,
             )
             for m in self.mechanisms
-            if m.timed
-        }
+        )
         self._m_txns_pruned = self.metrics.counter("gc.txns.pruned")
         self._gc: Optional[GarbageCollector] = None
         if gc_every:
@@ -172,38 +194,62 @@ class Verifier:
     # -- trace intake -----------------------------------------------------------
 
     def process(self, trace: Trace) -> None:
-        """Execute one dispatched trace against the mirrored state."""
+        """Execute one dispatched trace against the mirrored state.
+
+        This is the hottest function in the serial verifier; the cheap
+        per-trace bookkeeping (watermark, first-interval capture, the GC
+        countdown) is inlined rather than delegated."""
         if self._finished:
             raise RuntimeError("verifier already finished")
         state = self.state
         state.stats.traces_processed += 1
-        state.watermark = max(state.watermark, trace.ts_bef)
-        txn = state.txn(trace)
-        if txn.finished:
+        ts_bef = trace.ts_bef
+        if ts_bef > state.watermark:
+            state.watermark = ts_bef
+        # Inline VerifierState.txn.
+        txn_id = trace.txn_id
+        txn = state.txns.get(txn_id)
+        if txn is None:
+            txn = TxnState(txn_id=txn_id, client_id=trace.client_id)
+            state.txns[txn_id] = txn
+        if txn.status is not TxnStatus.ACTIVE:
             raise ValueError(
                 f"trace for already-terminated transaction {trace.txn_id}"
             )
-        txn.note_operation(trace)
-        if trace.kind is OpKind.READ:
+        # Inline TxnState.note_operation.
+        if txn.first_interval is None:
+            txn.first_interval = trace.interval
+        txn.op_count += 1
+        kind = trace.kind
+        if kind is OpKind.READ:
             if trace.status is OpStatus.OK:
-                for mechanism in self._read_hooks:
-                    mechanism.on_read(trace, txn)
-        elif trace.kind is OpKind.WRITE:
+                for hook in self._read_hook_fns:
+                    hook(trace, txn)
+        elif kind is OpKind.WRITE:
             if trace.status is OpStatus.OK:
-                for mechanism in self._write_hooks:
-                    mechanism.on_write(trace, txn)
+                for hook in self._write_hook_fns:
+                    hook(trace, txn)
+                txn_id = txn.txn_id
+                interval = trace.interval
+                staged = txn.staged_versions.append
+                chains = state.chains
                 for key, columns in trace.writes.items():
-                    version = state.chain(key).stage_write(
-                        txn.txn_id, columns, trace.interval
-                    )
-                    txn.staged_versions.append(version)
+                    chain = chains.get(key)
+                    if chain is None:
+                        chain = state.chain(key)
+                    staged(chain.stage_write(txn_id, columns, interval))
                     txn.merge_own_write(key, columns)
-        elif trace.kind is OpKind.COMMIT:
+        elif kind is OpKind.COMMIT:
             self._on_commit(trace, txn)
-        elif trace.kind is OpKind.ABORT:
+        elif kind is OpKind.ABORT:
             self._on_abort(trace, txn)
-        if self._gc is not None:
-            self._gc.maybe_collect()
+        gc = self._gc
+        if gc is not None:
+            # Inline GarbageCollector.maybe_collect (a call per trace).
+            gc._since_last += 1
+            if gc._since_last >= gc._every:
+                gc._since_last = 0
+                gc.collect()
 
     def process_all(self, traces: Iterable[Trace]) -> "Verifier":
         for trace in traces:
@@ -218,15 +264,22 @@ class Verifier:
         """Run every mechanism's terminal hook in registry order.  The
         order is load-bearing: ME and FUW deduce the ww edges that confirm
         version adjacency before the Fig. 9 rw derivation and the CR
-        checks consume them."""
-        for mechanism in self.mechanisms:
-            if mechanism.timed:
-                self._timed(
-                    mechanism.name,
-                    lambda m=mechanism: m.on_terminal(txn, trace, installed),
-                )
-            else:
+        checks consume them.  Nested timing (a mechanism emitting a
+        dependency that the certifier times as SC) double-counts by
+        design: each bucket answers "how long did this mechanism's code
+        run"."""
+        bucket = self.state.stats.mechanism_seconds
+        for mechanism, name, hist in self._terminal_dispatch:
+            if name is None:
                 mechanism.on_terminal(txn, trace, installed)
+                continue
+            start = time.perf_counter()
+            try:
+                mechanism.on_terminal(txn, trace, installed)
+            finally:
+                elapsed = time.perf_counter() - start
+                bucket[name] = bucket.get(name, 0.0) + elapsed
+                hist.observe(elapsed)
 
     def _on_commit(self, trace: Trace, txn: TxnState) -> None:
         state = self.state
@@ -248,7 +301,10 @@ class Verifier:
             self._session_tail[trace.client_id] = txn.txn_id
         installed: List[Version] = []
         for key in {v.key for v in txn.staged_versions}:
-            installed.extend(state.chain(key).commit_txn(txn.txn_id, trace.interval))
+            chain = state.chain(key)
+            installed.extend(chain.commit_txn(txn.txn_id, trace.interval))
+            if len(chain) >= 2:
+                state.gc_version_candidates[key] = chain
         self._dispatch_terminal(txn, trace, installed)
 
     def _on_abort(self, trace: Trace, txn: TxnState) -> None:
@@ -257,24 +313,11 @@ class Verifier:
         txn.terminal_interval = trace.interval
         state.stats.txns_aborted += 1
         for key in {v.key for v in txn.staged_versions}:
-            state.chain(key).abort_txn(txn.txn_id)
+            chain = state.chain(key)
+            if chain.abort_txn(txn.txn_id):
+                # Aborted residue is dropped by the next version GC pass.
+                state.gc_version_candidates[key] = chain
         self._dispatch_terminal(txn, trace, [])
-
-    def _timed(self, mechanism: str, fn) -> None:
-        """Run a mechanism step, accumulating its wall time for the
-        time-breakdown experiment.  Nested calls (a mechanism emitting a
-        dependency that the certifier times as SC) double-count by design:
-        each bucket answers "how long did this mechanism's code run"."""
-        start = time.perf_counter()
-        try:
-            fn()
-        finally:
-            elapsed = time.perf_counter() - start
-            bucket = self.state.stats.mechanism_seconds
-            bucket[mechanism] = bucket.get(mechanism, 0.0) + elapsed
-            hist = self._terminal_hists.get(mechanism)
-            if hist is not None:
-                hist.observe(elapsed)
 
     # -- dependency exchange (Section V-A / Fig. 9) ------------------------------------
 

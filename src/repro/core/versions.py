@@ -6,8 +6,13 @@ record, reconstructed purely from traces:
 * each committed write contributes a :class:`Version` whose *installation
   interval* is the write operation's trace interval (Definition 1);
 * versions of a record are kept in a list sorted by the after-timestamp of
-  their installation interval (insertion sort, mirroring Section V-A's
-  complexity analysis);
+  their installation interval.  The historical implementation maintained
+  the order by insertion sort and classified by full linear scan (the
+  baseline of Section V-A's complexity analysis); the default *indexed*
+  chain keeps a parallel list of sort keys so insertion, position lookup
+  and Fig. 6 classification all run by binary search instead
+  (``REPRO_CR_INDEX=0`` restores the linear path -- see
+  ``docs/architecture.md``);
 * every version carries the *cumulative record image* at that point in the
   chain, so partial-column writes (TPC-C style) can be matched against
   reads that observe different column subsets.
@@ -16,11 +21,26 @@ Given a read's snapshot-generation interval (Definition 2), the chain
 classifies versions into the five categories of Fig. 6 -- future, overlap,
 pivot, pivot-overlap, garbage -- and returns the minimal candidate version
 set of Theorem 2: exactly the versions possibly visible to that read.
+
+Classification is memoised per chain (epoch-based): the Fig. 6 partition
+is a pure function of the chain contents and the snapshot interval, so the
+indexed chain caches it at two granularities -- per exact snapshot
+endpoints, and per *before-boundary* (the prefix of versions definitely
+before the snapshot, which determines pivot, pivot-overlap and garbage
+regardless of where the snapshot ends).  Any chain mutation (a commit
+installing a version, GC pruning one) bumps the chain epoch and drops both
+memos, so stale classifications can never be served.  Hits, misses and
+invalidations are counted through the ``chain.memo.*`` metrics
+(``docs/observability.md``).
 """
 
 from __future__ import annotations
 
 import itertools
+import math
+import operator
+import os
+from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass, field
 from typing import (
     Callable,
@@ -37,15 +57,63 @@ from .trace import ColumnMap, INIT_TXN, Key, apply_delta, reads_match
 
 _version_seq = itertools.count()
 
+_INF = math.inf
 
-def _chain_sort_key(version: "Version"):
+#: exact-snapshot memo entries kept per chain before a wholesale clear
+#: (hot chains mutate often and self-clear; this bounds read-only chains).
+_SNAP_MEMO_LIMIT = 128
+
+#: chains at or below this length classify by direct scan even in indexed
+#: mode: under steady-state GC most chains hold one or two versions, where
+#: the boundary search plus memo bookkeeping costs more than the scan it
+#: replaces.  The index still drives insertion, position lookup and the
+#: O(1) GC pre-check at every length.
+_DIRECT_SCAN_MAX = 4
+
+
+def chain_sort_key(version: "Version") -> Tuple[float, float, float, int]:
     """Chain order = installation order.  Section II-A: *a commit installs
     all versions created by a transaction*, so the true installation instant
     lies inside the commit trace interval; versions are ordered by it (the
     write-operation interval breaks ties for two versions committed in the
-    same instantaneous batch)."""
+    same instantaneous batch, and ``seq`` -- the per-process staging
+    counter -- breaks the remaining ties, making the key a *total* order:
+    two versions staged by the same batch commit with identical intervals
+    still order by staging sequence, so chain order is deterministic and
+    the key can drive binary searches).  This is the one key function used
+    by both the bisect-maintained index and the linear fallback."""
     effective = version.effective_install
     return (effective.ts_aft, effective.ts_bef, version.install.ts_aft, version.seq)
+
+
+#: Backwards-compatible alias (the key was private before the index made it
+#: part of the chain's contract).
+_chain_sort_key = chain_sort_key
+
+#: candidate tuples are ordered by staging sequence.
+_seq_of = operator.attrgetter("seq")
+
+
+def chain_index_enabled() -> bool:
+    """Process-default for the indexed chain (``REPRO_CR_INDEX``, on unless
+    set to ``0`` -- the equivalence-test escape hatch)."""
+    return os.environ.get("REPRO_CR_INDEX", "1") != "0"
+
+
+class _NullCounter:
+    """Stand-in for a metrics counter when a chain is built outside a
+    verifier (unit tests, ad-hoc use)."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+
+#: (hits, misses, invalidations) counter triple for unmetered chains.
+NULL_CHAIN_COUNTERS = (_NULL_COUNTER, _NULL_COUNTER, _NULL_COUNTER)
 
 #: Optional oracle answering "is version a's txn known to precede version
 #: b's txn (ww) on this key?" -- returns True/False when deduced, None when
@@ -53,7 +121,7 @@ def _chain_sort_key(version: "Version"):
 OrderOracle = Callable[["Version", "Version"], Optional[bool]]
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class Version:
     """One installed version of a record.
 
@@ -96,9 +164,14 @@ class Version:
         return f"V({self.key!r}:{self.txn_id}@{self.install} {self.columns!r})"
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class CandidateClassification:
-    """Fig. 6 classification of a chain against one snapshot interval."""
+    """Fig. 6 classification of a chain against one snapshot interval.
+
+    Treated as read-only by every consumer (instances are shared through
+    the classification memos); not ``frozen`` because the frozen-dataclass
+    ``__init__`` goes through ``object.__setattr__`` and this object is
+    built once per checked read on the hot path."""
 
     candidates: Tuple[Version, ...]
     future: Tuple[Version, ...]
@@ -106,39 +179,94 @@ class CandidateClassification:
     pivot: Optional[Version]
 
 
+#: internal partition shape shared by the indexed and linear paths:
+#: (future, overlap, pivot, pivot_overlap, garbage), all in chain order.
+_Partition = Tuple[
+    Tuple[Version, ...],
+    Tuple[Version, ...],
+    Optional[Version],
+    Tuple[Version, ...],
+    Tuple[Version, ...],
+]
+
+
 class VersionChain:
     """All observed versions of one record.
 
-    Committed versions live in ``self._chain`` sorted by installation
-    after-timestamp; uncommitted writes are staged per transaction until the
-    commit trace arrives (mirroring how an MVCC engine installs versions at
-    commit).
+    Committed versions live in ``self._chain`` sorted by
+    :func:`chain_sort_key`; uncommitted writes are staged per transaction
+    until the commit trace arrives (mirroring how an MVCC engine installs
+    versions at commit).  With ``use_index`` (the default, see
+    :func:`chain_index_enabled`) a parallel sorted key list makes
+    insertion, position lookup and classification binary searches, and the
+    Fig. 6 partition is memoised per epoch.
     """
 
-    def __init__(self, key: Key, initial_image: Optional[Mapping[str, object]] = None):
+    def __init__(
+        self,
+        key: Key,
+        initial_image: Optional[Mapping[str, object]] = None,
+        use_index: Optional[bool] = None,
+        counters=None,
+    ):
         self.key = key
         self._chain: List[Version] = []
         self._pending: Dict[str, List[Version]] = {}
         self._aborted: List[Version] = []
+        self._use_index = (
+            chain_index_enabled() if use_index is None else bool(use_index)
+        )
+        #: parallel sorted :func:`chain_sort_key` list (indexed mode only).
+        self._keys: List[Tuple[float, float, float, int]] = []
+        #: memo epoch: bumped on every chain mutation.
+        self.epoch = 0
+        #: exact-snapshot memo: (ts_bef, ts_aft) -> (future, overlap, boundary).
+        self._snap_memo: Dict[Tuple[float, float], tuple] = {}
+        #: prefix memo: boundary index -> (pivot, pivot_overlap, garbage).
+        self._prefix_memo: Dict[int, tuple] = {}
+        #: single-version outcome memo: the three possible classifications
+        #: of a length-1 chain (future / pivot / overlap), shared across
+        #: every snapshot that lands in the same relation to the version.
+        self._single_memo: Dict[int, CandidateClassification] = {}
+        hits, misses, invalidations = counters or NULL_CHAIN_COUNTERS
+        self._c_hits = hits
+        self._c_misses = misses
+        self._c_invalidations = invalidations
         if initial_image is not None:
+            # One shared copy: neither the columns delta nor the image of a
+            # version is ever mutated in place (images are rebuilt by
+            # replacement in _recompute_images).
+            image = dict(initial_image)
             initial = Version(
                 key=key,
                 txn_id=INIT_TXN,
                 install=INITIAL_INTERVAL,
-                columns=dict(initial_image),
-                image=dict(initial_image),
+                columns=image,
+                image=image,
                 commit=INITIAL_INTERVAL,
                 committed=True,
             )
             self._chain.append(initial)
+            if self._use_index:
+                self._keys.append(chain_sort_key(initial))
 
     # -- structure accessors -----------------------------------------------
 
     def __len__(self) -> int:
         return len(self._chain)
 
+    @property
+    def indexed(self) -> bool:
+        return self._use_index
+
     def committed_versions(self) -> List[Version]:
         return list(self._chain)
+
+    def iter_committed(self) -> List[Version]:
+        """The committed chain itself, in chain order.  Read-only view for
+        hot paths (FUW pairing, Fig. 9 derivation) -- callers must not
+        mutate it."""
+        return self._chain
 
     def pending_versions(self, txn_id: str) -> List[Version]:
         return list(self._pending.get(txn_id, ()))
@@ -149,18 +277,31 @@ class VersionChain:
     def pending_count(self) -> int:
         return sum(len(v) for v in self._pending.values())
 
+    def _position(self, version: Version) -> int:
+        """Chain index of ``version`` (by identity).  Indexed chains find
+        it by binary search on the (total-order) sort key once the chain
+        is long enough for the bisect to beat ``list.index``'s C-level
+        scan; the linear path always scans, as before."""
+        chain = self._chain
+        if not self._use_index or len(chain) <= 16:
+            return chain.index(version)
+        idx = bisect_left(self._keys, chain_sort_key(version))
+        if idx < len(chain) and chain[idx] is version:
+            return idx
+        raise ValueError(f"{version} is not in chain")
+
     def index_of(self, version: Version) -> int:
-        return self._chain.index(version)
+        return self._position(version)
 
     def successor_of(self, version: Version) -> Optional[Version]:
         """The next committed version in chain order, or None for the tail."""
-        idx = self._chain.index(version)
+        idx = self._position(version)
         if idx + 1 < len(self._chain):
             return self._chain[idx + 1]
         return None
 
     def predecessor_of(self, version: Version) -> Optional[Version]:
-        idx = self._chain.index(version)
+        idx = self._position(version)
         if idx > 0:
             return self._chain[idx - 1]
         return None
@@ -172,19 +313,21 @@ class VersionChain:
     ) -> Version:
         """Record an uncommitted write (version installation interval =
         the write trace interval, Definition 1)."""
+        # No defensive copy: write deltas come from immutable traces and no
+        # consumer mutates Version.columns (images are rebuilt separately).
         version = Version(
             key=self.key,
             txn_id=txn_id,
             install=interval,
-            columns=dict(columns),
+            columns=columns,
         )
         self._pending.setdefault(txn_id, []).append(version)
         return version
 
     def commit_txn(self, txn_id: str, commit_interval: Interval) -> List[Version]:
         """Install a transaction's staged versions into the committed chain
-        (insertion-sorted by installation after-timestamp).  Returns the
-        versions that became visible."""
+        (sorted by :func:`chain_sort_key`).  Returns the versions that
+        became visible."""
         staged = self._pending.pop(txn_id, [])
         installed: List[Version] = []
         for version in staged:
@@ -199,14 +342,34 @@ class VersionChain:
         self._aborted.extend(dropped)
         return dropped
 
+    def _invalidate(self) -> None:
+        """Epoch bump: every cached classification is stale."""
+        self.epoch += 1
+        if self._snap_memo or self._prefix_memo or self._single_memo:
+            self._snap_memo.clear()
+            self._prefix_memo.clear()
+            self._single_memo.clear()
+            self._c_invalidations.inc()
+
     def _insert_sorted(self, version: Version) -> None:
-        sort_key = _chain_sort_key(version)
-        position = len(self._chain)
-        for idx, existing in enumerate(self._chain):
-            if sort_key < _chain_sort_key(existing):
-                position = idx
-                break
+        sort_key = chain_sort_key(version)
+        if self._use_index:
+            keys = self._keys
+            if not keys or sort_key > keys[-1]:
+                # Commits arrive roughly in timestamp order, so the common
+                # case is an append at the tail.
+                position = len(keys)
+            else:
+                position = bisect_left(keys, sort_key)
+            keys.insert(position, sort_key)
+        else:
+            position = len(self._chain)
+            for idx, existing in enumerate(self._chain):
+                if sort_key < chain_sort_key(existing):
+                    position = idx
+                    break
         self._chain.insert(position, version)
+        self._invalidate()
         self._recompute_images(position)
 
     def _recompute_images(self, start: int) -> None:
@@ -239,7 +402,107 @@ class VersionChain:
         * with an order oracle (deduced ``ww`` edges), pivot-overlap
           versions whose order w.r.t. the pivot is fully resolved collapse
           to just the latest of them, as described in Section V-A.
+
+        The Fig. 6 partition is oracle-independent, so the indexed chain
+        memoises it and applies the (cheap, small-set) oracle collapse per
+        call -- cached classifications can therefore never go stale against
+        newly deduced ``ww`` orders.
         """
+        chain = self._chain
+        if self._use_index and len(chain) == 1:
+            # Steady state under GC: one committed version.  It stands in
+            # exactly one of three relations to the snapshot (future,
+            # pivot, overlap), each with a fixed classification that is
+            # oracle-independent (no pivot-overlap set to collapse), so
+            # the three outcome objects are memoised per epoch and repeat
+            # reads of a stable key cost two float comparisons.
+            version = chain[0]
+            installed = version.effective_install
+            if snapshot.ts_aft <= installed.ts_bef:
+                outcome = 0  # snapshot precedes installation: future
+            elif installed.ts_aft <= snapshot.ts_bef:
+                outcome = 1  # definitely before the snapshot: the pivot
+            else:
+                outcome = 2  # overlap
+            cached = self._single_memo.get(outcome)
+            if cached is not None:
+                self._c_hits.inc()
+                return cached
+            self._c_misses.inc()
+            if outcome == 0:
+                cached = CandidateClassification((), (version,), (), None)
+            elif outcome == 1:
+                cached = CandidateClassification((version,), (), (), version)
+            else:
+                cached = CandidateClassification((version,), (), (), None)
+            self._single_memo[outcome] = cached
+            return cached
+        if not self._use_index or len(chain) <= _DIRECT_SCAN_MAX:
+            # Linear mode, or a chain short enough that the direct scan is
+            # cheaper than boundary search + memoisation.
+            return self._finalize(self._partition_linear(snapshot), order_oracle)
+        memo_key = (snapshot.ts_bef, snapshot.ts_aft)
+        entry = self._snap_memo.get(memo_key)
+        if entry is not None:
+            self._c_hits.inc()
+            final = entry[5]
+            if final is not None:
+                # Oracle-independent classification (no pivot-overlap set
+                # to collapse): the finished object is served as-is.
+                return final
+            return self._finalize(entry[:5], order_oracle)
+        parts = self._partition_indexed(snapshot)
+        if parts is None:
+            # Degenerate zero-width tangency: delegated to the linear scan
+            # for exactness, not memoised (rare by construction).
+            return self._finalize(self._partition_linear(snapshot), order_oracle)
+        final = self._finalize(parts, order_oracle)
+        if len(self._snap_memo) >= _SNAP_MEMO_LIMIT:
+            self._snap_memo.clear()
+        # The finalisation is a pure function of the partition unless a
+        # pivot-overlap set exists (the oracle may collapse it differently
+        # as ww edges accrue), so cache the finished object when safe.
+        self._snap_memo[memo_key] = parts + ((final if not parts[3] else None),)
+        return final
+
+    def _finalize(
+        self, parts: _Partition, order_oracle: Optional[OrderOracle]
+    ) -> CandidateClassification:
+        future, overlap, pivot, pivot_overlap, garbage = parts
+        if not pivot_overlap:
+            # Common shape: at most one pre-snapshot version, nothing for
+            # the oracle to collapse.
+            if pivot is None:
+                pre_snapshot = []
+            elif not overlap:
+                return CandidateClassification(
+                    candidates=(pivot,),
+                    future=future,
+                    garbage=garbage,
+                    pivot=pivot,
+                )
+            else:
+                pre_snapshot = [pivot]
+        else:
+            pre_snapshot = list(pivot_overlap)
+            if pivot is not None:
+                pre_snapshot.append(pivot)
+            if order_oracle is not None and len(pre_snapshot) > 1:
+                pre_snapshot = self._collapse_ordered(pre_snapshot, order_oracle)
+        candidates = tuple(
+            sorted(pre_snapshot + list(overlap), key=_seq_of)
+        )
+        return CandidateClassification(
+            candidates=candidates,
+            future=future,
+            garbage=garbage,
+            pivot=pivot,
+        )
+
+    def _partition_linear(self, snapshot: Interval) -> _Partition:
+        """The original full-scan Fig. 6 partition (``REPRO_CR_INDEX=0``),
+        kept verbatim as the reference implementation the indexed path is
+        property-tested against."""
         future: List[Version] = []
         overlap: List[Version] = []
         before: List[Version] = []
@@ -265,18 +528,107 @@ class VersionChain:
                     pivot_overlap.append(version)
                 else:
                     garbage.append(version)
-        pre_snapshot = pivot_overlap + ([pivot] if pivot is not None else [])
-        if order_oracle is not None and len(pre_snapshot) > 1:
-            pre_snapshot = self._collapse_ordered(pre_snapshot, order_oracle)
-        candidates = tuple(
-            sorted(pre_snapshot + overlap, key=lambda v: v.seq)
+        return (
+            tuple(future),
+            tuple(overlap),
+            pivot,
+            tuple(pivot_overlap),
+            tuple(garbage),
         )
-        return CandidateClassification(
-            candidates=candidates,
-            future=tuple(future),
-            garbage=tuple(garbage),
-            pivot=pivot,
+
+    def _partition_indexed(self, snapshot: Interval) -> Optional[_Partition]:
+        """Boundary-search partition over the sorted key index.
+
+        Chain order's primary key is ``effective_install.ts_aft``, so the
+        versions *definitely before* the snapshot (``ts_aft <=
+        snapshot.ts_bef``) are exactly a prefix of the chain, found by one
+        boundary search; the suffix is split into future/overlap by
+        scanning only the (small, recent) versions not definitely before.
+        The prefix side -- pivot, pivot-overlap, garbage -- depends on the
+        snapshot only through the prefix length, so it is memoised per
+        boundary and shared across the many distinct snapshots that agree
+        on it.
+
+        Returns None for the degenerate zero-width tangency case: a
+        zero-width snapshot touching a prefix version's boundary satisfies
+        both precedence predicates at once and the linear scan resolves
+        the tie (future first), so the caller delegates to it.  Rare by
+        construction.
+        """
+        self._c_misses.inc()
+        keys = self._keys
+        ts_bef = snapshot.ts_bef
+        if len(keys) <= 16:
+            # Short chains (the steady state under GC): a counting walk
+            # over the first key component beats bisect's tuple-sentinel
+            # construction.
+            boundary = 0
+            for key in keys:
+                if key[0] <= ts_bef:
+                    boundary += 1
+                else:
+                    break
+        else:
+            boundary = bisect_right(keys, (ts_bef, _INF, _INF, _INF))
+        snap_aft = snapshot.ts_aft
+        if boundary and ts_bef == snap_aft and keys[boundary - 1][0] == ts_bef:
+            return None
+        chain = self._chain
+        if boundary == len(chain):
+            future: Tuple[Version, ...] = ()
+            overlap: Tuple[Version, ...] = ()
+        else:
+            future_acc: List[Version] = []
+            overlap_acc: List[Version] = []
+            for version in chain[boundary:]:
+                if snap_aft <= version.effective_install.ts_bef:
+                    future_acc.append(version)
+                else:
+                    overlap_acc.append(version)
+            future = tuple(future_acc)
+            overlap = tuple(overlap_acc)
+        prefix = self._prefix_memo.get(boundary)
+        if prefix is None:
+            prefix = self._prefix_memo[boundary] = self._compute_prefix(boundary)
+        return (future, overlap, prefix[0], prefix[1], prefix[2])
+
+    def _compute_prefix(self, boundary: int) -> tuple:
+        """Pivot / pivot-overlap / garbage for the ``boundary``-length
+        prefix of definitely-before versions (chain order preserved)."""
+        if not boundary:
+            return (None, (), ())
+        chain = self._chain
+        if boundary == 1:
+            return (chain[0], (), ())
+        keys = self._keys
+        # The pivot maximises (ts_aft, seq); the maximal-ts_aft run is the
+        # tail of the prefix, found by one bisect.
+        max_aft = keys[boundary - 1][0]
+        run_start = bisect_left(keys, (max_aft,), 0, boundary)
+        pivot = chain[run_start]
+        for version in chain[run_start + 1 : boundary]:
+            if version.seq > pivot.seq:
+                pivot = version
+        pivot_interval = pivot.effective_install
+        # Versions whose ts_aft <= pivot.ts_bef definitely precede the
+        # pivot: garbage without an overlap test.  Only the (short) run
+        # after that split needs the exact interval check.
+        split = bisect_right(
+            keys, (pivot_interval.ts_bef, _INF, _INF, _INF), 0, boundary
         )
+        garbage: List[Version] = []
+        pivot_overlap: List[Version] = []
+        for version in chain[:split]:
+            if version is not pivot:
+                garbage.append(version)
+        for version in chain[split:boundary]:
+            if version is pivot:
+                continue
+            if version.effective_install.overlaps(pivot_interval):
+                pivot_overlap.append(version)
+            else:
+                garbage.append(version)
+        return (pivot, tuple(pivot_overlap), tuple(garbage))
 
     @staticmethod
     def _collapse_ordered(
@@ -332,18 +684,47 @@ class VersionChain:
         cumulative images of surviving versions already fold in the pruned
         history, so reads verify identically afterwards.
         """
-        self._aborted.clear()
+        if self._aborted:
+            self._aborted.clear()
         # Garbage needs at least two versions definitely before the horizon
         # (a pivot and something it overwrote); most chains fail this cheap
-        # test and are skipped without a full classification.
-        old_enough = 0
-        for version in self._chain:
-            if version.effective_install.precedes(horizon):
-                old_enough += 1
-                if old_enough >= 2:
-                    break
-        if old_enough < 2:
-            return 0
+        # test and are skipped without a full classification.  The key
+        # index answers it in O(1): the prefix of definitely-before
+        # versions has length >= 2 iff the second-smallest after-timestamp
+        # clears the horizon.
+        if self._use_index:
+            keys = self._keys
+            if len(keys) < 2 or keys[1][0] > horizon.ts_bef:
+                return 0
+            if len(keys) == 2:
+                # The steady-state shape under GC: two versions, both
+                # definitely before the horizon.  When the newer one's
+                # after-timestamp is strictly larger it is unambiguously
+                # the pivot, and the older version is garbage iff it
+                # definitely precedes the pivot -- no classification
+                # needed.  (An after-timestamp tie falls through: the
+                # pivot then depends on the seq tie-break.)
+                first, second = self._chain
+                first_install = first.effective_install
+                second_install = second.effective_install
+                if first_install.ts_aft < second_install.ts_aft:
+                    if first_install.ts_aft <= second_install.ts_bef and (
+                        can_prune_txn(first.txn_id) or first.is_initial
+                    ):
+                        self._chain = [second]
+                        self._keys = [chain_sort_key(second)]
+                        self._invalidate()
+                        return 1
+                    return 0
+        else:
+            old_enough = 0
+            for version in self._chain:
+                if version.effective_install.precedes(horizon):
+                    old_enough += 1
+                    if old_enough >= 2:
+                        break
+            if old_enough < 2:
+                return 0
         classification = self.classify(horizon)
         prunable = {
             v.seq
@@ -360,5 +741,8 @@ class VersionChain:
         kept = [v for v in self._chain if v.seq not in prunable]
         pruned = len(self._chain) - len(kept)
         self._chain = kept
+        if self._use_index:
+            self._keys = [chain_sort_key(v) for v in kept]
+        self._invalidate()
         self._aborted.clear()
         return pruned

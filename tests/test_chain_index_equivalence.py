@@ -1,0 +1,116 @@
+"""Old-vs-new CR path equivalence on whole workloads (PR 3 contract).
+
+The chain index is a pure performance structure: with ``REPRO_CR_INDEX=0``
+(or ``chain_index=False``) the verifier falls back to the historical linear
+scans, and the two paths must produce *identical* reports -- same summary,
+same violations, same deduced-dependency counts on the bus -- on the
+fig11/breakdown workload family.  ``tools/bench_baseline.py`` enforces the
+same identity at benchmark scale; this test keeps it in the tier-1 suite
+at a size CI can afford.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import (
+    PG_REPEATABLE_READ,
+    PG_SERIALIZABLE,
+    Verifier,
+    pipeline_from_client_streams,
+)
+from repro.core.versions import chain_index_enabled
+from repro.workloads import BlindW, SmallBank, run_workload
+
+
+def _fingerprint(report) -> dict:
+    """Everything observable about a verification outcome except timing."""
+    stats = dataclasses.asdict(report.stats)
+    stats.pop("mechanism_seconds", None)
+    return {
+        "summary": report.summary(),
+        "ok": report.ok,
+        "violations": [str(v) for v in report.violations],
+        "witnesses": report.descriptor.raw_count,
+        "stats": stats,
+    }
+
+
+def _verify(run, spec, chain_index: bool):
+    verifier = Verifier(
+        spec=spec, initial_db=run.initial_db, chain_index=chain_index
+    )
+    for trace in pipeline_from_client_streams(run.client_streams):
+        verifier.process(trace)
+    report = verifier.finish()
+    return report, verifier
+
+
+WORKLOADS = {
+    "blindw-rw": lambda: run_workload(
+        BlindW.rw(keys=256), PG_SERIALIZABLE, clients=8, txns=200, seed=5
+    ),
+    "blindw-rw-plus": lambda: run_workload(
+        BlindW.rw_plus(keys=256), PG_SERIALIZABLE, clients=8, txns=150, seed=7
+    ),
+    "smallbank": lambda: run_workload(
+        SmallBank(scale_factor=0.1), PG_SERIALIZABLE, clients=8, txns=150,
+        seed=11,
+    ),
+}
+
+
+class TestWorkloadEquivalence:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_reports_and_bus_counts_identical(self, name):
+        run = WORKLOADS[name]()
+        linear_report, linear_verifier = _verify(
+            run, PG_SERIALIZABLE, chain_index=False
+        )
+        indexed_report, indexed_verifier = _verify(
+            run, PG_SERIALIZABLE, chain_index=True
+        )
+        assert _fingerprint(linear_report) == _fingerprint(indexed_report)
+        # The exchanged dependencies must match exactly, per mechanism and
+        # type -- the index may not change *what* is deduced, only how
+        # fast candidate sets are computed.
+        assert linear_verifier.bus.counts == indexed_verifier.bus.counts
+        assert linear_verifier.bus.accepted == indexed_verifier.bus.accepted
+        assert linear_verifier.bus.dropped == indexed_verifier.bus.dropped
+
+    def test_equivalence_under_weaker_spec(self):
+        """The claimed level changes which deductions fire (fewer
+        mechanisms under RR); the identity must hold there too."""
+        run = WORKLOADS["blindw-rw"]()
+        linear_report, linear_verifier = _verify(
+            run, PG_REPEATABLE_READ, chain_index=False
+        )
+        indexed_report, indexed_verifier = _verify(
+            run, PG_REPEATABLE_READ, chain_index=True
+        )
+        assert _fingerprint(linear_report) == _fingerprint(indexed_report)
+        assert linear_verifier.bus.counts == indexed_verifier.bus.counts
+
+
+class TestEscapeHatch:
+    """``REPRO_CR_INDEX`` is the documented operational escape hatch: it
+    flips the process default that ``chain_index=None`` resolves to."""
+
+    def test_env_disables_index(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CR_INDEX", "0")
+        assert not chain_index_enabled()
+        verifier = Verifier(spec=PG_SERIALIZABLE)
+        assert not verifier.state.chain("k").indexed
+
+    def test_env_default_is_indexed(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CR_INDEX", raising=False)
+        assert chain_index_enabled()
+        verifier = Verifier(spec=PG_SERIALIZABLE)
+        assert verifier.state.chain("k").indexed
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CR_INDEX", "0")
+        verifier = Verifier(spec=PG_SERIALIZABLE, chain_index=True)
+        assert verifier.state.chain("k").indexed

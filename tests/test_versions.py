@@ -3,7 +3,11 @@
 from hypothesis import given, settings, strategies as st
 
 from repro.core.intervals import Interval
-from repro.core.versions import VersionChain
+from repro.core.versions import (
+    VersionChain,
+    _chain_sort_key,
+    chain_sort_key,
+)
 
 
 def chain_with(*specs, initial=None):
@@ -213,6 +217,54 @@ class TestPruning:
         assert chain.prune_garbage(Interval(100, 100), lambda txn: True) == 0
 
 
+class TestChainSortKey:
+    """The key function is part of the chain's public contract: it drives
+    both the bisect index and the linear fallback, and must be a *total*
+    order for binary search to be sound."""
+
+    def test_public_name_and_private_alias(self):
+        assert _chain_sort_key is chain_sort_key
+
+    def test_same_instant_batch_commit_orders_by_seq(self):
+        # One transaction's batch commit installs several versions at the
+        # same commit interval; same-instant writes even share the write
+        # interval.  The seq component still orders them by staging order.
+        chain = VersionChain("x")
+        install = Interval(0, 1)
+        for i in range(4):
+            chain.stage_write(f"t{i}", {"v": i}, install)
+        for i in range(4):
+            chain.commit_txn(f"t{i}", Interval(2, 3))
+        values = [v.columns["v"] for v in chain.committed_versions()]
+        assert values == [0, 1, 2, 3]
+        keys = [chain_sort_key(v) for v in chain.committed_versions()]
+        assert keys == sorted(keys)
+        # Total order: no two committed versions share a key.
+        assert len(set(keys)) == len(keys)
+
+    def test_key_is_total_order_under_identical_intervals(self):
+        versions = []
+        chain = VersionChain("x")
+        for i in range(3):
+            chain.stage_write(f"t{i}", {"v": i}, Interval(5, 6))
+            chain.commit_txn(f"t{i}", Interval(7, 9))
+        versions = chain.committed_versions()
+        seqs = [v.seq for v in versions]
+        assert seqs == sorted(seqs)
+        # Sorting by the key reproduces the chain exactly (determinism).
+        assert sorted(versions, key=chain_sort_key) == list(versions)
+
+    def test_write_interval_breaks_commit_ties(self):
+        chain = VersionChain("x")
+        chain.stage_write("b", {"v": 2}, Interval(4, 5))
+        chain.stage_write("a", {"v": 1}, Interval(0, 1))
+        # Both land in the same instantaneous batch commit.
+        chain.commit_txn("b", Interval(10, 11))
+        chain.commit_txn("a", Interval(10, 11))
+        values = [v.columns["v"] for v in chain.committed_versions()]
+        assert values == [1, 2]
+
+
 @settings(max_examples=50, deadline=None)
 @given(
     st.lists(
@@ -258,3 +310,138 @@ def test_candidate_set_property(specs, snap_start, snap_width):
                 version.effective_install.ts_aft
                 <= result.pivot.effective_install.ts_aft
             )
+
+
+# -- indexed vs. linear equivalence (the PR 3 chain-index contract) ----------
+
+def _classification_shape(result):
+    """Comparable projection of a classification (versions by txn id --
+    the two chains under comparison hold distinct Version objects)."""
+    return (
+        tuple(v.txn_id for v in result.candidates),
+        tuple(v.txn_id for v in result.future),
+        tuple(v.txn_id for v in result.garbage),
+        result.pivot.txn_id if result.pivot is not None else None,
+    )
+
+
+def _build_pair(specs):
+    """The same committed versions in an indexed and a linear chain.
+
+    Interval endpoints come from a coarse half-integer grid so exact
+    boundary collisions (snapshot touching an install endpoint -- the
+    "boundary sliver" candidates) occur constantly rather than with
+    float-collision probability.
+    """
+    indexed = VersionChain("x", use_index=True)
+    linear = VersionChain("x", use_index=False)
+    for i, (start, width, gap, cwidth) in enumerate(specs):
+        install = Interval(start / 2, (start + width) / 2)
+        commit = Interval(
+            (start + width + gap) / 2, (start + width + gap + cwidth) / 2
+        )
+        for chain in (indexed, linear):
+            chain.stage_write(f"t{i}", {"v": i}, install)
+            chain.commit_txn(f"t{i}", commit)
+    return indexed, linear
+
+
+_grid = st.integers(0, 60)
+_width = st.integers(0, 8)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    st.lists(
+        st.tuples(_grid, _width, _width, _width), min_size=1, max_size=14
+    ),
+    _grid,
+    _width,
+)
+def test_indexed_classification_matches_linear(specs, snap_start, snap_width):
+    """The bisect-indexed partition must agree with the linear reference
+    scan on every layout, including zero-width intervals and snapshots
+    exactly tangent to install boundaries."""
+    indexed, linear = _build_pair(specs)
+    snapshot = Interval(snap_start / 2, (snap_start + snap_width) / 2)
+    left = indexed.classify(snapshot)
+    right = linear.classify(snapshot)
+    assert [v.txn_id for v in left.candidates] == [
+        v.txn_id for v in right.candidates
+    ]
+    assert [v.txn_id for v in left.future] == [
+        v.txn_id for v in right.future
+    ]
+    assert [v.txn_id for v in left.garbage] == [
+        v.txn_id for v in right.garbage
+    ]
+    assert (left.pivot.txn_id if left.pivot else None) == (
+        right.pivot.txn_id if right.pivot else None
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(_grid, _width, _width, _width), min_size=6, max_size=14
+    ),
+    st.lists(st.tuples(_grid, _width), min_size=1, max_size=6),
+)
+def test_indexed_memo_survives_interleaved_mutation(specs, snapshots):
+    """Classify / mutate / re-classify: the indexed chain's memo must be
+    invalidated by every chain mutation, never serving a stale partition.
+    min_size=6 keeps the chain above the direct-scan threshold so the
+    bisect path (not the short-chain fallback) is exercised."""
+    indexed, linear = _build_pair(specs)
+    next_id = len(specs)
+    for start, width in snapshots:
+        snapshot = Interval(start / 2, (start + width) / 2)
+        # Classify twice: the second indexed call may be a memo hit.
+        for _ in range(2):
+            left = indexed.classify(snapshot)
+            right = linear.classify(snapshot)
+            assert [v.txn_id for v in left.candidates] == [
+                v.txn_id for v in right.candidates
+            ]
+            assert (left.pivot.txn_id if left.pivot else None) == (
+                right.pivot.txn_id if right.pivot else None
+            )
+        # Mutate both chains identically, invalidating the memo.
+        install = Interval(start / 2, (start + width + 1) / 2)
+        commit = Interval((start + width + 1) / 2, (start + width + 2) / 2)
+        for chain in (indexed, linear):
+            chain.stage_write(f"m{next_id}", {"v": next_id}, install)
+            chain.commit_txn(f"m{next_id}", commit)
+        next_id += 1
+
+
+def test_single_version_fast_path_matches_linear():
+    """Length-1 chains take a dedicated memoised path in indexed mode
+    (the dominant shape under steady-state GC); all three outcomes --
+    future, pivot, overlap -- must agree with the linear scan, and the
+    memo must be dropped when the chain grows."""
+    cases = [
+        Interval(10, 11),   # snapshot after commit: version is the pivot
+        Interval(0.1, 0.2),  # snapshot before install: version is future
+        Interval(2, 9),     # overlapping: candidate without pivot
+        Interval(8, 10),    # tangent at commit end (boundary sliver)
+        Interval(0.1, 1),   # tangent at install start (boundary sliver)
+    ]
+    for snapshot in cases:
+        indexed = VersionChain("x", use_index=True)
+        linear = VersionChain("x", use_index=False)
+        for chain in (indexed, linear):
+            chain.stage_write("t0", {"v": 0}, Interval(1, 2))
+            chain.commit_txn("t0", Interval(8, 9))
+        left = indexed.classify(snapshot)
+        right = linear.classify(snapshot)
+        assert _classification_shape(left) == _classification_shape(right)
+        # Memo hit: identical object on re-classification.
+        assert indexed.classify(snapshot) is left
+        # Growing the chain invalidates the single-version memo.
+        for chain in (indexed, linear):
+            chain.stage_write("t1", {"v": 1}, Interval(20, 21))
+            chain.commit_txn("t1", Interval(22, 23))
+        left = indexed.classify(snapshot)
+        right = linear.classify(snapshot)
+        assert _classification_shape(left) == _classification_shape(right)
