@@ -4,7 +4,8 @@ Subcommands
 -----------
 ``run``
     Run a workload on the simulated DBMS and capture per-client trace
-    files (JSONL) plus the initial database image.
+    files (JSONL, or binary frames with ``--format binary``) plus the
+    initial database image.
 ``verify``
     Verify a captured trace directory against an isolation spec and print
     the verification report.
@@ -121,11 +122,12 @@ def cmd_run(args) -> int:
     )
     run = runner.run(txns=args.txns)
     out = Path(args.out)
-    dump_client_streams(run.client_streams, out)
+    dump_client_streams(run.client_streams, out, fmt=args.format)
     dump_initial_db(run.initial_db, out / "initial_db.json")
     print(
         f"{run.workload} on {spec.name}: {run.committed} committed, "
-        f"{run.aborted} aborted, {run.trace_count} traces -> {out}"
+        f"{run.aborted} aborted, {run.trace_count} traces -> {out} "
+        f"({args.format})"
     )
     return 0
 
@@ -166,18 +168,19 @@ def cmd_verify(args) -> int:
     pipeline = pipeline_from_client_streams(streams, metrics=metrics)
     if instrumented:
         # Charge the pipeline's own sort/dispatch work (the time spent
-        # inside the iterator, between traces) to the "pipeline-sort"
-        # phase; everything inside process() is the mechanisms' time.
+        # inside the batch iterator, between batches) to the
+        # "pipeline-sort" phase; everything inside process_batch() is the
+        # mechanisms' time.
         wall_start = time.perf_counter()
         sort_seconds = 0.0
-        iterator = iter(pipeline)
+        batches = pipeline.iter_batches()
         while True:
             tick = time.perf_counter()
-            trace = next(iterator, None)
+            batch = next(batches, None)
             sort_seconds += time.perf_counter() - tick
-            if trace is None:
+            if batch is None:
                 break
-            verifier.process(trace)
+            verifier.process_batch(batch)
         report = verifier.finish()
         wall_seconds = time.perf_counter() - wall_start
         document = run_stats(
@@ -187,8 +190,8 @@ def cmd_verify(args) -> int:
             wall_seconds=wall_seconds,
         )
     else:
-        for trace in pipeline:
-            verifier.process(trace)
+        for batch in pipeline.iter_batches():
+            verifier.process_batch(batch)
         report = verifier.finish()
         document = None
     print(report.summary())
@@ -251,6 +254,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault classes to inject into the engine",
     )
     run_p.add_argument("--out", required=True, help="capture directory")
+    run_p.add_argument(
+        "--format",
+        choices=["jsonl", "binary"],
+        default="jsonl",
+        help="trace capture format (binary = repro.traces/v1b frames)",
+    )
     run_p.set_defaults(fn=cmd_run)
 
     verify_p = sub.add_parser("verify", help="verify a captured trace directory")

@@ -1,0 +1,699 @@
+"""Binary trace codec: struct-packed batch frames with interned strings.
+
+JSONL (:mod:`repro.core.io`) is the friendly interchange format, but its
+per-trace cost -- dict building, JSON stringification, float repr parsing
+-- dominates ingestion once the verifier itself is fast.  This module
+defines the compact sibling format ``repro.traces/v1b``, built for the
+batch shapes the rest of the spine speaks (whole client batches through
+the pipeline, whole message batches over the shard pipes):
+
+* **length-prefixed batch framing**: a file is the magic header followed
+  by frames, each a little-endian ``u32`` payload length plus payload, so
+  readers stream batch by batch without scanning for delimiters;
+* **interned string table** per frame: transaction ids, record-key parts
+  and column names repeat heavily inside a batch; each frame carries every
+  distinct string once and the records reference table indices;
+* **struct-packed records**: timestamps are raw doubles, small ints are
+  LEB128 varints (zigzag for signed), enum fields are single bytes
+  (:data:`repro.core.trace.KIND_TO_CODE`).
+
+Layout::
+
+    file    := MAGIC frame*
+    frame   := u32(len(payload)) payload
+    payload := varint(n_strings) (varint(len) utf8)*   -- string table
+               varint(n_records) record*
+
+The payload generator is reusable: :class:`PayloadEncoder` /
+:class:`PayloadDecoder` expose the primitive writers (varints, values,
+whole traces) so other wire formats -- the parallel path's shard frames
+(:mod:`repro.core.parallel`) -- compose the same interning and packing
+without inventing another codec.
+
+``trace_id`` is deliberately not serialised (it is a process-local
+counter, exactly as in the JSONL format); decoding assigns fresh ids in
+stream order, preserving per-client monotonicity.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import IO, Iterable, Iterator, List, Optional, Sequence, Union
+
+from .intervals import Interval
+from .metrics import NULL_REGISTRY, MetricsRegistry
+from .trace import (
+    CODE_TO_KIND,
+    CODE_TO_STATUS,
+    KIND_TO_CODE,
+    KeyRange,
+    OpStatus,
+    STATUS_TO_CODE,
+    Trace,
+)
+
+#: Versioned header; bump the suffix for incompatible layout changes.
+MAGIC = b"repro.traces/v1b\n"
+
+_U32 = struct.Struct("<I")
+_DD = struct.Struct("<dd")
+_D = struct.Struct("<d")
+
+# Value tags (part of the wire format: append, never renumber).
+_V_NONE = 0
+_V_TRUE = 1
+_V_FALSE = 2
+_V_INT = 3
+_V_FLOAT = 4
+_V_STR = 5
+_V_TUPLE = 6
+
+# Record flag bits.
+_F_STATUS = 0x04       # OpStatus.FAILED
+_F_FOR_UPDATE = 0x08
+_F_PREDICATE = 0x10
+_F_READS = 0x20
+_F_WRITES = 0x40
+
+
+class CodecError(ValueError):
+    """Malformed or unsupported binary trace data."""
+
+
+class PayloadEncoder:
+    """Accumulates records into one frame payload.
+
+    Strings are interned into the frame's table as they are first written;
+    :meth:`finish` assembles ``table + body`` and resets the encoder for
+    the next frame.
+    """
+
+    __slots__ = ("_body", "_strings", "_index", "_records")
+
+    def __init__(self) -> None:
+        self._body = bytearray()
+        self._strings: List[bytes] = []
+        self._index: dict = {}
+        self._records = 0
+
+    def __len__(self) -> int:
+        return self._records
+
+    # -- primitives --------------------------------------------------------
+
+    def varint(self, n: int) -> None:
+        body = self._body
+        while n > 0x7F:
+            body.append((n & 0x7F) | 0x80)
+            n >>= 7
+        body.append(n)
+
+    def zigzag(self, n: int) -> None:
+        self.varint(n * 2 if n >= 0 else -n * 2 - 1)
+
+    def u8(self, n: int) -> None:
+        self._body.append(n)
+
+    def double(self, value: float) -> None:
+        self._body += _D.pack(value)
+
+    def double_pair(self, a: float, b: float) -> None:
+        self._body += _DD.pack(a, b)
+
+    def string(self, s: str) -> None:
+        """Write an interned string reference."""
+        index = self._index.get(s)
+        if index is None:
+            index = len(self._strings)
+            self._index[s] = index
+            self._strings.append(s.encode("utf-8"))
+        self.varint(index)
+
+    def raw(self, data: bytes) -> None:
+        """Length-prefixed opaque bytes (no interning)."""
+        self.varint(len(data))
+        self._body += data
+
+    def value(self, value) -> None:
+        """A tagged dynamic value: None, bool, int, float, str or a tuple
+        of values -- everything a record key or column value may be."""
+        if value is None:
+            self._body.append(_V_NONE)
+        elif value is True:
+            self._body.append(_V_TRUE)
+        elif value is False:
+            self._body.append(_V_FALSE)
+        elif type(value) is int:
+            self._body.append(_V_INT)
+            self.zigzag(value)
+        elif type(value) is float:
+            self._body.append(_V_FLOAT)
+            self._body += _D.pack(value)
+        elif type(value) is str:
+            self._body.append(_V_STR)
+            self.string(value)
+        elif isinstance(value, tuple):
+            self._body.append(_V_TUPLE)
+            self.varint(len(value))
+            for part in value:
+                self.value(part)
+        elif isinstance(value, bool):  # bool subclasses snuck past `is`
+            self._body.append(_V_TRUE if value else _V_FALSE)
+        elif isinstance(value, int):
+            self._body.append(_V_INT)
+            self.zigzag(value)
+        elif isinstance(value, float):
+            self._body.append(_V_FLOAT)
+            self._body += _D.pack(value)
+        elif isinstance(value, str):
+            self._body.append(_V_STR)
+            self.string(value)
+        else:
+            raise CodecError(
+                f"unsupported value type {type(value).__name__!r}: {value!r}"
+            )
+
+    def _sets(self, sets) -> None:
+        self.varint(len(sets))
+        for key, columns in sets.items():
+            self.value(key)
+            self.varint(len(columns))
+            for column, value in columns.items():
+                self.string(column)
+                self.value(value)
+
+    # -- records -----------------------------------------------------------
+
+    def trace(self, trace: Trace) -> None:
+        """Append one trace record."""
+        flags = KIND_TO_CODE[trace.kind]
+        if trace.status is not OpStatus.OK:
+            flags |= _F_STATUS
+        if trace.for_update:
+            flags |= _F_FOR_UPDATE
+        if trace.predicate is not None:
+            flags |= _F_PREDICATE
+        if trace.reads:
+            flags |= _F_READS
+        if trace.writes:
+            flags |= _F_WRITES
+        self.u8(flags)
+        self.string(trace.txn_id)
+        interval = trace.interval
+        self.double_pair(interval.ts_bef, interval.ts_aft)
+        self.zigzag(trace.client_id)
+        self.varint(trace.op_index)
+        if trace.reads:
+            self._sets(trace.reads)
+        if trace.writes:
+            self._sets(trace.writes)
+        predicate = trace.predicate
+        if predicate is not None:
+            self.value(tuple(predicate.prefix))
+            self.zigzag(predicate.lo)
+            self.zigzag(predicate.hi)
+        self._records += 1
+
+    # -- assembly ----------------------------------------------------------
+
+    def finish(self) -> bytes:
+        """Assemble ``string table + body`` and reset for the next frame."""
+        head = bytearray()
+        strings = self._strings
+        n = len(strings)
+        while n > 0x7F:
+            head.append((n & 0x7F) | 0x80)
+            n >>= 7
+        head.append(n)
+        for encoded in strings:
+            m = len(encoded)
+            while m > 0x7F:
+                head.append((m & 0x7F) | 0x80)
+                m >>= 7
+            head.append(m)
+            head += encoded
+        payload = bytes(head) + bytes(self._body)
+        self._body = bytearray()
+        self._strings = []
+        self._index = {}
+        self._records = 0
+        return payload
+
+
+class PayloadDecoder:
+    """Streaming reader over one frame payload (table read up front)."""
+
+    __slots__ = ("_data", "_pos", "_strings")
+
+    def __init__(self, data: Union[bytes, memoryview]) -> None:
+        self._data = bytes(data)
+        self._pos = 0
+        count = self.varint()
+        strings: List[str] = []
+        for _ in range(count):
+            length = self.varint()
+            end = self._pos + length
+            strings.append(self._data[self._pos : end].decode("utf-8"))
+            self._pos = end
+        self._strings = strings
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= len(self._data)
+
+    # -- primitives --------------------------------------------------------
+
+    def varint(self) -> int:
+        data = self._data
+        pos = self._pos
+        shift = 0
+        result = 0
+        try:
+            while True:
+                byte = data[pos]
+                pos += 1
+                result |= (byte & 0x7F) << shift
+                if not byte & 0x80:
+                    break
+                shift += 7
+        except IndexError:
+            raise CodecError("truncated varint") from None
+        self._pos = pos
+        return result
+
+    def zigzag(self) -> int:
+        zz = self.varint()
+        return (zz >> 1) ^ -(zz & 1)
+
+    def u8(self) -> int:
+        try:
+            byte = self._data[self._pos]
+        except IndexError:
+            raise CodecError("truncated record") from None
+        self._pos += 1
+        return byte
+
+    def double(self) -> float:
+        end = self._pos + 8
+        if end > len(self._data):
+            raise CodecError("truncated double")
+        (value,) = _D.unpack_from(self._data, self._pos)
+        self._pos = end
+        return value
+
+    def double_pair(self):
+        end = self._pos + 16
+        if end > len(self._data):
+            raise CodecError("truncated doubles")
+        pair = _DD.unpack_from(self._data, self._pos)
+        self._pos = end
+        return pair
+
+    def string(self) -> str:
+        index = self.varint()
+        try:
+            return self._strings[index]
+        except IndexError:
+            raise CodecError(f"string table index {index} out of range") from None
+
+    def raw(self) -> bytes:
+        length = self.varint()
+        end = self._pos + length
+        if end > len(self._data):
+            raise CodecError("truncated raw bytes")
+        data = self._data[self._pos : end]
+        self._pos = end
+        return data
+
+    def value(self):
+        tag = self.u8()
+        if tag == _V_NONE:
+            return None
+        if tag == _V_TRUE:
+            return True
+        if tag == _V_FALSE:
+            return False
+        if tag == _V_INT:
+            return self.zigzag()
+        if tag == _V_FLOAT:
+            end = self._pos + 8
+            if end > len(self._data):
+                raise CodecError("truncated float")
+            (value,) = _D.unpack_from(self._data, self._pos)
+            self._pos = end
+            return value
+        if tag == _V_STR:
+            return self.string()
+        if tag == _V_TUPLE:
+            return tuple(self.value() for _ in range(self.varint()))
+        raise CodecError(f"unknown value tag {tag}")
+
+    def _sets(self) -> dict:
+        out = {}
+        for _ in range(self.varint()):
+            key = self.value()
+            columns = {}
+            for _ in range(self.varint()):
+                column = self.string()
+                columns[column] = self.value()
+            out[key] = columns
+        return out
+
+    # -- records -----------------------------------------------------------
+
+    def trace(self) -> Trace:
+        flags = self.u8()
+        kind = CODE_TO_KIND.get(flags & 0x03)
+        if kind is None:  # pragma: no cover - 2-bit code is always mapped
+            raise CodecError(f"unknown op kind code {flags & 0x03}")
+        txn_id = self.string()
+        ts_bef, ts_aft = self.double_pair()
+        client_id = self.zigzag()
+        op_index = self.varint()
+        reads = self._sets() if flags & _F_READS else {}
+        writes = self._sets() if flags & _F_WRITES else {}
+        predicate = None
+        if flags & _F_PREDICATE:
+            prefix = self.value()
+            lo = self.zigzag()
+            hi = self.zigzag()
+            predicate = KeyRange(prefix=prefix, lo=lo, hi=hi)
+        return Trace(
+            interval=Interval(ts_bef, ts_aft),
+            kind=kind,
+            txn_id=txn_id,
+            client_id=client_id,
+            reads=reads,
+            writes=writes,
+            status=CODE_TO_STATUS[1 if flags & _F_STATUS else 0],
+            for_update=bool(flags & _F_FOR_UPDATE),
+            predicate=predicate,
+            op_index=op_index,
+        )
+
+
+# -- batch API ------------------------------------------------------------------
+
+
+def encode_batch(traces: Sequence[Trace]) -> bytes:
+    """Encode one batch of traces into a frame payload (no length prefix;
+    file framing is the writer's job, pipe framing is the transport's)."""
+    encoder = PayloadEncoder()
+    encoder.varint(len(traces))
+    for trace in traces:
+        encoder.trace(trace)
+    return encoder.finish()
+
+
+def decode_batch(payload: Union[bytes, memoryview]) -> List[Trace]:
+    """Decode one frame payload back into traces.
+
+    This is the ingestion hot loop, so the record grammar is decoded
+    inline over local variables instead of through
+    :class:`PayloadDecoder` method calls -- the grammar itself is
+    identical (``PayloadDecoder.trace`` is the readable reference and the
+    equivalence is pinned by the codec tests).  Varints take a
+    single-byte fast path because ids, counts and table refs almost
+    always fit seven bits.
+    """
+    data = bytes(payload)
+    size = len(data)
+    pos = 0
+
+    def _varint(pos: int):
+        byte = data[pos]
+        if byte < 0x80:
+            return byte, pos + 1
+        result = byte & 0x7F
+        shift = 7
+        while True:
+            pos += 1
+            byte = data[pos]
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result, pos + 1
+            shift += 7
+
+    def _value(pos: int):
+        tag = data[pos]
+        pos += 1
+        if tag == _V_STR:
+            index = data[pos]
+            if index < 0x80:
+                return strings[index], pos + 1
+            index, pos = _varint(pos)
+            return strings[index], pos
+        if tag == _V_INT:
+            zz = data[pos]
+            if zz < 0x80:
+                return (zz >> 1) ^ -(zz & 1), pos + 1
+            zz, pos = _varint(pos)
+            return (zz >> 1) ^ -(zz & 1), pos
+        if tag == _V_NONE:
+            return None, pos
+        if tag == _V_TRUE:
+            return True, pos
+        if tag == _V_FALSE:
+            return False, pos
+        if tag == _V_FLOAT:
+            return _D.unpack_from(data, pos)[0], pos + 8
+        if tag == _V_TUPLE:
+            count, pos = _varint(pos)
+            parts = []
+            for _ in range(count):
+                part, pos = _value(pos)
+                parts.append(part)
+            return tuple(parts), pos
+        raise CodecError(f"unknown value tag {tag}")
+
+    def _sets(pos: int):
+        count = data[pos]
+        if count < 0x80:
+            pos += 1
+        else:
+            count, pos = _varint(pos)
+        out = {}
+        for _ in range(count):
+            key, pos = _value(pos)
+            n_cols = data[pos]
+            if n_cols < 0x80:
+                pos += 1
+            else:
+                n_cols, pos = _varint(pos)
+            columns = {}
+            for _ in range(n_cols):
+                index = data[pos]
+                if index < 0x80:
+                    pos += 1
+                else:
+                    index, pos = _varint(pos)
+                column = strings[index]
+                columns[column], pos = _value(pos)
+            out[key] = columns
+        return out, pos
+
+    try:
+        n_strings, pos = _varint(pos)
+        strings = []
+        for _ in range(n_strings):
+            length, pos = _varint(pos)
+            end = pos + length
+            strings.append(data[pos:end].decode("utf-8"))
+            pos = end
+        n_records, pos = _varint(pos)
+        traces: List[Trace] = []
+        append = traces.append
+        unpack_dd = _DD.unpack_from
+        code_to_kind = CODE_TO_KIND
+        status_ok = OpStatus.OK
+        status_failed = CODE_TO_STATUS[1]
+        for _ in range(n_records):
+            flags = data[pos]
+            index = data[pos + 1]
+            if index < 0x80:
+                pos += 2
+            else:
+                index, pos = _varint(pos + 1)
+            txn_id = strings[index]
+            ts_bef, ts_aft = unpack_dd(data, pos)
+            pos += 16
+            zz = data[pos]
+            if zz < 0x80:
+                pos += 1
+            else:
+                zz, pos = _varint(pos)
+            client_id = (zz >> 1) ^ -(zz & 1)
+            op_index = data[pos]
+            if op_index < 0x80:
+                pos += 1
+            else:
+                op_index, pos = _varint(pos)
+            if flags & _F_READS:
+                reads, pos = _sets(pos)
+            else:
+                reads = {}
+            if flags & _F_WRITES:
+                writes, pos = _sets(pos)
+            else:
+                writes = {}
+            predicate = None
+            if flags & _F_PREDICATE:
+                prefix, pos = _value(pos)
+                zz, pos = _varint(pos)
+                lo = (zz >> 1) ^ -(zz & 1)
+                zz, pos = _varint(pos)
+                hi = (zz >> 1) ^ -(zz & 1)
+                predicate = KeyRange(prefix=prefix, lo=lo, hi=hi)
+            append(
+                Trace(
+                    interval=Interval(ts_bef, ts_aft),
+                    kind=code_to_kind[flags & 0x03],
+                    txn_id=txn_id,
+                    client_id=client_id,
+                    reads=reads,
+                    writes=writes,
+                    status=status_failed if flags & _F_STATUS else status_ok,
+                    for_update=bool(flags & _F_FOR_UPDATE),
+                    predicate=predicate,
+                    op_index=op_index,
+                )
+            )
+    except (IndexError, struct.error):
+        raise CodecError("truncated batch payload") from None
+    if pos != size:
+        raise CodecError(
+            f"trailing bytes after batch: {size - pos} of {size}"
+        )
+    return traces
+
+
+# -- streaming file surface -----------------------------------------------------
+
+
+class BinaryTraceWriter:
+    """Streaming writer: magic header, then one frame per ``batch_size``
+    traces (or per explicit :meth:`flush`).  Usable as a context manager.
+    """
+
+    def __init__(
+        self,
+        sink: Union[str, Path, IO[bytes]],
+        batch_size: int = 512,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self._own = isinstance(sink, (str, Path))
+        self._stream = open(sink, "wb") if self._own else sink
+        self._batch: List[Trace] = []
+        self._batch_size = batch_size
+        self.count = 0
+        metrics = metrics or NULL_REGISTRY
+        self._m_frames = metrics.counter("codec.encode.frames")
+        self._m_traces = metrics.counter("codec.encode.traces")
+        self._m_bytes = metrics.counter("codec.encode.bytes")
+        self._stream.write(MAGIC)
+
+    def write(self, trace: Trace) -> None:
+        self._batch.append(trace)
+        if len(self._batch) >= self._batch_size:
+            self.flush()
+
+    def write_batch(self, traces: Iterable[Trace]) -> None:
+        for trace in traces:
+            self.write(trace)
+
+    def flush(self) -> None:
+        if self._batch:
+            payload = encode_batch(self._batch)
+            self._stream.write(_U32.pack(len(payload)))
+            self._stream.write(payload)
+            self.count += len(self._batch)
+            self._m_frames.inc()
+            self._m_traces.inc(len(self._batch))
+            self._m_bytes.inc(_U32.size + len(payload))
+            self._batch.clear()
+
+    def close(self) -> None:
+        self.flush()
+        if self._own:
+            self._stream.close()
+
+    def __enter__(self) -> "BinaryTraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def dump_traces_binary(
+    traces: Iterable[Trace],
+    sink: Union[str, Path, IO[bytes]],
+    batch_size: int = 512,
+    metrics: Optional[MetricsRegistry] = None,
+) -> int:
+    """Binary counterpart of :func:`repro.core.io.dump_traces`."""
+    with BinaryTraceWriter(sink, batch_size=batch_size, metrics=metrics) as writer:
+        writer.write_batch(traces)
+        writer.flush()
+        return writer.count
+
+
+def iter_binary_frames(
+    source: Union[str, Path, IO[bytes]],
+    metrics: Optional[MetricsRegistry] = None,
+) -> Iterator[List[Trace]]:
+    """Stream decoded batches from a ``repro.traces/v1b`` file: the frame
+    granularity is preserved, so batch consumers (``process_batch``) skip
+    the per-trace hop entirely."""
+    own = isinstance(source, (str, Path))
+    stream = open(source, "rb") if own else source
+    metrics = metrics or NULL_REGISTRY
+    m_frames = metrics.counter("codec.decode.frames")
+    m_traces = metrics.counter("codec.decode.traces")
+    m_bytes = metrics.counter("codec.decode.bytes")
+    try:
+        header = stream.read(len(MAGIC))
+        if header != MAGIC:
+            raise CodecError(
+                f"not a {MAGIC[:-1].decode('ascii')} file "
+                f"(header {header[:24]!r})"
+            )
+        while True:
+            prefix = stream.read(_U32.size)
+            if not prefix:
+                return
+            if len(prefix) < _U32.size:
+                raise CodecError("truncated frame length")
+            (length,) = _U32.unpack(prefix)
+            payload = stream.read(length)
+            if len(payload) < length:
+                raise CodecError("truncated frame payload")
+            batch = decode_batch(payload)
+            m_frames.inc()
+            m_traces.inc(len(batch))
+            m_bytes.inc(_U32.size + length)
+            yield batch
+    finally:
+        if own:
+            stream.close()
+
+
+def load_traces_binary(
+    source: Union[str, Path, IO[bytes]],
+    metrics: Optional[MetricsRegistry] = None,
+) -> Iterator[Trace]:
+    """Binary counterpart of :func:`repro.core.io.load_traces`."""
+    for batch in iter_binary_frames(source, metrics=metrics):
+        yield from batch
+
+
+def payload_stats(payload: bytes) -> dict:
+    """Cheap introspection used by benchmarks and tests."""
+    decoder = PayloadDecoder(payload)
+    return {
+        "bytes": len(payload),
+        "strings": len(decoder._strings),
+        "traces": decoder.varint(),
+    }

@@ -1,9 +1,12 @@
-"""Trace persistence: JSON-lines serialisation of interval traces.
+"""Trace persistence: JSON-lines and binary serialisation of traces.
 
 The tracer side of a real deployment runs inside application clients and
 ships traces to the verifier as an append-only stream.  This module defines
-the on-the-wire/on-disk format: one JSON object per line, self-describing,
-ordered per client (each client appends to its own file or stream).
+the self-describing text format -- one JSON object per line, ordered per
+client (each client appends to its own file or stream) -- and routes to the
+compact binary sibling (:mod:`repro.core.codec`, ``repro.traces/v1b``)
+when a path carries the :data:`BINARY_SUFFIX` extension or the caller asks
+for ``fmt="binary"`` explicitly.
 
 Format (one line per trace)::
 
@@ -23,9 +26,33 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, IO, Iterable, Iterator, List, Mapping, Union
+from typing import Dict, IO, Iterable, Iterator, List, Mapping, Optional, Union
 
 from .trace import Key, KeyRange, OpKind, OpStatus, Trace
+
+#: Extension that selects the binary codec (``repro.traces/v1b``).
+BINARY_SUFFIX = ".rtb"
+
+#: Recognised trace serialisation formats.
+FORMATS = ("jsonl", "binary")
+
+
+def resolve_format(
+    target: Union[str, Path, IO, None], fmt: Optional[str] = None
+) -> str:
+    """Pick the serialisation format for ``target``.
+
+    An explicit ``fmt`` always wins; otherwise paths ending in
+    :data:`BINARY_SUFFIX` select the binary codec and everything else
+    (including bare file objects) stays JSONL.
+    """
+    if fmt is not None:
+        if fmt not in FORMATS:
+            raise ValueError(f"unknown trace format {fmt!r}; expected {FORMATS}")
+        return fmt
+    if isinstance(target, (str, Path)) and str(target).endswith(BINARY_SUFFIX):
+        return "binary"
+    return "jsonl"
 
 _TUPLE_TAG = "\u0000t"
 
@@ -105,8 +132,21 @@ def trace_from_dict(payload: Mapping) -> Trace:
     )
 
 
-def dump_traces(traces: Iterable[Trace], sink: Union[str, Path, IO[str]]) -> int:
-    """Write traces as JSON lines; returns the number written."""
+def dump_traces(
+    traces: Iterable[Trace],
+    sink: Union[str, Path, IO],
+    fmt: Optional[str] = None,
+) -> int:
+    """Write traces in the resolved format; returns the number written.
+
+    Paths ending in :data:`BINARY_SUFFIX` (or an explicit
+    ``fmt="binary"``) use the length-prefixed binary codec; everything
+    else writes JSON lines.
+    """
+    if resolve_format(sink, fmt) == "binary":
+        from .codec import dump_traces_binary
+
+        return dump_traces_binary(traces, sink)
     own = isinstance(sink, (str, Path))
     stream = open(sink, "w", encoding="utf-8") if own else sink
     count = 0
@@ -121,8 +161,17 @@ def dump_traces(traces: Iterable[Trace], sink: Union[str, Path, IO[str]]) -> int
     return count
 
 
-def load_traces(source: Union[str, Path, IO[str]]) -> Iterator[Trace]:
-    """Stream traces back from a JSON-lines file or file object."""
+def load_traces(
+    source: Union[str, Path, IO],
+    fmt: Optional[str] = None,
+) -> Iterator[Trace]:
+    """Stream traces back from a JSONL or binary file (resolved like
+    :func:`dump_traces`)."""
+    if resolve_format(source, fmt) == "binary":
+        from .codec import load_traces_binary
+
+        yield from load_traces_binary(source)
+        return
     own = isinstance(source, (str, Path))
     stream = open(source, "r", encoding="utf-8") if own else source
     try:
@@ -145,14 +194,19 @@ def dump_client_streams(
     streams: Mapping[int, Iterable[Trace]],
     directory: Union[str, Path],
     prefix: str = "client",
+    fmt: str = "jsonl",
 ) -> List[Path]:
-    """Write one JSONL file per client (the natural tracer layout)."""
+    """Write one file per client (the natural tracer layout), JSONL by
+    default or binary frames with ``fmt="binary"``."""
+    if fmt not in FORMATS:
+        raise ValueError(f"unknown trace format {fmt!r}; expected {FORMATS}")
+    suffix = BINARY_SUFFIX if fmt == "binary" else ".jsonl"
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     paths = []
     for client_id, traces in sorted(streams.items()):
-        path = directory / f"{prefix}-{client_id}.jsonl"
-        dump_traces(traces, path)
+        path = directory / f"{prefix}-{client_id}{suffix}"
+        dump_traces(traces, path, fmt=fmt)
         paths.append(path)
     return paths
 
@@ -161,15 +215,23 @@ def load_client_streams(
     directory: Union[str, Path], prefix: str = "client"
 ) -> Dict[int, List[Trace]]:
     """Read back the per-client layout written by
-    :func:`dump_client_streams`."""
+    :func:`dump_client_streams` (either format; a client captured in both
+    is an error)."""
     directory = Path(directory)
     streams: Dict[int, List[Trace]] = {}
-    for path in sorted(directory.glob(f"{prefix}-*.jsonl")):
-        client_id = int(path.stem.rsplit("-", 1)[1])
-        streams[client_id] = list(load_traces(path))
+    for pattern in (f"{prefix}-*.jsonl", f"{prefix}-*{BINARY_SUFFIX}"):
+        for path in sorted(directory.glob(pattern)):
+            client_id = int(path.stem.rsplit("-", 1)[1])
+            if client_id in streams:
+                raise ValueError(
+                    f"client {client_id} captured in both formats under "
+                    f"{directory}"
+                )
+            streams[client_id] = list(load_traces(path))
     if not streams:
         raise FileNotFoundError(
-            f"no {prefix}-*.jsonl files under {directory}"
+            f"no {prefix}-*.jsonl or {prefix}-*{BINARY_SUFFIX} files "
+            f"under {directory}"
         )
     return streams
 

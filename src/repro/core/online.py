@@ -114,6 +114,22 @@ class OnlineVerifier:
             marks.append(stage[0].ts_bef if stage else self._floors[client_id])
         return min(marks) if marks else float("-inf")
 
+    def _dispatch(self, batch: List[Trace]) -> None:
+        """Feed one dispatch batch to the backend (batch entry point when
+        it has one; both bundled verifiers do), then alert on anything
+        new.  Alerts keep their documented granularity -- they fire
+        inside the ``feed`` / ``heartbeat`` call whose watermark advance
+        detected them."""
+        process_batch = getattr(self._verifier, "process_batch", None)
+        if process_batch is not None:
+            process_batch(batch)
+        else:
+            process = self._verifier.process
+            for trace in batch:
+                process(trace)
+        self._dispatched += len(batch)
+        self._alert_new()
+
     def _advance(self) -> int:
         watermark = self._watermark()
         for client_id, stage in self._stages.items():
@@ -126,14 +142,13 @@ class OnlineVerifier:
                 else:
                     keep.append(trace)
             self._stages[client_id] = keep
-        dispatched = 0
-        while self._heap and self._heap[0][0] <= watermark:
-            _, _, trace = heapq.heappop(self._heap)
-            self._verifier.process(trace)
-            dispatched += 1
-            self._dispatched += 1
-            self._alert_new()
-        return dispatched
+        heap = self._heap
+        batch: List[Trace] = []
+        while heap and heap[0][0] <= watermark:
+            batch.append(heapq.heappop(heap)[2])
+        if batch:
+            self._dispatch(batch)
+        return len(batch)
 
     def _current_violations(self) -> List[Violation]:
         """Violations detected so far, across verifier backends: the
@@ -208,9 +223,8 @@ class OnlineVerifier:
             remaining.extend(stage)
             stage.clear()
         remaining.sort(key=Trace.sort_key)
-        for trace in remaining:
-            self._verifier.process(trace)
-            self._alert_new()
+        if remaining:
+            self._dispatch(remaining)
         report = self._verifier.finish()
         # Backends that defer global certification to finish (the parallel
         # merge pass) surface their remaining violations only now.

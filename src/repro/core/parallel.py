@@ -38,18 +38,22 @@ which shard owned the keys of its first operation.
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from .bus import DependencyBus
 from .certifier import SerializationCertifier
+from .codec import PayloadDecoder, PayloadEncoder
+from .dependencies import Dependency, DepType
 from .intervals import Interval
 from .mechanism import MechanismContext, MechanismVerifier
 from .metrics import NULL_REGISTRY, MetricsRegistry
 from .report import (
     BugDescriptor,
+    Mechanism,
     VerificationReport,
     VerificationStats,
     Violation,
@@ -64,6 +68,183 @@ from .verifier import Verifier
 #: violation recorded by one of the shard's mechanisms.
 _DEP = "d"
 _VIOLATION = "v"
+
+#: coordinator -> worker message tags (named so dispatch sites do not
+#: compare anonymous string literals).
+MSG_BEGIN = "b"
+MSG_TRACE = "t"
+
+# -- wire frames ------------------------------------------------------------------
+#
+# The worker pipes speak encoded batch frames built from the binary trace
+# codec's primitives (:mod:`repro.core.codec`) instead of pickled lists of
+# per-message tuples: one frame per flushed batch, transaction and key ids
+# interned once per frame, traces struct-packed.  ``send_bytes``/
+# ``recv_bytes`` skip the pickler entirely; an empty byte string ends the
+# stream.  Shard results travel back the same way -- dependencies are the
+# bulk of a journal and get a packed record; violations are rare and
+# structurally open (arbitrary evidence mappings), so they ride as pickled
+# blobs inside the frame.
+
+_T_BEGIN = 0
+_T_TRACE = 1
+
+_DEPTYPE_TO_CODE = {
+    DepType.WW: 0,
+    DepType.WR: 1,
+    DepType.RW: 2,
+    DepType.SO: 3,
+}
+_CODE_TO_DEPTYPE = {code: dep for dep, code in _DEPTYPE_TO_CODE.items()}
+_MECH_TO_CODE = {
+    Mechanism.CONSISTENT_READ: 0,
+    Mechanism.MUTUAL_EXCLUSION: 1,
+    Mechanism.FIRST_UPDATER_WINS: 2,
+    Mechanism.SERIALIZATION_CERTIFIER: 3,
+}
+_CODE_TO_MECH = {code: mech for mech, code in _MECH_TO_CODE.items()}
+#: dependency ``source``/``key`` sentinel codes.
+_NO_SOURCE = 0xFF
+_KEY_VALUE = 0
+_KEY_PICKLE = 1
+
+
+def _is_wire_value(value) -> bool:
+    """Whether the codec's tagged value grammar covers ``value`` (record
+    keys from traces always qualify; exotic keys fall back to pickle)."""
+    if value is None or type(value) in (str, int, float, bool):
+        return True
+    if isinstance(value, tuple):
+        return all(_is_wire_value(part) for part in value)
+    return isinstance(value, (str, int, float, bool))
+
+
+def encode_message_frame(messages: Sequence[Tuple]) -> bytes:
+    """Encode one coordinator->worker batch of begin/trace messages."""
+    encoder = PayloadEncoder()
+    encoder.varint(len(messages))
+    for message in messages:
+        if message[0] == MSG_BEGIN:
+            encoder.u8(_T_BEGIN)
+            encoder.string(message[1])
+            encoder.zigzag(message[2])
+            interval = message[3]
+            encoder.double_pair(interval.ts_bef, interval.ts_aft)
+        else:
+            encoder.u8(_T_TRACE)
+            encoder.varint(message[1])
+            encoder.trace(message[2])
+    return encoder.finish()
+
+
+def apply_message_frame(shard: "ShardVerifier", payload: bytes) -> None:
+    """Decode one batch frame and feed it to a shard verifier.
+
+    Decoding happens once, here in the worker; runs of consecutive trace
+    messages are handed to :meth:`ShardVerifier.ingest_batch` so the
+    per-trace bookkeeping is amortized across the run.
+    """
+    decoder = PayloadDecoder(payload)
+    count = decoder.varint()
+    pending: List[Tuple[int, Trace]] = []
+    for _ in range(count):
+        tag = decoder.u8()
+        if tag == _T_TRACE:
+            index = decoder.varint()
+            pending.append((index, decoder.trace()))
+            continue
+        if pending:
+            shard.ingest_batch(pending)
+            pending = []
+        txn_id = decoder.string()
+        client_id = decoder.zigzag()
+        ts_bef, ts_aft = decoder.double_pair()
+        shard.begin(txn_id, client_id, Interval(ts_bef, ts_aft))
+    if pending:
+        shard.ingest_batch(pending)
+
+
+def encode_shard_result(result: "ShardResult") -> bytes:
+    """Encode a worker's final journal + stats as one result frame."""
+    encoder = PayloadEncoder()
+    encoder.u8(0)  # ok
+    encoder.varint(result.shard_id)
+    encoder.double(result.wall_seconds)
+    encoder.raw(pickle.dumps(result.stats, protocol=pickle.HIGHEST_PROTOCOL))
+    encoder.raw(pickle.dumps(result.metrics, protocol=pickle.HIGHEST_PROTOCOL))
+    encoder.varint(len(result.events))
+    for index, seq, kind, payload in result.events:
+        if kind == _DEP:
+            encoder.u8(0)
+            encoder.zigzag(index)
+            encoder.varint(seq)
+            encoder.string(payload.src)
+            encoder.string(payload.dst)
+            encoder.u8(_DEPTYPE_TO_CODE[payload.dep_type])
+            source = payload.source
+            encoder.u8(_NO_SOURCE if source is None else _MECH_TO_CODE[source])
+            key = payload.key
+            if _is_wire_value(key):
+                encoder.u8(_KEY_VALUE)
+                encoder.value(key)
+            else:
+                encoder.u8(_KEY_PICKLE)
+                encoder.raw(pickle.dumps(key, protocol=pickle.HIGHEST_PROTOCOL))
+        else:
+            encoder.u8(1)
+            encoder.zigzag(index)
+            encoder.varint(seq)
+            encoder.raw(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+    return encoder.finish()
+
+
+def encode_shard_error(trace_back: str) -> bytes:
+    encoder = PayloadEncoder()
+    encoder.u8(1)  # error
+    encoder.raw(trace_back.encode("utf-8"))
+    return encoder.finish()
+
+
+def decode_shard_reply(payload: bytes):
+    """Decode a worker reply: ``("ok", ShardResult)`` or ``("error", tb)``."""
+    decoder = PayloadDecoder(payload)
+    status = decoder.u8()
+    if status != 0:
+        return "error", decoder.raw().decode("utf-8")
+    shard_id = decoder.varint()
+    wall_seconds = decoder.double()
+    stats = pickle.loads(decoder.raw())
+    metrics = pickle.loads(decoder.raw())
+    events: List[Tuple[int, int, str, object]] = []
+    append = events.append
+    for _ in range(decoder.varint()):
+        tag = decoder.u8()
+        index = decoder.zigzag()
+        seq = decoder.varint()
+        if tag == 0:
+            src = decoder.string()
+            dst = decoder.string()
+            dep_type = _CODE_TO_DEPTYPE[decoder.u8()]
+            source_code = decoder.u8()
+            source = None if source_code == _NO_SOURCE else _CODE_TO_MECH[source_code]
+            if decoder.u8() == _KEY_VALUE:
+                key = decoder.value()
+            else:
+                key = pickle.loads(decoder.raw())
+            append(
+                (index, seq, _DEP,
+                 Dependency(src=src, dst=dst, dep_type=dep_type, key=key,
+                            source=source))
+            )
+        else:
+            append((index, seq, _VIOLATION, pickle.loads(decoder.raw())))
+    return "ok", ShardResult(
+        shard_id=shard_id,
+        events=events,
+        stats=stats,
+        metrics=metrics,
+        wall_seconds=wall_seconds,
+    )
 
 
 class GraphOnlyCertifier(MechanismVerifier):
@@ -163,6 +344,23 @@ class ShardVerifier(Verifier):
         else:
             self.process(trace)
 
+    def ingest_batch(self, pairs: Sequence[Tuple[int, Trace]]) -> None:
+        """Ingest a decoded run of ``(trace_index, trace)`` pairs.
+
+        The journal tags events with the index of the trace being
+        processed, so the index advances between traces; everything else
+        (the process call, the timing) is amortized across the run.
+        """
+        process = self.process
+        if self.metrics.enabled:
+            start = time.perf_counter()
+            for self._trace_index, trace in pairs:
+                process(trace)
+            self._wall_seconds += time.perf_counter() - start
+        else:
+            for self._trace_index, trace in pairs:
+                process(trace)
+
     def finish_shard(self) -> ShardResult:
         if self.metrics.enabled:
             start = time.perf_counter()
@@ -185,28 +383,25 @@ class ShardVerifier(Verifier):
 
 
 def _shard_worker_main(conn, shard_id: int, spec, initial_part, options) -> None:
-    """Worker process entry point: drain message batches, ship the result.
+    """Worker process entry point: drain batch frames, ship the result.
 
-    Messages arrive in batches (lists); each message is either a begin
-    control ``("b", txn_id, client_id, interval)`` or a routed trace
-    ``("t", trace_index, trace)``.  A ``None`` batch ends the stream.
+    Messages arrive as encoded byte frames (:func:`encode_message_frame`);
+    each frame interleaves begin controls and routed traces in stream
+    order and is decoded exactly once, here.  An empty frame ends the
+    stream; the reply is an encoded result frame.
     """
     try:
         shard = ShardVerifier(
             shard_id=shard_id, spec=spec, initial_db=initial_part, **options
         )
         while True:
-            batch = conn.recv()
-            if batch is None:
+            frame = conn.recv_bytes()
+            if not frame:
                 break
-            for message in batch:
-                if message[0] == "b":
-                    shard.begin(message[1], message[2], message[3])
-                else:
-                    shard.ingest(message[1], message[2])
-        conn.send(("ok", shard.finish_shard()))
+            apply_message_frame(shard, frame)
+        conn.send_bytes(encode_shard_result(shard.finish_shard()))
     except BaseException:  # noqa: BLE001 - forwarded to the coordinator
-        conn.send(("error", traceback.format_exc()))
+        conn.send_bytes(encode_shard_error(traceback.format_exc()))
     finally:
         conn.close()
 
@@ -292,6 +487,12 @@ class ParallelVerifier:
         self._conns: List = []
         self._buffers: List[List] = [[] for _ in range(shards)]
         self._inline: List[ShardVerifier] = []
+        self._m_tx_frames = self.metrics.counter("parallel.transport.frames")
+        self._m_tx_messages = self.metrics.counter("parallel.transport.messages")
+        self._m_tx_bytes = self.metrics.counter("parallel.transport.bytes")
+        self._m_tx_result_bytes = self.metrics.counter(
+            "parallel.transport.result.bytes"
+        )
         if backend == "inline":
             self._inline = [
                 self._make_shard(shard) for shard in range(shards)
@@ -341,7 +542,7 @@ class ParallelVerifier:
     def _send(self, shard: int, message) -> None:
         if self._backend == "inline":
             sv = self._inline[shard]
-            if message[0] == "b":
+            if message[0] == MSG_BEGIN:
                 sv.begin(message[1], message[2], message[3])
             else:
                 sv.ingest(message[1], message[2])
@@ -349,16 +550,23 @@ class ParallelVerifier:
         buffer = self._buffers[shard]
         buffer.append(message)
         if len(buffer) >= self._batch_size:
-            self._conns[shard].send(buffer)
+            self._send_frame(shard, buffer)
             buffer.clear()
+
+    def _send_frame(self, shard: int, buffer: List) -> None:
+        frame = encode_message_frame(buffer)
+        self._conns[shard].send_bytes(frame)
+        self._m_tx_frames.inc()
+        self._m_tx_messages.inc(len(buffer))
+        self._m_tx_bytes.inc(len(frame))
 
     def _flush(self) -> None:
         if self._backend != "process":
             return
         for shard, buffer in enumerate(self._buffers):
             if buffer:
-                self._conns[shard].send(buffer)
-                self._buffers[shard] = []
+                self._send_frame(shard, buffer)
+                buffer.clear()
 
     # -- trace intake -------------------------------------------------------------
 
@@ -372,7 +580,7 @@ class ParallelVerifier:
                 client_id=trace.client_id, first_interval=trace.interval
             )
             self._txns[trace.txn_id] = record
-            begin = ("b", trace.txn_id, trace.client_id, trace.interval)
+            begin = (MSG_BEGIN, trace.txn_id, trace.client_id, trace.interval)
             for shard in range(self.router.shards):
                 self._send(shard, begin)
         elif record.status is not TxnStatus.ACTIVE:
@@ -391,7 +599,49 @@ class ParallelVerifier:
                 record.status = TxnStatus.ABORTED
                 self._txns_aborted += 1
         for shard, part in self.router.split(trace).items():
-            self._send(shard, ("t", index, part))
+            self._send(shard, (MSG_TRACE, index, part))
+
+    def process_batch(self, traces: Sequence[Trace]) -> None:
+        """Batch intake: same per-trace routing as :meth:`process` (the
+        reference form) with the loop invariants -- registry, router,
+        worker liveness -- resolved once per batch."""
+        if self._finished:
+            raise RuntimeError("verifier already finished")
+        self._ensure_workers()
+        txns = self._txns
+        shards = range(self.router.shards)
+        split = self.router.split
+        send = self._send
+        active = TxnStatus.ACTIVE
+        commit_kind = OpKind.COMMIT
+        for trace in traces:
+            txn_id = trace.txn_id
+            record = txns.get(txn_id)
+            if record is None:
+                record = _TxnRecord(
+                    client_id=trace.client_id, first_interval=trace.interval
+                )
+                txns[txn_id] = record
+                begin = (MSG_BEGIN, txn_id, trace.client_id, trace.interval)
+                for shard in shards:
+                    send(shard, begin)
+            elif record.status is not active:
+                raise ValueError(
+                    f"trace for already-terminated transaction {txn_id}"
+                )
+            index = self._trace_index
+            self._trace_index = index + 1
+            if trace.is_terminal:
+                record.terminal_interval = trace.interval
+                if trace.kind is commit_kind:
+                    record.status = TxnStatus.COMMITTED
+                    self._txns_committed += 1
+                    self._commits.append((index, txn_id, trace.interval))
+                else:
+                    record.status = TxnStatus.ABORTED
+                    self._txns_aborted += 1
+            for shard, part in split(trace).items():
+                send(shard, (MSG_TRACE, index, part))
 
     def process_all(self, traces: Iterable[Trace]) -> "ParallelVerifier":
         for trace in traces:
@@ -406,11 +656,13 @@ class ParallelVerifier:
         self._ensure_workers()
         self._flush()
         for conn in self._conns:
-            conn.send(None)
+            conn.send_bytes(b"")
         results: List[ShardResult] = []
         errors: List[str] = []
         for conn in self._conns:
-            status, payload = conn.recv()
+            reply = conn.recv_bytes()
+            self._m_tx_result_bytes.inc(len(reply))
+            status, payload = decode_shard_reply(reply)
             if status == "ok":
                 results.append(payload)
             else:

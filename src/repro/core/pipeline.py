@@ -20,6 +20,25 @@ switchable (they are compared in the Fig. 10 experiment):
 2. *flow control*: fetch roughly as many traces into the heap as were
    dispatched out of it, keeping the heap size stable.
 
+The global buffer itself comes in two interchangeable shapes:
+
+* the historical **per-trace heap** (``run_merge=False`` or
+  ``REPRO_PIPELINE_RUNS=0``): every fetched trace is pushed onto a min-heap
+  and popped individually -- the reference path, kept verbatim;
+* **sorted-run merging** (the default): each client batch arrives already
+  sorted (the paper's Tracer slices per-client streams, Section IV-C), so
+  the fetch stage keeps whole batches as *runs* and every dispatch round
+  splices the run prefixes below the watermark with one bisect per run and
+  merges them in a single k-way pass.  When only one run has an eligible
+  prefix -- the common case under flow control -- the spliced slice is
+  dispatched wholesale with no comparison work at all.
+
+Both shapes fetch the same batches in the same order and dispatch the same
+``ts_bef <= watermark`` set each round, and heap pop order over a fetched
+set equals ``(ts_bef, trace_id)`` merge order over its runs, so their
+outputs are identical trace-for-trace (ties included) -- the equivalence
+the property tests pin down.
+
 A :class:`NaiveGlobalSorter` baseline (collect everything, sort once) is
 provided for the same comparison.
 """
@@ -27,13 +46,21 @@ provided for the same comparison.
 from __future__ import annotations
 
 import heapq
+import os
 import time
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
+from itertools import islice
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .intervals import POS_INF
 from .metrics import NULL_REGISTRY, MetricsRegistry
 from .trace import Trace
+
+
+def _env_run_merge() -> bool:
+    """``REPRO_PIPELINE_RUNS=0`` falls back to the per-trace heap path."""
+    return os.environ.get("REPRO_PIPELINE_RUNS", "1") != "0"
 
 
 class ClientFeed:
@@ -46,13 +73,20 @@ class ClientFeed:
     0.5 s windows; a count works identically for a simulator).
     """
 
-    def __init__(self, traces: Iterable[Trace], batch_size: int = 64):
+    def __init__(
+        self,
+        traces: Iterable[Trace],
+        batch_size: int = 64,
+        client_id: Optional[int] = None,
+    ):
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
         self._iter = iter(traces)
         self._batch_size = batch_size
         self._exhausted = False
         self._last_ts = -POS_INF
+        self._client_id = client_id
+        self._consumed = 0
 
     @property
     def exhausted(self) -> bool:
@@ -60,21 +94,45 @@ class ClientFeed:
 
     def next_batch(self) -> List[Trace]:
         """Return up to ``batch_size`` traces; empty means exhausted."""
-        batch: List[Trace] = []
-        for _ in range(self._batch_size):
-            try:
-                trace = next(self._iter)
-            except StopIteration:
-                self._exhausted = True
-                break
-            if trace.ts_bef < self._last_ts:
-                raise ValueError(
-                    "client stream is not sorted by before-timestamp: "
-                    f"{trace.ts_bef} after {self._last_ts}"
+        return self.next_batch_ts()[0]
+
+    def next_batch_ts(self) -> Tuple[List[Trace], List[float]]:
+        """One batch plus its parallel ``ts_bef`` key array.
+
+        The timestamps are needed anyway (monotonicity validation), so
+        capturing them lets the pipeline bisect and merge over plain float
+        lists instead of re-reading the ``ts_bef`` property per probe.
+        The whole batch is sliced and validated with C-level passes; the
+        per-trace scan only runs on the failure path to name the offender.
+        """
+        batch = list(islice(self._iter, self._batch_size))
+        if len(batch) < self._batch_size:
+            self._exhausted = True
+        if not batch:
+            return batch, []
+        batch_ts = [t.interval.ts_bef for t in batch]
+        if batch_ts[0] < self._last_ts or batch_ts != sorted(batch_ts):
+            self._raise_unsorted(batch_ts)
+        self._last_ts = batch_ts[-1]
+        self._consumed += len(batch)
+        return batch, batch_ts
+
+    def _raise_unsorted(self, batch_ts: List[float]) -> None:
+        last_ts = self._last_ts
+        for offset, ts in enumerate(batch_ts):
+            if ts < last_ts:
+                who = (
+                    f"client {self._client_id}"
+                    if self._client_id is not None
+                    else "client"
                 )
-            self._last_ts = trace.ts_bef
-            batch.append(trace)
-        return batch
+                raise ValueError(
+                    f"{who} stream is not sorted by before-timestamp at "
+                    f"trace index {self._consumed + offset}: "
+                    f"{ts} after {last_ts}"
+                )
+            last_ts = ts
+        raise AssertionError("unreachable")  # pragma: no cover
 
 
 @dataclass
@@ -86,6 +144,10 @@ class PipelineStats:
     peak_heap_size: int = 0
     peak_buffered: int = 0
     fetches: int = 0
+    #: run-merge path only: k-way merge rounds and single-run fast-path
+    #: dispatches (both zero on the per-trace heap path).
+    runs_merged: int = 0
+    fastpath_runs: int = 0
 
     def observe(self, heap_size: int, buffered: int) -> None:
         self.peak_heap_size = max(self.peak_heap_size, heap_size)
@@ -95,26 +157,92 @@ class PipelineStats:
 class _LocalBuffer:
     """Per-client staging area between the client feed and the heap."""
 
-    __slots__ = ("feed", "pending")
+    __slots__ = ("feed", "pending", "pending_ts")
 
     def __init__(self, feed: ClientFeed):
         self.feed = feed
         self.pending: List[Trace] = []
+        self.pending_ts: List[float] = []
 
     def refill(self) -> None:
         if not self.pending and not self.feed.exhausted:
-            self.pending = self.feed.next_batch()
+            self.pending, self.pending_ts = self.feed.next_batch_ts()
 
     @property
     def head_ts(self) -> float:
         """Before-timestamp of the oldest staged trace (+inf when drained)."""
-        if self.pending:
-            return self.pending[0].ts_bef
+        if self.pending_ts:
+            return self.pending_ts[0]
         return POS_INF
 
     @property
     def done(self) -> bool:
         return not self.pending and self.feed.exhausted
+
+
+class _Run:
+    """One fetched client batch staged in the global buffer (run-merge
+    path).  ``ts`` is the parallel before-timestamp key array captured at
+    batch time; ``lo`` is the consumed-prefix cursor: splicing advances it
+    instead of copying the tail, so a run is sliced at most once per
+    dispatch round and dropped when fully consumed."""
+
+    __slots__ = ("items", "ts", "lo")
+
+    def __init__(self, items: List[Trace], ts: List[float]):
+        self.items = items
+        self.ts = ts
+        self.lo = 0
+
+    def __len__(self) -> int:
+        return len(self.items) - self.lo
+
+
+def _merge_slices(slices: List[Tuple[List[Trace], List[float], int, int]]) -> List[Trace]:
+    """K-way merge of sorted run slices by ``(ts_bef, trace_id)`` -- the
+    heap reference path's pop order over the same traces.
+
+    Each slice is ``(items, ts, lo, hi)``.  The loop gallops: whenever the
+    leading slice is strictly below every other head timestamp, its whole
+    leading chunk is located with one C-level bisect over the float key
+    array and copied wholesale; exact timestamp ties fall back to
+    one-element steps where the heap's full ``(ts, id)`` comparison decides.
+    """
+    heap = []
+    for index, (items, ts, lo, hi) in enumerate(slices):
+        heap.append((ts[lo], items[lo].trace_id, index, lo))
+    heapq.heapify(heap)
+    out: List[Trace] = []
+    append = out.append
+    extend = out.extend
+    heapreplace = heapq.heapreplace
+    heappop = heapq.heappop
+    while len(heap) > 1:
+        t, _tid, index, pos = heap[0]
+        items, ts, _lo, hi = slices[index]
+        # Second-smallest head: the smaller child of the heap root.
+        second = heap[1] if len(heap) == 2 or heap[1] < heap[2] else heap[2]
+        second_ts = second[0]
+        nxt = pos + 1
+        if t == second_ts or nxt >= hi or ts[nxt] >= second_ts:
+            # Single step: a timestamp tie (the root already won the
+            # trace_id comparison) or a chunk of one -- not worth a bisect.
+            append(items[pos])
+            pos = nxt
+        else:
+            # Everything strictly below the next head is safe wholesale;
+            # a tied suffix stays behind for per-element id arbitration.
+            cut = bisect_left(ts, second_ts, nxt, hi)
+            extend(items[pos:cut])
+            pos = cut
+        if pos < hi:
+            heapreplace(heap, (ts[pos], items[pos].trace_id, index, pos))
+        else:
+            heappop(heap)
+    _, _, index, pos = heap[0]
+    items, _, _, hi = slices[index]
+    extend(items[pos:hi])
+    return out
 
 
 class TwoLevelPipeline:
@@ -124,7 +252,10 @@ class TwoLevelPipeline:
     non-decreasing ``ts_bef`` order.  ``optimized=False`` disables the
     laggard-first fetching and flow control (the "w/o Opt" configuration of
     Fig. 10); the watermark protocol itself is always on, since it is what
-    makes the output order correct.
+    makes the output order correct.  ``run_merge`` selects the global
+    buffer shape: sorted-run merging (the default) or the per-trace heap
+    reference path (``None`` defers to the ``REPRO_PIPELINE_RUNS``
+    environment escape hatch).
     """
 
     def __init__(
@@ -132,12 +263,14 @@ class TwoLevelPipeline:
         feeds: Sequence[ClientFeed],
         optimized: bool = True,
         metrics: Optional[MetricsRegistry] = None,
+        run_merge: Optional[bool] = None,
     ):
         if not feeds:
             raise ValueError("pipeline needs at least one client feed")
         self._locals = [_LocalBuffer(feed) for feed in feeds]
         self._heap: List[Tuple[float, int, Trace]] = []
         self._optimized = optimized
+        self._run_merge = _env_run_merge() if run_merge is None else bool(run_merge)
         self._last_dispatched_ts = -POS_INF
         self._last_round_dispatched = 0
         self.stats = PipelineStats()
@@ -146,6 +279,9 @@ class TwoLevelPipeline:
         self._m_heap = self._metrics.histogram("pipeline.heap.size")
         self._m_dispatched = self._metrics.counter("pipeline.traces.dispatched")
         self._m_lag = self._metrics.gauge("pipeline.watermark.lag")
+        self._m_runs_merged = self._metrics.counter("pipeline.run.merged")
+        self._m_fastpath = self._metrics.counter("pipeline.run.fastpath")
+        self._m_splice = self._metrics.histogram("pipeline.run.splice.size")
         self._max_pushed_ts = -POS_INF
 
     # -- internals ---------------------------------------------------------
@@ -161,17 +297,18 @@ class TwoLevelPipeline:
             self._max_pushed_ts = trace.ts_bef
         heapq.heappush(self._heap, (trace.ts_bef, trace.trace_id, trace))
 
-    def _observe_round(self) -> None:
-        """Per-round gauges/histograms (instrumented runs only): heap
-        size, per-client staged depth, and the watermark lag -- how far
-        ahead of the watermark fetched traces have piled up while a
-        laggard client holds dispatch back."""
-        self._m_heap.observe(len(self._heap))
+    def _observe_round(self, staged: int) -> None:
+        """Per-round gauges/histograms (instrumented runs only): global
+        buffer size (heap entries or staged run traces), per-client staged
+        depth, and the watermark lag -- how far ahead of the watermark
+        fetched traces have piled up while a laggard client holds dispatch
+        back."""
+        self._m_heap.observe(staged)
         for index, buf in enumerate(self._locals):
             self._metrics.gauge(
                 "pipeline.client.depth", client=index
             ).high_watermark(len(buf.pending))
-        if self._heap:
+        if staged:
             lag = self._max_pushed_ts - self._watermark()
             if lag > 0:
                 self._m_lag.high_watermark(lag)
@@ -199,6 +336,7 @@ class TwoLevelPipeline:
             for buf in buffers:
                 take = buf.pending
                 buf.pending = []
+                buf.pending_ts = []
                 for trace in take:
                     self._push(trace)
                 fetched += len(take)
@@ -212,19 +350,163 @@ class TwoLevelPipeline:
                     self._push(trace)
                 self.stats.fetches += 1
                 buf.pending = []
+                buf.pending_ts = []
                 buf.refill()
         self.stats.observe(len(self._heap), self._buffered())
         self._last_round_dispatched = 0
         if instrumented:
             self._m_fetch.observe(time.perf_counter() - fetch_start)
-            self._observe_round()
+            self._observe_round(len(self._heap))
 
     def _all_done(self) -> bool:
         return all(buf.done for buf in self._locals)
 
+    # -- run-merge internals ------------------------------------------------
+
+    def _fetch_round_runs(self, runs: List[_Run]) -> None:
+        """The run-merge fetch stage: identical fetch policy (laggard-first
+        order, flow-control budget, same refill points) to
+        :meth:`_fetch_round`, but each fetched batch is staged as one
+        sorted run instead of being heap-pushed trace by trace."""
+        self.stats.rounds += 1
+        instrumented = self._metrics.enabled
+        if instrumented:
+            fetch_start = time.perf_counter()
+        buffers = [buf for buf in self._locals if not buf.done]
+        for buf in buffers:
+            buf.refill()
+        buffers = [buf for buf in self._locals if buf.pending]
+        if self._optimized:
+            buffers.sort(key=lambda buf: buf.head_ts)
+            budget = max(self._last_round_dispatched, 1)
+            fetched = 0
+            for buf in buffers:
+                take, take_ts = buf.pending, buf.pending_ts
+                buf.pending = []
+                buf.pending_ts = []
+                runs.append(_Run(take, take_ts))
+                if take_ts[-1] > self._max_pushed_ts:
+                    self._max_pushed_ts = take_ts[-1]
+                fetched += len(take)
+                self.stats.fetches += 1
+                buf.refill()
+                if fetched >= budget:
+                    break
+        else:
+            for buf in buffers:
+                take, take_ts = buf.pending, buf.pending_ts
+                buf.pending = []
+                buf.pending_ts = []
+                runs.append(_Run(take, take_ts))
+                if take_ts[-1] > self._max_pushed_ts:
+                    self._max_pushed_ts = take_ts[-1]
+                self.stats.fetches += 1
+                buf.refill()
+        staged = sum(len(run) for run in runs)
+        self.stats.observe(staged, self._buffered())
+        self._last_round_dispatched = 0
+        if instrumented:
+            self._m_fetch.observe(time.perf_counter() - fetch_start)
+            self._observe_round(staged)
+
+    def _splice_runs(self, runs: List[_Run], bound: float) -> List[Trace]:
+        """Dispatch every staged trace with ``ts_bef <= bound``: one bisect
+        per run finds the eligible prefix, a single-run fast path extends
+        the output wholesale, and the k-way case merges by ``(ts_bef,
+        trace_id)`` -- exactly the heap's pop order over the same set.
+
+        Runs are sorted by that key because a client's batch is created in
+        stream order (ids are assigned monotonically at construction and
+        re-assigned in stream order on decode), which the k-way merge and
+        the fast path both rely on.
+        """
+        eligible: List[Tuple[_Run, int]] = []
+        for run in runs:
+            hi = bisect_right(run.ts, bound, run.lo, len(run.items))
+            if hi > run.lo:
+                eligible.append((run, hi))
+        if not eligible:
+            return []
+        if len(eligible) == 1:
+            run, hi = eligible[0]
+            out = run.items[run.lo : hi]
+            run.lo = hi
+            self.stats.fastpath_runs += 1
+            self._m_fastpath.inc()
+        else:
+            slices = []
+            for run, hi in eligible:
+                slices.append((run.items, run.ts, run.lo, hi))
+                run.lo = hi
+            out = _merge_slices(slices)
+            self.stats.runs_merged += len(eligible)
+            self._m_runs_merged.inc(len(eligible))
+        consumed = any(run.lo >= len(run.items) for run, _ in eligible)
+        if consumed:
+            runs[:] = [run for run in runs if run.lo < len(run.items)]
+        if out[0].ts_bef < self._last_dispatched_ts:
+            raise AssertionError(
+                "pipeline dispatched out of order"
+            )  # pragma: no cover - guarded by Theorem 1
+        self._last_dispatched_ts = out[-1].ts_bef
+        dispatched = len(out)
+        self.stats.dispatched += dispatched
+        self._last_round_dispatched += dispatched
+        self._m_dispatched.inc(dispatched)
+        self._m_splice.observe(dispatched)
+        return out
+
+    def _iter_run_batches(self) -> Iterator[List[Trace]]:
+        """Algorithm 1 over sorted runs: each yielded list is one dispatch
+        round's below-watermark splice, in dispatch order."""
+        for buf in self._locals:
+            buf.refill()
+        runs: List[_Run] = []
+        self.stats.observe(0, self._buffered())
+        while True:
+            batch = self._splice_runs(runs, self._watermark())
+            if batch:
+                yield batch
+            if self._all_done():
+                # Drain: every feed is exhausted, merge whatever is staged.
+                batch = self._splice_runs(runs, POS_INF)
+                if batch:
+                    yield batch
+                return
+            self._fetch_round_runs(runs)
+
     # -- public API ---------------------------------------------------------
 
     def __iter__(self) -> Iterator[Trace]:
+        if self._run_merge:
+            for batch in self._iter_run_batches():
+                yield from batch
+        else:
+            yield from self._iter_heap()
+
+    def iter_batches(self, max_batch: int = 2048) -> Iterator[List[Trace]]:
+        """Yield dispatched traces in batches (same order as iteration).
+
+        On the run-merge path each batch is a dispatch round's splice --
+        the natural unit for :meth:`Verifier.process_batch` feeding; the
+        per-trace reference path chunks its output at ``max_batch``.
+        """
+        if self._run_merge:
+            yield from self._iter_run_batches()
+            return
+        batch: List[Trace] = []
+        for trace in self._iter_heap():
+            batch.append(trace)
+            if len(batch) >= max_batch:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
+    def _iter_heap(self) -> Iterator[Trace]:
+        """The historical per-trace reference path (``run_merge=False``),
+        kept verbatim: heap-push every fetched trace, pop below the
+        watermark."""
         # Prime the local buffers so the first watermark is meaningful.
         for buf in self._locals:
             buf.refill()
@@ -286,13 +568,16 @@ def pipeline_from_client_streams(
     batch_size: int = 64,
     optimized: bool = True,
     metrics: Optional[MetricsRegistry] = None,
+    run_merge: Optional[bool] = None,
 ) -> TwoLevelPipeline:
     """Convenience constructor from ``{client_id: [traces...]}``."""
     feeds = [
-        ClientFeed(traces, batch_size=batch_size)
-        for _, traces in sorted(streams.items())
+        ClientFeed(traces, batch_size=batch_size, client_id=client_id)
+        for client_id, traces in sorted(streams.items())
     ]
-    return TwoLevelPipeline(feeds, optimized=optimized, metrics=metrics)
+    return TwoLevelPipeline(
+        feeds, optimized=optimized, metrics=metrics, run_merge=run_merge
+    )
 
 
 def sorted_traces(streams: Dict[int, Sequence[Trace]]) -> List[Trace]:

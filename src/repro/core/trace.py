@@ -144,6 +144,20 @@ class OpStatus(enum.Enum):
     FAILED = "failed"
 
 
+#: Compact wire codes for the binary trace codec (``repro.traces/v1b``,
+#: :mod:`repro.core.codec`).  The numbering is part of the on-disk format:
+#: append new codes, never renumber.
+KIND_TO_CODE = {
+    OpKind.READ: 0,
+    OpKind.WRITE: 1,
+    OpKind.COMMIT: 2,
+    OpKind.ABORT: 3,
+}
+CODE_TO_KIND = {code: kind for kind, code in KIND_TO_CODE.items()}
+STATUS_TO_CODE = {OpStatus.OK: 0, OpStatus.FAILED: 1}
+CODE_TO_STATUS = {code: status for status, code in STATUS_TO_CODE.items()}
+
+
 def as_columns(value: Any) -> Dict[str, Value]:
     """Normalise a scalar or column mapping into a column dict."""
     if isinstance(value, Mapping):

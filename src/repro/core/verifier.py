@@ -25,7 +25,7 @@ certifier per shard through the same seam.
 from __future__ import annotations
 
 import time
-from typing import Iterable, List, Mapping, Optional
+from typing import Iterable, List, Mapping, Optional, Sequence
 
 from .bus import DependencyBus
 from .dependencies import Dependency, DepType
@@ -250,6 +250,73 @@ class Verifier:
             if gc._since_last >= gc._every:
                 gc._since_last = 0
                 gc.collect()
+
+    def process_batch(self, traces: Sequence[Trace]) -> None:
+        """Execute one dispatched batch against the mirrored state.
+
+        Semantically identical to calling :meth:`process` per trace (the
+        equivalence tests pin this); the batched ingestion spine lands
+        here, so the loop invariants -- state, hook tuples, the GC
+        countdown -- are bound once per batch instead of re-resolved
+        through ``self`` on every trace.  :meth:`process` is the readable
+        single-trace reference for the loop body.
+        """
+        if self._finished:
+            raise RuntimeError("verifier already finished")
+        state = self.state
+        stats = state.stats
+        txns = state.txns
+        chains = state.chains
+        read_hooks = self._read_hook_fns
+        write_hooks = self._write_hook_fns
+        gc = self._gc
+        ok = OpStatus.OK
+        read_kind, write_kind = OpKind.READ, OpKind.WRITE
+        commit_kind = OpKind.COMMIT
+        active = TxnStatus.ACTIVE
+        for trace in traces:
+            stats.traces_processed += 1
+            ts_bef = trace.interval.ts_bef
+            if ts_bef > state.watermark:
+                state.watermark = ts_bef
+            txn_id = trace.txn_id
+            txn = txns.get(txn_id)
+            if txn is None:
+                txn = TxnState(txn_id=txn_id, client_id=trace.client_id)
+                txns[txn_id] = txn
+            if txn.status is not active:
+                raise ValueError(
+                    f"trace for already-terminated transaction {trace.txn_id}"
+                )
+            if txn.first_interval is None:
+                txn.first_interval = trace.interval
+            txn.op_count += 1
+            kind = trace.kind
+            if kind is read_kind:
+                if trace.status is ok:
+                    for hook in read_hooks:
+                        hook(trace, txn)
+            elif kind is write_kind:
+                if trace.status is ok:
+                    for hook in write_hooks:
+                        hook(trace, txn)
+                    interval = trace.interval
+                    staged = txn.staged_versions.append
+                    for key, columns in trace.writes.items():
+                        chain = chains.get(key)
+                        if chain is None:
+                            chain = state.chain(key)
+                        staged(chain.stage_write(txn_id, columns, interval))
+                        txn.merge_own_write(key, columns)
+            elif kind is commit_kind:
+                self._on_commit(trace, txn)
+            else:
+                self._on_abort(trace, txn)
+            if gc is not None:
+                gc._since_last += 1
+                if gc._since_last >= gc._every:
+                    gc._since_last = 0
+                    gc.collect()
 
     def process_all(self, traces: Iterable[Trace]) -> "Verifier":
         for trace in traces:

@@ -15,8 +15,8 @@ from repro.workloads import run_workload
 def verify_run(run, spec, **kwargs):
     """Pipeline + verifier over a workload run; returns the report."""
     verifier = Verifier(spec=spec, initial_db=run.initial_db, **kwargs)
-    for trace in pipeline_from_client_streams(run.client_streams):
-        verifier.process(trace)
+    for batch in pipeline_from_client_streams(run.client_streams).iter_batches():
+        verifier.process_batch(batch)
     return verifier.finish()
 
 

@@ -37,6 +37,33 @@ class TestRunVerify:
         out = capsys.readouterr().out
         assert "violations      : 0" in out
 
+    def test_binary_format_round_trip(self, tmp_path, capsys):
+        capture = tmp_path / "capture"
+        assert (
+            main(
+                [
+                    "run",
+                    "--workload",
+                    "blindw-rw",
+                    "--txns",
+                    "120",
+                    "--clients",
+                    "4",
+                    "--format",
+                    "binary",
+                    "--out",
+                    str(capture),
+                ]
+            )
+            == 0
+        )
+        assert list(capture.glob("client-*.rtb"))
+        assert not list(capture.glob("client-*.jsonl"))
+        assert main(["verify", str(capture)]) == 0
+        out = capsys.readouterr().out
+        assert "(binary)" in out
+        assert "violations      : 0" in out
+
     def test_faulty_round_trip_exits_nonzero(self, tmp_path, capsys):
         capture = tmp_path / "capture"
         main(

@@ -1,0 +1,283 @@
+"""Binary trace codec (``repro.traces/v1b``): round-trips, framing, fuzz.
+
+Three equivalences are pinned here: encode/decode round-trips every trace
+field exactly (``trace_id`` excepted -- it is process-local by design);
+the inlined hot-loop :func:`decode_batch` decodes the identical grammar as
+the readable :class:`PayloadDecoder.trace` reference; and the binary file
+surface agrees with the JSONL one on whatever it is given.
+"""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import MetricsRegistry
+from repro.core.codec import (
+    MAGIC,
+    BinaryTraceWriter,
+    CodecError,
+    PayloadDecoder,
+    decode_batch,
+    dump_traces_binary,
+    encode_batch,
+    iter_binary_frames,
+    load_traces_binary,
+    payload_stats,
+)
+from repro.core.trace import KeyRange, OpStatus, Trace
+
+
+def trace_fields(trace):
+    """Everything serialised about a trace (``trace_id`` is process-local
+    and deliberately not on the wire)."""
+    return (
+        trace.ts_bef,
+        trace.ts_aft,
+        trace.kind,
+        trace.txn_id,
+        trace.client_id,
+        {k: dict(v) for k, v in trace.reads.items()},
+        {k: dict(v) for k, v in trace.writes.items()},
+        trace.status,
+        trace.for_update,
+        trace.predicate,
+        trace.op_index,
+    )
+
+
+def assert_same_traces(decoded, originals):
+    assert len(decoded) == len(originals)
+    for got, want in zip(decoded, originals):
+        assert trace_fields(got) == trace_fields(want)
+
+
+SAMPLE = [
+    Trace.read(1.0, 1.5, "t1", {"x": 1, "y": None}, client_id=0),
+    Trace.read(
+        2.0,
+        2.25,
+        "t1",
+        {("acct", 7): {"bal": 10.5, "open": True}},
+        client_id=0,
+        op_index=1,
+        for_update=True,
+    ),
+    Trace.write(2.5, 2.75, "t2", {"x": {"v": -3}}, client_id=-1),
+    Trace.write(
+        3.0, 3.5, "t2", {("tbl", "pk", 0): {"col": "value"}},
+        client_id=-1, op_index=1, status=OpStatus.FAILED,
+    ),
+    Trace.read(
+        4.0,
+        4.5,
+        "t3",
+        {("idx", 3): {"v": 1}, ("idx", 4): {"v": 2}},
+        client_id=5,
+        predicate=KeyRange(prefix=("idx",), lo=0, hi=10),
+    ),
+    Trace.commit(5.0, 5.5, "t1", client_id=0, op_index=2),
+    Trace.abort(6.0, 6.5, "t2", client_id=-1, op_index=2),
+    Trace.commit(7.0, 7.5, "t3", client_id=5, op_index=1),
+]
+
+
+class TestBatchRoundTrip:
+    def test_sample_round_trip(self):
+        decoded = decode_batch(encode_batch(SAMPLE))
+        assert_same_traces(decoded, SAMPLE)
+
+    def test_empty_batch(self):
+        assert decode_batch(encode_batch([])) == []
+
+    def test_fresh_trace_ids_monotone(self):
+        decoded = decode_batch(encode_batch(SAMPLE))
+        ids = [t.trace_id for t in decoded]
+        assert ids == sorted(ids)
+
+    def test_memoryview_payload(self):
+        decoded = decode_batch(memoryview(encode_batch(SAMPLE)))
+        assert_same_traces(decoded, SAMPLE)
+
+    def test_string_interning_dedupes(self):
+        repeated = [
+            Trace.write(float(i), float(i) + 0.1, "same-txn", {"same-key": i})
+            for i in range(50)
+        ]
+        stats = payload_stats(encode_batch(repeated))
+        assert stats["traces"] == 50
+        # "same-txn", "same-key" and the default column name, each once.
+        assert stats["strings"] == 3
+
+    def test_fast_decoder_matches_reference(self):
+        payload = encode_batch(SAMPLE)
+        decoder = PayloadDecoder(payload)
+        reference = [decoder.trace() for _ in range(decoder.varint())]
+        assert decoder.exhausted
+        assert_same_traces(decode_batch(payload), reference)
+
+
+class TestMalformedInput:
+    def test_truncated_payload(self):
+        payload = encode_batch(SAMPLE)
+        with pytest.raises(CodecError):
+            decode_batch(payload[:-1])
+
+    def test_trailing_garbage(self):
+        payload = encode_batch(SAMPLE)
+        with pytest.raises(CodecError):
+            decode_batch(payload + b"\x00")
+
+    def test_bad_magic(self):
+        with pytest.raises(CodecError):
+            list(load_traces_binary(io.BytesIO(b"not a trace file")))
+
+    def test_truncated_frame_length(self):
+        blob = MAGIC + b"\x01\x02"
+        with pytest.raises(CodecError):
+            list(load_traces_binary(io.BytesIO(blob)))
+
+    def test_truncated_frame_payload(self):
+        sink = io.BytesIO()
+        dump_traces_binary(SAMPLE, sink)
+        blob = sink.getvalue()
+        with pytest.raises(CodecError):
+            list(load_traces_binary(io.BytesIO(blob[:-4])))
+
+
+class TestFileFraming:
+    def test_dump_load_round_trip(self):
+        sink = io.BytesIO()
+        count = dump_traces_binary(SAMPLE, sink)
+        assert count == len(SAMPLE)
+        assert sink.getvalue().startswith(MAGIC)
+        decoded = list(load_traces_binary(io.BytesIO(sink.getvalue())))
+        assert_same_traces(decoded, SAMPLE)
+
+    def test_frame_granularity_preserved(self):
+        sink = io.BytesIO()
+        dump_traces_binary(SAMPLE, sink, batch_size=3)
+        batches = list(iter_binary_frames(io.BytesIO(sink.getvalue())))
+        assert [len(b) for b in batches] == [3, 3, 2]
+
+    def test_writer_flushes_on_batch_size(self):
+        sink = io.BytesIO()
+        with BinaryTraceWriter(sink, batch_size=2) as writer:
+            writer.write(SAMPLE[0])
+            assert writer.count == 0  # buffered
+            writer.write(SAMPLE[1])
+            assert writer.count == 2  # flushed one frame
+        decoded = list(load_traces_binary(io.BytesIO(sink.getvalue())))
+        assert_same_traces(decoded, SAMPLE[:2])
+
+    def test_empty_file_is_just_magic(self):
+        sink = io.BytesIO()
+        assert dump_traces_binary([], sink) == 0
+        assert sink.getvalue() == MAGIC
+        assert list(load_traces_binary(io.BytesIO(sink.getvalue()))) == []
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            BinaryTraceWriter(io.BytesIO(), batch_size=0)
+
+    def test_metrics_counters(self):
+        metrics = MetricsRegistry()
+        sink = io.BytesIO()
+        dump_traces_binary(SAMPLE, sink, batch_size=3, metrics=metrics)
+        list(load_traces_binary(io.BytesIO(sink.getvalue()), metrics=metrics))
+        counters = {
+            name: sum(metrics.counters_with_name(name).values())
+            for name in (
+                "codec.encode.frames",
+                "codec.encode.traces",
+                "codec.decode.frames",
+                "codec.decode.traces",
+            )
+        }
+        assert counters["codec.encode.frames"] == 3
+        assert counters["codec.encode.traces"] == len(SAMPLE)
+        assert counters["codec.decode.frames"] == 3
+        assert counters["codec.decode.traces"] == len(SAMPLE)
+
+
+# -- fuzz ---------------------------------------------------------------------
+
+_scalar_values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.floats(allow_nan=False),
+    st.text(max_size=12),
+)
+_keys = st.recursive(
+    _scalar_values,
+    lambda children: st.lists(children, min_size=0, max_size=3).map(tuple),
+    max_leaves=6,
+)
+_columns = st.dictionaries(st.text(max_size=8), _scalar_values, max_size=4)
+_sets = st.dictionaries(_keys, _columns, max_size=4)
+
+
+@st.composite
+def _traces(draw):
+    ts_bef = draw(st.floats(0.0, 1e9, allow_nan=False))
+    ts_aft = ts_bef + draw(st.floats(0.0, 1e3, allow_nan=False))
+    choice = draw(st.integers(0, 3))
+    txn_id = draw(st.text(max_size=10))
+    client_id = draw(st.integers(-(2**31), 2**31))
+    op_index = draw(st.integers(0, 2**20))
+    if choice == 0:
+        predicate = None
+        if draw(st.booleans()):
+            lo = draw(st.integers(-100, 100))
+            predicate = KeyRange(
+                prefix=draw(st.lists(_scalar_values, max_size=2).map(tuple)),
+                lo=lo,
+                hi=lo + draw(st.integers(0, 50)),
+            )
+        return Trace.read(
+            ts_bef,
+            ts_aft,
+            txn_id,
+            draw(_sets),
+            client_id=client_id,
+            op_index=op_index,
+            status=draw(st.sampled_from(list(OpStatus))),
+            for_update=draw(st.booleans()),
+            predicate=predicate,
+        )
+    if choice == 1:
+        return Trace.write(
+            ts_bef,
+            ts_aft,
+            txn_id,
+            draw(_sets),
+            client_id=client_id,
+            op_index=op_index,
+            status=draw(st.sampled_from(list(OpStatus))),
+        )
+    maker = Trace.commit if choice == 2 else Trace.abort
+    return maker(ts_bef, ts_aft, txn_id, client_id=client_id, op_index=op_index)
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(_traces(), max_size=20))
+def test_fuzz_round_trip(batch):
+    """Any batch of wire-representable traces round-trips field-exactly,
+    and the fast decoder agrees with the reference decoder on it."""
+    payload = encode_batch(batch)
+    decoded = decode_batch(payload)
+    assert_same_traces(decoded, batch)
+    decoder = PayloadDecoder(payload)
+    reference = [decoder.trace() for _ in range(decoder.varint())]
+    assert decoder.exhausted
+    assert_same_traces(decoded, reference)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_traces(), max_size=12), st.integers(1, 8))
+def test_fuzz_file_round_trip(batch, batch_size):
+    sink = io.BytesIO()
+    assert dump_traces_binary(batch, sink, batch_size=batch_size) == len(batch)
+    decoded = list(load_traces_binary(io.BytesIO(sink.getvalue())))
+    assert_same_traces(decoded, batch)

@@ -1,0 +1,112 @@
+"""Batched ingestion spine equivalences, pinned at the report level.
+
+The ISSUE 4 escape hatches must be real escapes: the per-trace heap path
+(``run_merge=False`` / ``REPRO_PIPELINE_RUNS=0``), the batched
+``process_batch`` entry point, and both serialisation formats have to
+produce *identical* verification reports over the same workload run.
+``tools/bench_baseline.py`` asserts the same equivalences before it
+records any timing; these tests keep them under the regular suite.
+"""
+
+import dataclasses
+import io
+
+import pytest
+
+from repro import PG_SERIALIZABLE, Verifier, pipeline_from_client_streams
+from repro.core.codec import dump_traces_binary, load_traces_binary
+from repro.core.io import (
+    dump_client_streams,
+    dump_traces,
+    load_client_streams,
+    load_traces,
+)
+
+
+def report_fingerprint(report):
+    """Everything observable about a report except timing."""
+    stats = dataclasses.asdict(report.stats)
+    stats.pop("mechanism_seconds", None)
+    return {
+        "summary": report.summary(),
+        "ok": report.ok,
+        "violations": [str(v) for v in report.violations],
+        "witnesses": report.descriptor.raw_count,
+        "stats": stats,
+    }
+
+
+def verify_batched(run, streams=None, run_merge=None):
+    verifier = Verifier(spec=PG_SERIALIZABLE, initial_db=run.initial_db)
+    pipeline = pipeline_from_client_streams(
+        run.client_streams if streams is None else streams, run_merge=run_merge
+    )
+    for batch in pipeline.iter_batches():
+        verifier.process_batch(batch)
+    return verifier.finish()
+
+
+def verify_per_trace(run):
+    """The pre-batching consumption shape, trace by trace."""
+    verifier = Verifier(spec=PG_SERIALIZABLE, initial_db=run.initial_db)
+    for trace in pipeline_from_client_streams(run.client_streams, run_merge=False):
+        verifier.process(trace)
+    return verifier.finish()
+
+
+class TestPathEquivalence:
+    def test_batched_equals_per_trace_reference(self, blindw_rw_run):
+        batched = report_fingerprint(verify_batched(blindw_rw_run))
+        reference = report_fingerprint(verify_per_trace(blindw_rw_run))
+        assert batched == reference
+
+    def test_env_escape_hatch_same_report(self, blindw_rw_run, monkeypatch):
+        monkeypatch.setenv("REPRO_PIPELINE_RUNS", "0")
+        hatch = report_fingerprint(verify_batched(blindw_rw_run))
+        monkeypatch.delenv("REPRO_PIPELINE_RUNS")
+        assert hatch == report_fingerprint(verify_batched(blindw_rw_run))
+
+    def test_smallbank_paths_agree(self, smallbank_run):
+        batched = report_fingerprint(verify_batched(smallbank_run))
+        reference = report_fingerprint(verify_per_trace(smallbank_run))
+        assert batched == reference
+
+
+class TestFormatEquivalence:
+    @staticmethod
+    def roundtrip(streams, fmt):
+        out = {}
+        for client_id, traces in streams.items():
+            if fmt == "binary":
+                buf = io.BytesIO()
+                dump_traces_binary(traces, buf)
+                buf.seek(0)
+                out[client_id] = list(load_traces_binary(buf))
+            else:
+                buf = io.StringIO()
+                dump_traces(traces, buf)
+                buf.seek(0)
+                out[client_id] = list(load_traces(buf))
+        return out
+
+    def test_binary_equals_jsonl_report(self, blindw_rw_run):
+        direct = report_fingerprint(verify_batched(blindw_rw_run))
+        for fmt in ("jsonl", "binary"):
+            streams = self.roundtrip(blindw_rw_run.client_streams, fmt)
+            assert report_fingerprint(
+                verify_batched(blindw_rw_run, streams=streams)
+            ) == direct, f"{fmt} round-trip changed the report"
+
+    @pytest.mark.parametrize("fmt", ["jsonl", "binary"])
+    def test_capture_directory_round_trip(self, tmp_path, blindw_rw_run, fmt):
+        capture = tmp_path / fmt
+        paths = dump_client_streams(
+            blindw_rw_run.client_streams, capture, fmt=fmt
+        )
+        suffix = ".rtb" if fmt == "binary" else ".jsonl"
+        assert all(p.suffix == suffix for p in paths)
+        loaded = load_client_streams(capture)
+        direct = report_fingerprint(verify_batched(blindw_rw_run))
+        assert report_fingerprint(
+            verify_batched(blindw_rw_run, streams=loaded)
+        ) == direct

@@ -37,13 +37,13 @@ class TestFeeding:
     def test_dispatch_order_across_clients(self):
         processed = []
         online = OnlineVerifier(spec=PG_SERIALIZABLE, initial_db=INIT)
-        original = online._verifier.process
+        original = online._verifier.process_batch
 
-        def spy(trace):
-            processed.append(trace.ts_bef)
-            original(trace)
+        def spy(batch):
+            processed.extend(trace.ts_bef for trace in batch)
+            original(batch)
 
-        online._verifier.process = spy
+        online._verifier.process_batch = spy
         online.register_client(0)
         online.register_client(1)
         online.feed(Trace.commit(2.0, 2.1, "t1", client_id=0))

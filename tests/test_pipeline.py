@@ -50,6 +50,16 @@ class TestClientFeed:
         with pytest.raises(ValueError):
             feed.next_batch()
 
+    def test_unsorted_error_names_client_and_index(self):
+        """The error must be attributable: offending client and the trace
+        index within its stream, across batch boundaries."""
+        feed = ClientFeed(
+            make_stream(7, [1, 2, 3, 2.5]), batch_size=3, client_id=7
+        )
+        feed.next_batch()
+        with pytest.raises(ValueError, match=r"client 7 .*trace index 3"):
+            feed.next_batch()
+
     def test_rejects_bad_batch_size(self):
         with pytest.raises(ValueError):
             ClientFeed([], batch_size=0)
@@ -162,6 +172,135 @@ def test_property_monotone_and_complete(gaps_per_client, batch_size, optimized):
     assert stamps == sorted(stamps)
     expected = sorted(t.trace_id for s in streams.values() for t in s)
     assert sorted(t.trace_id for t in out) == expected
+
+
+class TestRunMerge:
+    """Sorted-run merging must be output-identical to the per-trace heap
+    reference (``run_merge=False``), edge cases included."""
+
+    @staticmethod
+    def both_paths(streams, **kwargs):
+        merged = [
+            t.trace_id
+            for batch in pipeline_from_client_streams(
+                streams, run_merge=True, **kwargs
+            ).iter_batches()
+            for t in batch
+        ]
+        reference = [
+            t.trace_id
+            for t in pipeline_from_client_streams(
+                streams, run_merge=False, **kwargs
+            )
+        ]
+        return merged, reference
+
+    def test_empty_client_stream(self):
+        streams = {0: make_stream(0, [1, 2, 3]), 1: [], 2: make_stream(2, [1.5])}
+        merged, reference = self.both_paths(streams)
+        assert merged == reference
+        assert len(merged) == 4
+
+    def test_all_streams_empty(self):
+        assert list(pipeline_from_client_streams({0: [], 1: []}, run_merge=True)) == []
+
+    def test_watermark_ties_all_clients_one_ts(self):
+        """Every client's every trace shares one before-timestamp: the
+        merge must fall back to trace-id arbitration and still match the
+        heap's pop order exactly."""
+        streams = {c: make_stream(c, [7.0] * 9) for c in range(4)}
+        merged, reference = self.both_paths(streams, batch_size=4)
+        assert merged == reference
+        assert len(merged) == 36
+
+    def test_final_batch_exactly_batch_size(self):
+        """A client whose stream length is an exact batch-size multiple:
+        the feed reports exhaustion only on the trailing empty batch, and
+        the run path must drain it identically."""
+        streams = {
+            0: make_stream(0, [float(i) for i in range(12)]),  # 3 * 4 exactly
+            1: make_stream(1, [0.5, 5.5]),
+        }
+        merged, reference = self.both_paths(streams, batch_size=4)
+        assert merged == reference
+        assert len(merged) == 14
+
+    def test_env_escape_hatch(self, monkeypatch):
+        streams = interleaved_streams(seed=11)
+        monkeypatch.setenv("REPRO_PIPELINE_RUNS", "0")
+        hatch = pipeline_from_client_streams(streams)
+        assert hatch._run_merge is False
+        hatch_out = [t.trace_id for t in hatch]
+        monkeypatch.delenv("REPRO_PIPELINE_RUNS")
+        default = pipeline_from_client_streams(streams)
+        assert default._run_merge is True
+        assert [t.trace_id for t in default] == hatch_out
+
+    def test_iter_batches_matches_iteration(self):
+        streams = interleaved_streams(seed=13)
+        flat = [
+            t.trace_id
+            for batch in pipeline_from_client_streams(streams).iter_batches()
+            for t in batch
+        ]
+        assert flat == [
+            t.trace_id for t in pipeline_from_client_streams(streams)
+        ]
+
+    def test_run_stats_counted(self):
+        streams = interleaved_streams(n_clients=6, seed=17)
+        pipeline = pipeline_from_client_streams(streams, batch_size=8)
+        total = sum(len(b) for b in pipeline.iter_batches())
+        assert pipeline.stats.dispatched == total
+        assert pipeline.stats.runs_merged + pipeline.stats.fastpath_runs > 0
+        reference = pipeline_from_client_streams(
+            streams, batch_size=8, run_merge=False
+        )
+        list(reference)
+        assert reference.stats.runs_merged == 0
+        assert reference.stats.fastpath_runs == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(  # per-client lists of inter-arrival gaps (zero gaps = ties)
+        st.lists(
+            st.one_of(st.just(0.0), st.floats(0.0, 5.0, allow_nan=False)),
+            min_size=0,
+            max_size=25,
+        ),
+        min_size=1,
+        max_size=6,
+    ),
+    st.integers(1, 16),
+    st.booleans(),
+)
+def test_property_run_merge_equals_reference(gaps_per_client, batch_size, optimized):
+    """The run-merge path's dispatch order is trace-for-trace identical
+    (ties included) to the per-trace heap reference over any set of
+    monotone client streams."""
+    streams = {}
+    for client, gaps in enumerate(gaps_per_client):
+        t = 0.0
+        stamps = []
+        for gap in gaps:
+            t += gap
+            stamps.append(t)
+        streams[client] = make_stream(client, stamps)
+    merged = [
+        t.trace_id
+        for batch in pipeline_from_client_streams(
+            streams, batch_size=batch_size, optimized=optimized, run_merge=True
+        ).iter_batches()
+        for t in batch
+    ]
+    reference = [
+        t.trace_id
+        for t in pipeline_from_client_streams(
+            streams, batch_size=batch_size, optimized=optimized, run_merge=False
+        )
+    ]
+    assert merged == reference
 
 
 class TestRandomizedEquivalence:

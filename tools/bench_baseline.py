@@ -1,19 +1,27 @@
 #!/usr/bin/env python
-"""Perf baseline harness: linear vs. indexed verifier hot paths.
+"""Perf baseline harness: verifier hot paths plus the ingestion spine.
 
 Runs the Fig. 11 / time-breakdown workloads through the verifier twice --
 once with the historical linear chain scans (``chain_index=False``, the
 ``REPRO_CR_INDEX=0`` path) and once with the bisect-indexed, memoised
 chains -- asserting the two paths produce *identical* reports before
-recording the timing.  The numbers land in a ``repro.bench/v1`` JSON
-document (``BENCH_scale1.json`` at scale 1) so the perf trajectory is
-tracked from PR 3 onward; CI runs ``--quick`` as a regression smoke and
-fails on any verdict mismatch.
+recording the timing.  The primary workload additionally gets a
+**pipeline/transport attribution** section covering the batched ingestion
+spine: the pipeline-sort phase (sorted-run merging vs. the per-trace heap
+reference), the binary trace codec vs. JSONL (encode/decode time and
+bytes), the whole batched run vs. the per-trace reference loop, and --
+with ``--parallel N`` -- the chunked byte-frame shard transport.  Every
+pair of paths/formats must produce identical reports before timings are
+recorded; any divergence fails the run.  The numbers land in a
+``repro.bench/v1`` JSON document (``BENCH_scale1.json`` at scale 1) so the
+perf trajectory is tracked from PR 3 onward; CI runs ``--quick`` as a
+regression smoke and fails on any verdict mismatch.
 
 Usage::
 
     PYTHONPATH=src python tools/bench_baseline.py            # full scale 1
     PYTHONPATH=src python tools/bench_baseline.py --quick    # CI smoke
+    PYTHONPATH=src python tools/bench_baseline.py --quick --parallel 2
     PYTHONPATH=src python tools/bench_baseline.py --out BENCH_scale1.json
 
 With ``--baseline-root PATH`` (a checkout of the pre-overhaul code, e.g. a
@@ -37,6 +45,7 @@ import os
 import subprocess
 import sys
 import time
+from io import BytesIO, StringIO
 from pathlib import Path
 
 from repro import (
@@ -46,6 +55,8 @@ from repro import (
     pipeline_from_client_streams,
     run_stats,
 )
+from repro.core.codec import dump_traces_binary, load_traces_binary
+from repro.core.io import dump_traces, load_traces
 from repro.workloads import BlindW, SmallBank, TpcC, run_workload
 
 SCHEMA = "repro.bench/v1"
@@ -54,6 +65,12 @@ SCHEMA = "repro.bench/v1"
 #: must verify at least this much faster on the indexed path.
 PRIMARY_WORKLOAD = "blindw-rw"
 PRIMARY_TARGET = 1.5
+
+#: the acceptance targets of ISSUE 4: against the pre-PR tree, the
+#: pipeline-sort phase must win by at least PIPELINE_TARGET and the whole
+#: batched run must win outright on the primary workload.
+PIPELINE_TARGET = 1.3
+WHOLE_RUN_TARGET = 1.0
 
 
 def _workloads(scale: float):
@@ -114,6 +131,246 @@ def report_fingerprint(report) -> dict:
     }
 
 
+# -- ingestion spine attribution (ISSUE 4) --------------------------------------
+
+
+def _time_pipeline(streams, run_merge: bool):
+    """Drain one pipeline-sort pass, each path through its natural
+    consumption shape: the run-merge path yields dispatch-round splices
+    (``iter_batches``), the per-trace reference path yields traces."""
+    pipeline = pipeline_from_client_streams(streams, run_merge=run_merge)
+    wall = time.perf_counter()
+    cpu = time.process_time()
+    if run_merge:
+        out = []
+        for batch in pipeline.iter_batches():
+            out.extend(batch)
+    else:
+        out = list(pipeline)
+    cpu = time.process_time() - cpu
+    wall = time.perf_counter() - wall
+    return out, wall, cpu
+
+
+def _verify_batched(run, streams=None, run_merge: bool = True):
+    """Whole batched run: pipeline sort *included* (unlike :func:`_verify`),
+    dispatch-round splices fed straight to ``Verifier.process_batch``."""
+    verifier = Verifier(spec=PG_SERIALIZABLE, initial_db=run.initial_db)
+    pipeline = pipeline_from_client_streams(
+        run.client_streams if streams is None else streams, run_merge=run_merge
+    )
+    wall = time.perf_counter()
+    cpu = time.process_time()
+    for batch in pipeline.iter_batches():
+        verifier.process_batch(batch)
+    report = verifier.finish()
+    cpu = time.process_time() - cpu
+    wall = time.perf_counter() - wall
+    return report, wall, cpu
+
+
+def _verify_reference(run):
+    """The pre-PR consumption shape, kept in-tree as the escape hatches:
+    per-trace heap pipeline (``run_merge=False``) driving ``process()``
+    one trace at a time."""
+    verifier = Verifier(spec=PG_SERIALIZABLE, initial_db=run.initial_db)
+    pipeline = pipeline_from_client_streams(run.client_streams, run_merge=False)
+    wall = time.perf_counter()
+    cpu = time.process_time()
+    for trace in pipeline:
+        verifier.process(trace)
+    report = verifier.finish()
+    cpu = time.process_time() - cpu
+    wall = time.perf_counter() - wall
+    return report, wall, cpu
+
+
+def _roundtrip_streams(streams, fmt: str):
+    """Serialise and re-load every client stream through one format."""
+    out = {}
+    for client_id, traces in streams.items():
+        if fmt == "binary":
+            buf = BytesIO()
+            dump_traces_binary(traces, buf)
+            buf.seek(0)
+            out[client_id] = list(load_traces_binary(buf))
+        else:
+            buf = StringIO()
+            dump_traces(traces, buf)
+            buf.seek(0)
+            out[client_id] = list(load_traces(buf))
+    return out
+
+
+def _bench_codec(traces, repeats: int) -> dict:
+    """Encode/decode one flat trace list through both formats, best-of-N."""
+    cpu = {key: [] for key in ("jsonl_enc", "bin_enc", "jsonl_dec", "bin_dec")}
+    jsonl_text = bin_blob = None
+    for _ in range(repeats):
+        sink = StringIO()
+        tick = time.process_time()
+        dump_traces(traces, sink)
+        cpu["jsonl_enc"].append(time.process_time() - tick)
+        jsonl_text = sink.getvalue()
+
+        sink = BytesIO()
+        tick = time.process_time()
+        dump_traces_binary(traces, sink)
+        cpu["bin_enc"].append(time.process_time() - tick)
+        bin_blob = sink.getvalue()
+
+        tick = time.process_time()
+        decoded_jsonl = list(load_traces(StringIO(jsonl_text)))
+        cpu["jsonl_dec"].append(time.process_time() - tick)
+
+        tick = time.process_time()
+        decoded_bin = list(load_traces_binary(BytesIO(bin_blob)))
+        cpu["bin_dec"].append(time.process_time() - tick)
+    best = {key: min(values) for key, values in cpu.items()}
+    jsonl_bytes = len(jsonl_text.encode("utf-8"))
+    return {
+        "traces": len(traces),
+        "jsonl_bytes": jsonl_bytes,
+        "binary_bytes": len(bin_blob),
+        "size_ratio": round(jsonl_bytes / len(bin_blob), 3) if bin_blob else 0.0,
+        "encode": {
+            "jsonl_cpu_seconds": round(best["jsonl_enc"], 6),
+            "binary_cpu_seconds": round(best["bin_enc"], 6),
+            "speedup": round(best["jsonl_enc"] / best["bin_enc"], 3)
+            if best["bin_enc"]
+            else 0.0,
+        },
+        "decode": {
+            "jsonl_cpu_seconds": round(best["jsonl_dec"], 6),
+            "binary_cpu_seconds": round(best["bin_dec"], 6),
+            "speedup": round(best["jsonl_dec"] / best["bin_dec"], 3)
+            if best["bin_dec"]
+            else 0.0,
+        },
+        "roundtrip_counts_match": len(decoded_jsonl) == len(decoded_bin) == len(traces),
+    }
+
+
+def _bench_transport(run, shards: int) -> dict:
+    """One batched run over the process backend: frame/byte counters from
+    the chunked shard transport, plus a verdict cross-check against the
+    serial batched path."""
+    from repro.core.parallel import ParallelVerifier
+
+    metrics = MetricsRegistry()
+    verifier = ParallelVerifier(
+        spec=PG_SERIALIZABLE,
+        initial_db=run.initial_db,
+        shards=shards,
+        backend="process",
+        metrics=metrics,
+    )
+    wall = time.perf_counter()
+    for batch in pipeline_from_client_streams(run.client_streams).iter_batches():
+        verifier.process_batch(batch)
+    report = verifier.finish()
+    wall = time.perf_counter() - wall
+
+    def counter(name: str) -> int:
+        return sum(metrics.counters_with_name(name).values())
+
+    frames = counter("parallel.transport.frames")
+    messages = counter("parallel.transport.messages")
+    sent = counter("parallel.transport.bytes")
+    return {
+        "shards": shards,
+        "backend": "process",
+        "seconds": round(wall, 6),
+        "ok": report.ok,
+        "violations": len(report.violations),
+        "frames": frames,
+        "messages": messages,
+        "bytes": sent,
+        "result_bytes": counter("parallel.transport.result.bytes"),
+        "messages_per_frame": round(messages / frames, 2) if frames else 0.0,
+        "bytes_per_message": round(sent / messages, 2) if messages else 0.0,
+    }
+
+
+def bench_ingestion(run, repeats: int, parallel_shards: int = 0) -> dict:
+    """The ISSUE 4 attribution: pipeline-sort phase, codec, whole batched
+    run, and (optionally) the chunked shard transport -- with every
+    equivalence the batching must preserve asserted via fingerprints."""
+    streams = run.client_streams
+
+    # Pipeline-sort phase: sorted-run merging vs. the per-trace heap.
+    pipe_cpu = {"per_trace": [], "run_merge": []}
+    pipe_wall = {"per_trace": [], "run_merge": []}
+    outputs = {}
+    for _ in range(repeats):
+        for label, run_merge in (("per_trace", False), ("run_merge", True)):
+            out, wall, cpu = _time_pipeline(streams, run_merge)
+            pipe_wall[label].append(wall)
+            pipe_cpu[label].append(cpu)
+            if label not in outputs:
+                outputs[label] = out
+    order_identical = len(outputs["per_trace"]) == len(outputs["run_merge"]) and all(
+        a is b for a, b in zip(outputs["per_trace"], outputs["run_merge"])
+    )
+    best_pipe = {label: min(values) for label, values in pipe_cpu.items()}
+
+    # Whole run: batched spine vs. the per-trace reference loop.
+    whole_cpu = {"reference": [], "batched": []}
+    whole_wall = {"reference": [], "batched": []}
+    fingerprints = {}
+    for _ in range(repeats):
+        for label, runner in (
+            ("reference", _verify_reference),
+            ("batched", _verify_batched),
+        ):
+            report, wall, cpu = runner(run)
+            whole_wall[label].append(wall)
+            whole_cpu[label].append(cpu)
+            fingerprints[label] = report_fingerprint(report)
+    best_whole = {label: min(values) for label, values in whole_cpu.items()}
+    paths_match = fingerprints["reference"] == fingerprints["batched"]
+
+    # Format equivalence: the same run round-tripped through each codec
+    # must verify to the same report as the in-memory traces.
+    for fmt in ("jsonl", "binary"):
+        report, _, _ = _verify_batched(run, streams=_roundtrip_streams(streams, fmt))
+        fingerprints[fmt] = report_fingerprint(report)
+    formats_match = (
+        fingerprints["jsonl"] == fingerprints["binary"] == fingerprints["batched"]
+    )
+
+    codec = _bench_codec(outputs["run_merge"], repeats)
+
+    result = {
+        "pipeline_sort": {
+            "traces": len(outputs["run_merge"]),
+            "per_trace_seconds": round(min(pipe_wall["per_trace"]), 6),
+            "run_merge_seconds": round(min(pipe_wall["run_merge"]), 6),
+            "per_trace_cpu_seconds": round(best_pipe["per_trace"], 6),
+            "run_merge_cpu_seconds": round(best_pipe["run_merge"], 6),
+            "speedup": round(best_pipe["per_trace"] / best_pipe["run_merge"], 3)
+            if best_pipe["run_merge"]
+            else 0.0,
+            "order_identical": order_identical,
+        },
+        "codec": codec,
+        "whole_run": {
+            "reference_seconds": round(min(whole_wall["reference"]), 6),
+            "batched_seconds": round(min(whole_wall["batched"]), 6),
+            "reference_cpu_seconds": round(best_whole["reference"], 6),
+            "batched_cpu_seconds": round(best_whole["batched"], 6),
+            "speedup": round(best_whole["reference"] / best_whole["batched"], 3)
+            if best_whole["batched"]
+            else 0.0,
+            "paths_match": paths_match,
+            "formats_match": formats_match,
+        },
+    }
+    if parallel_shards > 0:
+        result["transport"] = _bench_transport(run, parallel_shards)
+    return result
+
+
 #: Python source run inside a baseline checkout (``--baseline-root``); it
 #: only relies on the stable top-level API, so any prior revision of this
 #: repository can serve as the "before" tree.
@@ -127,9 +384,15 @@ run = run_workload(
     BlindW.rw(keys=2048), PG_SERIALIZABLE, clients=24,
     txns=params["txns"], seed=5,
 )
-traces = list(pipeline_from_client_streams(run.client_streams))
 seconds, cpu_seconds, cr_seconds = [], [], []
+pipe_seconds, pipe_cpu_seconds = [], []
+whole_seconds, whole_cpu_seconds = [], []
 for _ in range(params["repeats"]):
+    whole_wall = time.perf_counter()
+    whole_cpu = time.process_time()
+    traces = list(pipeline_from_client_streams(run.client_streams))
+    pipe_cpu_seconds.append(time.process_time() - whole_cpu)
+    pipe_seconds.append(time.perf_counter() - whole_wall)
     verifier = Verifier(spec=PG_SERIALIZABLE, initial_db=run.initial_db)
     wall = time.perf_counter()
     cpu = time.process_time()
@@ -138,11 +401,17 @@ for _ in range(params["repeats"]):
     report = verifier.finish()
     cpu_seconds.append(time.process_time() - cpu)
     seconds.append(time.perf_counter() - wall)
+    whole_cpu_seconds.append(time.process_time() - whole_cpu)
+    whole_seconds.append(time.perf_counter() - whole_wall)
     cr_seconds.append(report.stats.mechanism_seconds.get("CR", 0.0))
 print(json.dumps({
     "seconds": min(seconds),
     "cpu_seconds": min(cpu_seconds),
     "cr_seconds": min(cr_seconds),
+    "pipeline_seconds": min(pipe_seconds),
+    "pipeline_cpu_seconds": min(pipe_cpu_seconds),
+    "whole_seconds": min(whole_seconds),
+    "whole_cpu_seconds": min(whole_cpu_seconds),
     "summary": report.summary(),
     "ok": report.ok,
 }))
@@ -167,9 +436,7 @@ def bench_baseline_tree(root: Path, txns: int, repeats: int) -> dict:
     return json.loads(proc.stdout)
 
 
-def bench_workload(name, make_run, repeats: int, stats_dir):
-    run = make_run()
-
+def bench_workload(name, run, repeats: int, stats_dir):
     # Interleave the paths across repeats so machine-load drift hits both
     # equally; best-of-N minima are compared.
     seconds = {"linear": [], "indexed": []}
@@ -287,6 +554,16 @@ def main(argv=None) -> int:
         default=None,
         help="commit id of --baseline-root, recorded in the document",
     )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "also attribute the chunked shard transport: run the primary "
+            "workload through N process-backend shards (0 = skip)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     scale = args.scale if args.scale is not None else (0.2 if args.quick else 1.0)
@@ -294,9 +571,13 @@ def main(argv=None) -> int:
     stats_dir = os.environ.get("REPRO_BENCH_STATS_DIR")
 
     workloads = {}
+    primary_run = None
     for name, make_run in _workloads(scale).items():
         print(f"[bench] {name} (scale={scale}, repeats={repeats}) ...", flush=True)
-        result = bench_workload(name, make_run, repeats, stats_dir)
+        run = make_run()
+        if name == PRIMARY_WORKLOAD:
+            primary_run = run
+        result = bench_workload(name, run, repeats, stats_dir)
         workloads[name] = result
         print(
             f"[bench] {name}: linear={result['linear_seconds']:.3f}s "
@@ -305,6 +586,36 @@ def main(argv=None) -> int:
             f"verdicts_match={result['verdicts_match']}",
             flush=True,
         )
+
+    print(
+        f"[bench] ingestion attribution ({PRIMARY_WORKLOAD}, "
+        f"parallel={args.parallel}) ...",
+        flush=True,
+    )
+    ingestion = bench_ingestion(primary_run, repeats, parallel_shards=args.parallel)
+    pipe = ingestion["pipeline_sort"]
+    whole = ingestion["whole_run"]
+    codec = ingestion["codec"]
+    print(
+        f"[bench] pipeline-sort: per-trace={pipe['per_trace_seconds']:.3f}s "
+        f"run-merge={pipe['run_merge_seconds']:.3f}s "
+        f"speedup={pipe['speedup']:.2f}x "
+        f"order_identical={pipe['order_identical']}",
+        flush=True,
+    )
+    print(
+        f"[bench] codec: encode {codec['encode']['speedup']:.2f}x, "
+        f"decode {codec['decode']['speedup']:.2f}x, "
+        f"{codec['size_ratio']:.2f}x smaller than JSONL",
+        flush=True,
+    )
+    print(
+        f"[bench] whole-run: reference={whole['reference_seconds']:.3f}s "
+        f"batched={whole['batched_seconds']:.3f}s "
+        f"speedup={whole['speedup']:.2f}x paths_match={whole['paths_match']} "
+        f"formats_match={whole['formats_match']}",
+        flush=True,
+    )
 
     primary = workloads[PRIMARY_WORKLOAD]
     document = {
@@ -318,6 +629,7 @@ def main(argv=None) -> int:
             "cr_breakdown_speedup": primary["cr_breakdown"]["speedup"],
             "target": PRIMARY_TARGET,
         },
+        "ingestion": ingestion,
         "workloads": workloads,
     }
     if args.baseline_root is not None:
@@ -365,6 +677,49 @@ def main(argv=None) -> int:
             f"CR breakdown {cr_speedup_vs_baseline:.2f}x vs baseline",
             flush=True,
         )
+        if "pipeline_cpu_seconds" in baseline:
+            # Before/after for the ingestion spine: the pre-PR tree's
+            # pipeline sort and its whole per-trace run vs. this tree's
+            # run-merge sort and batched run (ISSUE 4 acceptance).
+            pipe = ingestion["pipeline_sort"]
+            whole = ingestion["whole_run"]
+            pipe_vs_baseline = (
+                baseline["pipeline_cpu_seconds"] / pipe["run_merge_cpu_seconds"]
+                if pipe["run_merge_cpu_seconds"]
+                else 0.0
+            )
+            whole_vs_baseline = (
+                baseline["whole_cpu_seconds"] / whole["batched_cpu_seconds"]
+                if whole["batched_cpu_seconds"]
+                else 0.0
+            )
+            document["baseline"].update(
+                {
+                    "pipeline_seconds": round(baseline["pipeline_seconds"], 6),
+                    "pipeline_cpu_seconds": round(
+                        baseline["pipeline_cpu_seconds"], 6
+                    ),
+                    "whole_seconds": round(baseline["whole_seconds"], 6),
+                    "whole_cpu_seconds": round(baseline["whole_cpu_seconds"], 6),
+                }
+            )
+            document["ingestion"]["vs_baseline"] = {
+                "pipeline_sort_speedup": round(pipe_vs_baseline, 3),
+                "pipeline_sort_target": PIPELINE_TARGET,
+                "whole_run_speedup": round(whole_vs_baseline, 3),
+                "whole_run_target": WHOLE_RUN_TARGET,
+                "target_met": (
+                    pipe_vs_baseline >= PIPELINE_TARGET
+                    and whole_vs_baseline > WHOLE_RUN_TARGET
+                ),
+            }
+            print(
+                f"[bench] ingestion vs baseline: pipeline-sort "
+                f"{pipe_vs_baseline:.2f}x (target {PIPELINE_TARGET}x), "
+                f"whole-run {whole_vs_baseline:.2f}x "
+                f"(target >{WHOLE_RUN_TARGET}x)",
+                flush=True,
+            )
     rendered = json.dumps(document, indent=2, sort_keys=True) + "\n"
     if args.out is not None:
         args.out.write_text(rendered, encoding="utf-8")
@@ -377,6 +732,28 @@ def main(argv=None) -> int:
         print(
             f"[bench] FAIL: indexed and linear verdicts differ on: "
             f"{', '.join(mismatched)}",
+            file=sys.stderr,
+        )
+        return 1
+    divergences = []
+    if not ingestion["pipeline_sort"]["order_identical"]:
+        divergences.append("run-merge dispatch order != per-trace reference")
+    if not ingestion["whole_run"]["paths_match"]:
+        divergences.append("batched report != per-trace reference report")
+    if not ingestion["whole_run"]["formats_match"]:
+        divergences.append("binary round-trip report != JSONL round-trip report")
+    if not ingestion["codec"]["roundtrip_counts_match"]:
+        divergences.append("codec round-trip lost traces")
+    transport = ingestion.get("transport")
+    if transport is not None and (
+        (transport["violations"] == 0)
+        != (workloads[PRIMARY_WORKLOAD]["violations"] == 0)
+    ):
+        divergences.append("parallel transport verdict != serial verdict")
+    if divergences:
+        print(
+            f"[bench] FAIL: ingestion spine divergence: "
+            f"{'; '.join(divergences)}",
             file=sys.stderr,
         )
         return 1
