@@ -151,6 +151,7 @@ def cmd_verify(args) -> int:
             initial_db=initial_db,
             shards=args.parallel,
             backend=args.parallel_backend,
+            stream_merge=args.stream,
             gc_every=args.gc_every,
             exchange_dependencies=not args.no_exchange,
             minimize_candidates=not args.naive_candidates,
@@ -281,6 +282,22 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["process", "inline"],
         default="process",
         help="shard execution backend for --parallel",
+    )
+    stream_group = verify_p.add_mutually_exclusive_group()
+    stream_group.add_argument(
+        "--stream",
+        dest="stream",
+        action="store_true",
+        default=None,
+        help="stream the parallel certifier merge (overlap certification "
+        "with shard compute; default unless REPRO_PARALLEL_STREAM=0)",
+    )
+    stream_group.add_argument(
+        "--no-stream",
+        dest="stream",
+        action="store_false",
+        help="defer the whole certifier merge to finish() (escape hatch; "
+        "byte-identical report)",
     )
     verify_p.add_argument(
         "--stats",

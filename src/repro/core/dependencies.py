@@ -91,6 +91,12 @@ class DependencyGraph:
         #: (src, dst) -> set of DepType
         self._edge_types: Dict[Tuple[str, str], Set[DepType]] = {}
         self.edge_count = 0
+        #: zero-in-degree frontier: every node with no incoming structural
+        #: edge.  Maintained on node/edge mutation so garbage collection
+        #: (Definition 4 needs in-degree zero as its entry condition) can
+        #: seed its candidate worklist without re-scanning the whole node
+        #: table -- see :meth:`GarbageCollector._prune_graph`.
+        self._zero_in: Set[str] = set()
 
     # -- nodes ----------------------------------------------------------------
 
@@ -101,6 +107,7 @@ class DependencyGraph:
         if node is None:
             node = TxnNode(txn_id=txn_id, commit_interval=commit_interval)
             self._nodes[txn_id] = node
+            self._zero_in.add(txn_id)
             if self._incremental:
                 self._topo.add_node(txn_id)
             else:
@@ -174,6 +181,7 @@ class DependencyGraph:
             if dep.dst not in self._raw_succ[dep.src]:
                 self._raw_succ[dep.src].add(dep.dst)
                 self._raw_pred[dep.dst].add(dep.src)
+                self._zero_in.discard(dep.dst)
             if is_new_type:
                 self.edge_count += 1
             return None
@@ -182,17 +190,26 @@ class DependencyGraph:
                 self.edge_count += 1
             return None
         cycle = self._topo.add_edge(dep.src, dep.dst)
-        if cycle is None and is_new_type:
-            self.edge_count += 1
+        if cycle is None:
+            # The structural edge went in: dst gained an incoming edge.
+            # Cycle-rejected edges are *not* inserted, so dst stays put.
+            self._zero_in.discard(dep.dst)
+            if is_new_type:
+                self.edge_count += 1
         return cycle
 
     # -- pruning (Definition 4 support) ----------------------------------------
 
-    def remove_txn(self, txn_id: str) -> None:
-        """Remove a garbage transaction and its outgoing edges."""
+    def remove_txn(self, txn_id: str) -> List[str]:
+        """Remove a garbage transaction and its outgoing edges.
+
+        Returns the successors whose in-degree dropped to zero -- the nodes
+        the removal promoted into the pruning frontier, which the garbage
+        collector feeds straight back into its candidate worklist."""
         if txn_id not in self._nodes:
-            return
-        for succ in self.successors(txn_id):
+            return []
+        successors = self.successors(txn_id)
+        for succ in successors:
             types = self._edge_types.pop((txn_id, succ), set())
             self.edge_count -= len(types)
         for pred in self.predecessors(txn_id):
@@ -206,6 +223,18 @@ class DependencyGraph:
             for pred in self._raw_pred.pop(txn_id, set()):
                 self._raw_succ[pred].discard(txn_id)
         del self._nodes[txn_id]
+        self._zero_in.discard(txn_id)
+        promoted = [succ for succ in successors if self.in_degree(succ) == 0]
+        self._zero_in.update(promoted)
+        return promoted
+
+    def zero_in_degree_frontier(self) -> List[str]:
+        """Snapshot of the zero-in-degree frontier (pruning candidates)."""
+        return list(self._zero_in)
+
+    @property
+    def frontier_size(self) -> int:
+        return len(self._zero_in)
 
     def _refresh_rw_flags(self, txn_id: str) -> None:
         node = self._nodes.get(txn_id)

@@ -19,6 +19,28 @@ dependency cycles cross keys -- so the parallel path splits the work:
   :class:`~repro.core.certifier.SerializationCertifier`, which certifies
   the complete cross-shard graph.
 
+By default the merge is **streamed** rather than deferred: workers flush
+journal *segments* back over their pipes during the run, each tagged with
+the coordinator watermark of the last message frame they fully applied
+(and the GC horizon the coordinator computed when it flushed that frame).
+Trace indices reach a shard in increasing order, so once a shard has
+applied the frame tagged ``W`` it can never again journal an event with
+index ``<= W``; the coordinator therefore replays the merged stream up to
+``min`` over the shards' acked watermarks, incrementally, while workers
+are still computing.  Chunk ``n`` contains exactly the pending events
+with index ``<= W_n`` and later chunks only indices ``> W_n``, so the
+concatenation of chunks equals the deferred global sort -- the replayed
+certifier sees the identical event sequence and the reports match
+byte for byte (``stream_merge=False`` / ``REPRO_PARALLEL_STREAM=0``
+restores the defer-everything tail).  A
+:class:`~repro.core.gc.GarbageCollector` runs against the replay state,
+keeping coordinator memory flat instead of O(total journal) (Section
+V-D's asynchronous pruning, applied to the merged graph); its collections
+fire at fixed replayed-event-count thresholds with the ``S_e`` horizon
+the coordinator recorded when it dispatched the trace index the replay
+reached, so the prune schedule -- and with it the report -- is a pure
+function of the trace stream, independent of segment arrival timing.
+
 With one shard the journal replay reproduces the serial verifier's event
 order exactly, so the merged report is identical to the serial report --
 the property the equivalence tests pin down.  With several shards the
@@ -37,17 +59,25 @@ which shard owned the keys of its first operation.
 
 from __future__ import annotations
 
+import heapq
 import multiprocessing
+import os
 import pickle
+import queue
+import threading
 import time
 import traceback
+from collections import deque
 from dataclasses import dataclass, field
+from multiprocessing import connection as _mp_connection
+from operator import itemgetter
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from .bus import DependencyBus
 from .certifier import SerializationCertifier
 from .codec import PayloadDecoder, PayloadEncoder
 from .dependencies import Dependency, DepType
+from .gc import GarbageCollector
 from .intervals import Interval
 from .mechanism import MechanismContext, MechanismVerifier
 from .metrics import NULL_REGISTRY, MetricsRegistry
@@ -119,9 +149,26 @@ def _is_wire_value(value) -> bool:
     return isinstance(value, (str, int, float, bool))
 
 
-def encode_message_frame(messages: Sequence[Tuple]) -> bytes:
-    """Encode one coordinator->worker batch of begin/trace messages."""
+#: sort key of the merged journal replay order.
+_EVENT_KEY = itemgetter(0, 1, 2)
+
+
+def encode_message_frame(
+    messages: Sequence[Tuple],
+    watermark: int = -1,
+    horizon: float = float("-inf"),
+) -> bytes:
+    """Encode one coordinator->worker batch of begin/trace messages.
+
+    The header carries the coordinator's trace-index ``watermark`` (every
+    message with a smaller-or-equal index routed to this shard is in this
+    frame or an earlier one) and the GC ``horizon`` (``S_e`` of
+    Definition 4 at the moment the frame was flushed); the worker echoes
+    both on the journal segments it flushes after applying the frame.
+    """
     encoder = PayloadEncoder()
+    encoder.zigzag(watermark)
+    encoder.double(horizon)
     encoder.varint(len(messages))
     for message in messages:
         if message[0] == MSG_BEGIN:
@@ -137,14 +184,19 @@ def encode_message_frame(messages: Sequence[Tuple]) -> bytes:
     return encoder.finish()
 
 
-def apply_message_frame(shard: "ShardVerifier", payload: bytes) -> None:
+def apply_message_frame(
+    shard: "ShardVerifier", payload: bytes
+) -> Tuple[int, float]:
     """Decode one batch frame and feed it to a shard verifier.
 
     Decoding happens once, here in the worker; runs of consecutive trace
     messages are handed to :meth:`ShardVerifier.ingest_batch` so the
-    per-trace bookkeeping is amortized across the run.
+    per-trace bookkeeping is amortized across the run.  Returns the
+    frame's ``(watermark, horizon)`` header.
     """
     decoder = PayloadDecoder(payload)
+    watermark = decoder.zigzag()
+    horizon = decoder.double()
     count = decoder.varint()
     pending: List[Tuple[int, Trace]] = []
     for _ in range(count):
@@ -162,18 +214,12 @@ def apply_message_frame(shard: "ShardVerifier", payload: bytes) -> None:
         shard.begin(txn_id, client_id, Interval(ts_bef, ts_aft))
     if pending:
         shard.ingest_batch(pending)
+    return watermark, horizon
 
 
-def encode_shard_result(result: "ShardResult") -> bytes:
-    """Encode a worker's final journal + stats as one result frame."""
-    encoder = PayloadEncoder()
-    encoder.u8(0)  # ok
-    encoder.varint(result.shard_id)
-    encoder.double(result.wall_seconds)
-    encoder.raw(pickle.dumps(result.stats, protocol=pickle.HIGHEST_PROTOCOL))
-    encoder.raw(pickle.dumps(result.metrics, protocol=pickle.HIGHEST_PROTOCOL))
-    encoder.varint(len(result.events))
-    for index, seq, kind, payload in result.events:
+def _encode_events(encoder: PayloadEncoder, events: Sequence[Tuple]) -> None:
+    encoder.varint(len(events))
+    for index, seq, kind, payload in events:
         if kind == _DEP:
             encoder.u8(0)
             encoder.zigzag(index)
@@ -195,26 +241,9 @@ def encode_shard_result(result: "ShardResult") -> bytes:
             encoder.zigzag(index)
             encoder.varint(seq)
             encoder.raw(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
-    return encoder.finish()
 
 
-def encode_shard_error(trace_back: str) -> bytes:
-    encoder = PayloadEncoder()
-    encoder.u8(1)  # error
-    encoder.raw(trace_back.encode("utf-8"))
-    return encoder.finish()
-
-
-def decode_shard_reply(payload: bytes):
-    """Decode a worker reply: ``("ok", ShardResult)`` or ``("error", tb)``."""
-    decoder = PayloadDecoder(payload)
-    status = decoder.u8()
-    if status != 0:
-        return "error", decoder.raw().decode("utf-8")
-    shard_id = decoder.varint()
-    wall_seconds = decoder.double()
-    stats = pickle.loads(decoder.raw())
-    metrics = pickle.loads(decoder.raw())
+def _decode_events(decoder: PayloadDecoder) -> List[Tuple[int, int, str, object]]:
     events: List[Tuple[int, int, str, object]] = []
     append = events.append
     for _ in range(decoder.varint()):
@@ -238,12 +267,82 @@ def decode_shard_reply(payload: bytes):
             )
         else:
             append((index, seq, _VIOLATION, pickle.loads(decoder.raw())))
+    return events
+
+
+def encode_shard_result(result: "ShardResult") -> bytes:
+    """Encode a worker's final journal + stats as one result frame."""
+    encoder = PayloadEncoder()
+    encoder.u8(0)  # ok
+    encoder.varint(result.shard_id)
+    encoder.double(result.wall_seconds)
+    encoder.varint(result.journal_total)
+    encoder.raw(pickle.dumps(result.stats, protocol=pickle.HIGHEST_PROTOCOL))
+    encoder.raw(pickle.dumps(result.metrics, protocol=pickle.HIGHEST_PROTOCOL))
+    _encode_events(encoder, result.events)
+    return encoder.finish()
+
+
+def encode_segment_frame(
+    shard_id: int,
+    watermark: int,
+    horizon: float,
+    events: Sequence[Tuple[int, int, str, object]],
+) -> bytes:
+    """Encode a mid-run journal segment (streaming merge).
+
+    ``watermark``/``horizon`` echo the header of the last message frame
+    the worker fully applied: after this segment the worker will never
+    journal another event with trace index ``<= watermark``, and
+    ``horizon`` was Definition 4's ``S_e`` at the coordinator when that
+    frame was flushed (so pruning the merged graph at it is no more
+    aggressive than a serial collector at the same stream position).
+    """
+    encoder = PayloadEncoder()
+    encoder.u8(2)  # segment
+    encoder.varint(shard_id)
+    encoder.zigzag(watermark)
+    encoder.double(horizon)
+    _encode_events(encoder, events)
+    return encoder.finish()
+
+
+def encode_shard_error(trace_back: str) -> bytes:
+    encoder = PayloadEncoder()
+    encoder.u8(1)  # error
+    encoder.raw(trace_back.encode("utf-8"))
+    return encoder.finish()
+
+
+def decode_shard_reply(payload: bytes):
+    """Decode a worker reply: ``("ok", ShardResult)``, ``("segment",
+    StreamSegment)`` or ``("error", tb)``."""
+    decoder = PayloadDecoder(payload)
+    status = decoder.u8()
+    if status == 1:
+        return "error", decoder.raw().decode("utf-8")
+    if status == 2:
+        shard_id = decoder.varint()
+        watermark = decoder.zigzag()
+        horizon = decoder.double()
+        return "segment", StreamSegment(
+            shard_id=shard_id,
+            watermark=watermark,
+            horizon=horizon,
+            events=_decode_events(decoder),
+        )
+    shard_id = decoder.varint()
+    wall_seconds = decoder.double()
+    journal_total = decoder.varint()
+    stats = pickle.loads(decoder.raw())
+    metrics = pickle.loads(decoder.raw())
     return "ok", ShardResult(
         shard_id=shard_id,
-        events=events,
+        events=_decode_events(decoder),
         stats=stats,
         metrics=metrics,
         wall_seconds=wall_seconds,
+        journal_total=journal_total,
     )
 
 
@@ -290,7 +389,8 @@ class ShardResult:
 
     shard_id: int
     #: journaled events ``(trace_index, seq, kind, payload)`` in the exact
-    #: order the shard produced them.
+    #: order the shard produced them.  Under the streaming merge this is
+    #: only the residue not already flushed as segments.
     events: List[Tuple[int, int, str, object]]
     stats: VerificationStats
     #: worker-side :meth:`MetricsRegistry.snapshot` (empty dicts when the
@@ -298,6 +398,26 @@ class ShardResult:
     #: time, for the ``parallel.shard.*`` coordinator metrics.
     metrics: Dict[str, Any] = field(default_factory=dict)
     wall_seconds: float = 0.0
+    #: total events the shard journaled over its lifetime (flushed
+    #: segments included); ``len(events)`` when nothing streamed.
+    journal_total: int = 0
+
+
+@dataclass
+class StreamSegment:
+    """A mid-run journal flush from one shard (streaming merge)."""
+
+    shard_id: int
+    #: trace-index watermark: the shard will never journal another event
+    #: with index ``<= watermark`` after this segment.
+    watermark: int
+    #: GC horizon (``S_e``) the coordinator computed when it flushed the
+    #: message frame this watermark acknowledges.  The wired merger
+    #: prices collections off the coordinator's dispatch-time horizon
+    #: log instead (deterministic under any arrival schedule); the echo
+    #: is the fallback for a standalone merger with no log.
+    horizon: float
+    events: List[Tuple[int, int, str, object]]
 
 
 class ShardVerifier(Verifier):
@@ -376,6 +496,7 @@ class ShardVerifier(Verifier):
             stats=self.state.stats,
             metrics=snapshot,
             wall_seconds=self._wall_seconds,
+            journal_total=self._seq,
         )
 
 
@@ -389,7 +510,15 @@ def _shard_worker_main(conn, shard_id: int, spec, initial_part, options) -> None
     each frame interleaves begin controls and routed traces in stream
     order and is decoded exactly once, here.  An empty frame ends the
     stream; the reply is an encoded result frame.
+
+    With a ``stream_segment_events`` budget, the journal is flushed back
+    as a segment frame whenever it grows past the budget, echoing the
+    watermark/horizon of the frame just applied; the final result frame
+    then carries only the residue.  A budget of 0 restores the deferred
+    behaviour (whole journal in the result frame).
     """
+    options = dict(options)
+    segment_events = options.pop("stream_segment_events", 0)
     try:
         shard = ShardVerifier(
             shard_id=shard_id, spec=spec, initial_db=initial_part, **options
@@ -398,7 +527,14 @@ def _shard_worker_main(conn, shard_id: int, spec, initial_part, options) -> None
             frame = conn.recv_bytes()
             if not frame:
                 break
-            apply_message_frame(shard, frame)
+            watermark, horizon = apply_message_frame(shard, frame)
+            if segment_events and len(shard.events) >= segment_events:
+                conn.send_bytes(
+                    encode_segment_frame(
+                        shard_id, watermark, horizon, shard.events
+                    )
+                )
+                shard.events.clear()
         conn.send_bytes(encode_shard_result(shard.finish_shard()))
     except BaseException:  # noqa: BLE001 - forwarded to the coordinator
         conn.send_bytes(encode_shard_error(traceback.format_exc()))
@@ -424,6 +560,273 @@ class _TxnRecord:
     terminal_interval: Optional[Interval] = None
 
 
+class _StreamMerger:
+    """Incremental k-way merge + replay of shard journal segments.
+
+    Buffers each shard's pending events (already ``(index, seq)``-sorted:
+    that is journal order), and on :meth:`advance` replays the merged
+    prefix with trace index ``<= min`` over the shards' acked watermarks
+    into a global :class:`~repro.core.certifier.SerializationCertifier`.
+    Each chunk is sorted by ``(index, shard, seq)``; chunk *n* holds all
+    pending events with index ``<= W_n`` and later chunks only indices
+    ``> W_n``, so the concatenation of chunks is exactly the deferred
+    merge's global sort -- replay order, and therefore the report, is
+    identical.
+
+    Transaction metadata is installed lazily from the coordinator's
+    lifecycle registry the first time an event or commit boundary touches
+    a transaction; journaled dependency endpoints were terminal when
+    deduced, so their registry records are final by replay time.  A
+    :class:`~repro.core.gc.GarbageCollector` prunes the replay state,
+    keeping the coordinator's graph flat; a pruned transaction touched
+    again is simply re-ensured, reproducing the deferred path's
+    everything-installed guard behaviour.
+
+    Collections are a pure function of the trace stream, never of segment
+    arrival timing: they fire at exact replayed-event-count thresholds
+    (``advance`` and ``finalize`` both slice their chunks at the
+    boundaries, so how the journal happened to split between mid-run
+    segments and the result-frame residue cannot move a fire), and each
+    fire prunes at the horizon the coordinator recorded when it
+    *dispatched* the trace index the replay just reached (``horizon_log``)
+    -- exactly the serial collector's ``S_e`` at that stream position.
+    Machine load can therefore delay replay, but never change which
+    transactions get pruned, so the streamed report stays byte-identical
+    to the deferred one on every schedule.
+    """
+
+    def __init__(
+        self,
+        spec: IsolationSpec,
+        shards: int,
+        txns: Dict[str, _TxnRecord],
+        commits: List[Tuple[int, str, Interval]],
+        gc_every: int,
+        metrics: MetricsRegistry,
+        horizon_log: Optional["deque"] = None,
+    ):
+        self._txns = txns
+        self._commits = commits
+        self._commit_pos = 0
+        state = VerifierState()
+        self.state = state
+        self.descriptor = state.descriptor
+        # Same wiring as the deferred merge: an uncounted bus (the shard
+        # journals already counted these dependencies) feeding the one
+        # place certification happens.
+        self._bus = DependencyBus(state, count_stats=False)
+        self._certifier = SerializationCertifier(state, spec, metrics=metrics)
+        self._bus.subscribe(
+            self._certifier.name, self._certifier.on_dependency, priority=0
+        )
+        self._gc = GarbageCollector(
+            state,
+            every=max(1, gc_every),
+            on_txn_pruned=self._certifier.on_gc,
+            metrics=metrics,
+            metric_prefix="parallel.stream.gc",
+        )
+        self._gc_every = max(1, gc_every)
+        self._since_gc = 0
+        #: per-dispatched-trace ``(index, S_e)`` records from the
+        #: coordinator; consulted (and consumed) to price collections at
+        #: the horizon current when the replayed index was dispatched.
+        self._horizon_log = horizon_log
+        self._log_horizon = float("-inf")
+        self._pending: List[List[Tuple[int, int, str, object]]] = [
+            [] for _ in range(shards)
+        ]
+        self._watermarks = [-1] * shards
+        self._horizons = [float("-inf")] * shards
+        self._replayed_watermark = -1
+        self.replayed = 0
+        self._m_replayed = metrics.counter("parallel.stream.replayed")
+        self._m_lag = metrics.gauge("parallel.stream.lag")
+        self._m_lag_peak = metrics.gauge("parallel.stream.lag.peak")
+
+    def pending_events(self) -> int:
+        return sum(len(pending) for pending in self._pending)
+
+    def _note_lag(self) -> None:
+        lag = self.pending_events()
+        self._m_lag.set(lag)
+        self._m_lag_peak.high_watermark(lag)
+
+    def offer(
+        self,
+        shard: int,
+        watermark: int,
+        horizon: float,
+        events: Sequence[Tuple[int, int, str, object]],
+    ) -> None:
+        """Buffer one segment and advance the shard's watermark/horizon
+        (both monotone -- a late small ack never regresses them)."""
+        self._pending[shard].extend(events)
+        if watermark > self._watermarks[shard]:
+            self._watermarks[shard] = watermark
+        if horizon > self._horizons[shard]:
+            self._horizons[shard] = horizon
+        self._note_lag()
+
+    def add_residual(
+        self, shard: int, events: Sequence[Tuple[int, int, str, object]]
+    ) -> None:
+        """Buffer a result frame's residue without touching watermarks
+        (finalize replays everything regardless)."""
+        self._pending[shard].extend(events)
+
+    def advance(self) -> int:
+        """Replay everything certain: events with index ``<=`` the merged
+        watermark.  Returns the number of events replayed."""
+        low = min(self._watermarks)
+        if low <= self._replayed_watermark:
+            return 0
+        self._replayed_watermark = low
+        due: List[Tuple[int, int, int, str, object]] = []
+        for shard, pending in enumerate(self._pending):
+            cut = 0
+            for event in pending:
+                if event[0] > low:
+                    break
+                cut += 1
+            if cut:
+                due.extend(
+                    (event[0], shard, event[1], event[2], event[3])
+                    for event in pending[:cut]
+                )
+                del pending[:cut]
+        if not due:
+            return 0
+        due.sort(key=_EVENT_KEY)
+        self._replay_with_gc(due)
+        self.replayed += len(due)
+        self._m_replayed.inc(len(due))
+        self._note_lag()
+        self._trim_horizon_log(low)
+        return len(due)
+
+    def _gc_horizon(self, index: int) -> float:
+        """Horizon for a collection fired right after replaying ``index``:
+        the coordinator's dispatch-time ``S_e`` record for that trace
+        index (a pure function of the trace stream).  Without a wired log
+        (standalone merger, unit tests) falls back to the merged
+        flush-time shard horizons."""
+        log = self._horizon_log
+        if log is None:
+            return min(self._horizons)
+        while log and log[0][0] <= index:
+            self._log_horizon = log.popleft()[1]
+        return self._log_horizon
+
+    def _trim_horizon_log(self, index: int) -> None:
+        """Drop consumed log entries so the log tracks only the
+        dispatch-to-replay window."""
+        log = self._horizon_log
+        if log is None:
+            return
+        while log and log[0][0] <= index:
+            self._log_horizon = log.popleft()[1]
+
+    def _replay_with_gc(self, due: List[Tuple[int, int, int, str, object]]) -> None:
+        """Replay a merged chunk, firing collections at exact
+        replayed-event-count thresholds.
+
+        Slicing at the thresholds (instead of one collection per chunk)
+        makes the fire positions -- and with the dispatch-time horizon
+        records, the entire prune schedule -- independent of how segment
+        arrival timing happened to batch the chunks."""
+        start = 0
+        n = len(due)
+        while start < n:
+            take = min(n - start, self._gc_every - self._since_gc)
+            chunk = due[start:start + take]
+            self._replay(chunk)
+            self._since_gc += take
+            start += take
+            if self._since_gc >= self._gc_every:
+                self._since_gc = 0
+                self._gc.collect(horizon_ts=self._gc_horizon(chunk[-1][0]))
+
+    def finalize(self) -> BugDescriptor:
+        """Replay the remaining buffered suffix (the residue past the last
+        merged watermark, globally sorted -- the same order the deferred
+        merge would have produced) and install trailing commit nodes.
+
+        The residue goes through the same threshold-sliced replay as
+        :meth:`advance`: a run where little streamed mid-run (slow segment
+        arrival) fires its remaining collections here, at the same stream
+        positions a fully-streamed run fired them during intake."""
+        due: List[Tuple[int, int, int, str, object]] = []
+        for shard, pending in enumerate(self._pending):
+            due.extend(
+                (event[0], shard, event[1], event[2], event[3])
+                for event in pending
+            )
+            pending.clear()
+        due.sort(key=_EVENT_KEY)
+        self._replay_with_gc(due)
+        state = self.state
+        commits = self._commits
+        while self._commit_pos < len(commits):
+            _, txn_id, interval = commits[self._commit_pos]
+            self._ensure_txn(txn_id)
+            state.graph.add_txn(txn_id, interval)
+            self._commit_pos += 1
+        self._m_lag.set(0)
+        return self.descriptor
+
+    def _ensure_txn(self, txn_id: str) -> None:
+        state = self.state
+        if txn_id in state.txns:
+            return
+        record = self._txns.get(txn_id)
+        if record is None:
+            return
+        txn = state.ensure_txn(txn_id, record.client_id, record.first_interval)
+        txn.status = record.status
+        txn.terminal_interval = record.terminal_interval
+        if (
+            record.terminal_interval is not None
+            and record.status is not TxnStatus.ACTIVE
+        ):
+            state.note_terminal(txn_id, record.terminal_interval.ts_aft)
+
+    def _replay(self, events: List[Tuple[int, int, int, str, object]]) -> None:
+        """One chunk of the deferred merge's replay loop: commit-boundary
+        node insertion, dependency batching, violation recording -- with
+        transaction metadata ensured on first touch."""
+        state = self.state
+        bus = self._bus
+        descriptor = self.descriptor
+        ensure = self._ensure_txn
+        commits = self._commits
+        pos = self._commit_pos
+        n_commits = len(commits)
+        batch: List = []
+        for index, _shard, _seq, kind, payload in events:
+            if pos < n_commits and commits[pos][0] <= index:
+                if batch:
+                    bus.publish_many(batch)
+                    batch.clear()
+                while pos < n_commits and commits[pos][0] <= index:
+                    _, txn_id, interval = commits[pos]
+                    ensure(txn_id)
+                    state.graph.add_txn(txn_id, interval)
+                    pos += 1
+            if kind == _VIOLATION:
+                if batch:
+                    bus.publish_many(batch)
+                    batch.clear()
+                descriptor.record(payload)
+            else:
+                ensure(payload.src)
+                ensure(payload.dst)
+                batch.append(payload)
+        if batch:
+            bus.publish_many(batch)
+        self._commit_pos = pos
+
+
 class ParallelVerifier:
     """Coordinator for sharded parallel verification.
 
@@ -441,6 +844,18 @@ class ParallelVerifier:
         fallback -- same journals, same merge, byte-identical report).
     batch_size:
         Messages buffered per shard before a pipe send (process backend).
+    stream_merge:
+        Stream the certifier merge: workers flush watermark-tagged
+        journal segments during the run and the coordinator incrementally
+        merges, replays and garbage-collects them, overlapping global
+        certification with worker compute and surfacing violations
+        mid-run.  ``False`` restores the defer-everything merge tail
+        (byte-identical report).  Default: the ``REPRO_PARALLEL_STREAM``
+        environment variable (on unless set to ``0``).
+    segment_events:
+        Journal-size budget (events) at which a worker flushes a segment;
+        also bounds the coordinator's buffered journal to
+        O(shards x segment_events) between merge advances.
     metrics:
         Coordinator-side :class:`~repro.core.metrics.MetricsRegistry`.
         When enabled, each shard builds its own registry (registries do
@@ -461,11 +876,18 @@ class ParallelVerifier:
         batch_size: int = 256,
         gc_every: int = 512,
         session_order: bool = True,
+        stream_merge: Optional[bool] = None,
+        segment_events: int = 1024,
         metrics: Optional[MetricsRegistry] = None,
         **verifier_kwargs,
     ):
         if backend not in ("process", "inline"):
             raise ValueError(f"unknown parallel backend {backend!r}")
+        if stream_merge is None:
+            env = os.environ.get("REPRO_PARALLEL_STREAM", "1").strip().lower()
+            stream_merge = env not in ("0", "false", "no", "off", "")
+        self.stream_merge = bool(stream_merge)
+        self._segment_events = max(1, segment_events)
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.spec = spec
         self.router = ShardRouter(shards)
@@ -487,6 +909,25 @@ class ParallelVerifier:
         self._conns: List = []
         self._buffers: List[List] = [[] for _ in range(shards)]
         self._inline: List[ShardVerifier] = []
+        #: dispatch-order before-timestamp watermark and the active
+        #: transactions' first-op pins -- together they reproduce the
+        #: serial :meth:`VerifierState.earliest_unverified_snapshot` at
+        #: every frame flush, which is the horizon streamed GC prunes at.
+        self._ts_watermark = float("-inf")
+        self._active_heap: List[Tuple[float, str]] = []
+        #: per-trace ``(index, S_e)`` dispatch records; the merger prices
+        #: replay-state collections off these (and consumes them), so the
+        #: prune schedule is a pure function of the trace stream rather
+        #: than of segment arrival timing.
+        self._horizon_log: "deque" = deque()
+        self._merger: Optional[_StreamMerger] = None
+        self._rx_queue: Optional[queue.SimpleQueue] = None
+        self._drainer: Optional[threading.Thread] = None
+        self._stream_results: Dict[int, ShardResult] = {}
+        self._stream_errors: List[str] = []
+        self._m_segments = self.metrics.counter("parallel.stream.segments")
+        self._m_stream_bytes = self.metrics.counter("parallel.stream.bytes")
+        self._m_overlap = self.metrics.histogram("parallel.merge.overlap.seconds")
         self._m_tx_frames = self.metrics.counter("parallel.transport.frames")
         self._m_tx_messages = self.metrics.counter("parallel.transport.messages")
         self._m_tx_bytes = self.metrics.counter("parallel.transport.bytes")
@@ -523,6 +964,10 @@ class ParallelVerifier:
         ctx = _make_context()
         for shard in range(self.router.shards):
             parent_conn, child_conn = ctx.Pipe()
+            options = self._shard_options(shard)
+            options["stream_segment_events"] = (
+                self._segment_events if self.stream_merge else 0
+            )
             proc = ctx.Process(
                 target=_shard_worker_main,
                 args=(
@@ -530,7 +975,7 @@ class ParallelVerifier:
                     shard,
                     self.spec,
                     self._initial_parts[shard],
-                    self._shard_options(shard),
+                    options,
                 ),
                 daemon=True,
             )
@@ -538,6 +983,38 @@ class ParallelVerifier:
             child_conn.close()
             self._workers.append(proc)
             self._conns.append(parent_conn)
+        if self.stream_merge:
+            # Workers push segments whenever their journal fills; a
+            # dedicated drainer keeps every pipe's read side moving so a
+            # worker can never block sending a segment while the
+            # coordinator blocks sending it a frame (started only after
+            # every fork -- threads do not survive os.fork).
+            self._rx_queue = queue.SimpleQueue()
+            self._drainer = threading.Thread(
+                target=self._drain_main,
+                args=(list(self._conns), self._rx_queue),
+                name="parallel-segment-drainer",
+                daemon=True,
+            )
+            self._drainer.start()
+
+    @staticmethod
+    def _drain_main(conns: List, rx: "queue.SimpleQueue") -> None:
+        """Forward every worker payload into the coordinator queue.
+
+        The worker protocol is segments, then exactly one result/error
+        frame, then EOF -- so the drainer needs no frame inspection: it
+        reads until each pipe closes.
+        """
+        live = list(conns)
+        while live:
+            for conn in _mp_connection.wait(live):
+                try:
+                    payload = conn.recv_bytes()
+                except (EOFError, OSError):
+                    live.remove(conn)
+                    continue
+                rx.put(payload)
 
     def _send(self, shard: int, message) -> None:
         if self._backend == "inline":
@@ -553,9 +1030,30 @@ class ParallelVerifier:
             self._send_frame(shard, buffer)
             buffer.clear()
 
+    def _horizon(self) -> float:
+        """Definition 4's ``S_e`` at the current stream position, computed
+        exactly as the serial ``earliest_unverified_snapshot``: the
+        dispatch watermark floored by active transactions' first-operation
+        pins (a lazy heap -- finished entries pop on first sight)."""
+        heap = self._active_heap
+        txns = self._txns
+        while heap and txns[heap[0][1]].status is not TxnStatus.ACTIVE:
+            heapq.heappop(heap)
+        if heap and heap[0][0] < self._ts_watermark:
+            return heap[0][0]
+        return self._ts_watermark
+
     def _send_frame(self, shard: int, buffer: List) -> None:
-        frame = encode_message_frame(buffer)
-        self._conns[shard].send_bytes(frame)
+        frame = encode_message_frame(
+            buffer, self._trace_index - 1, self._horizon()
+        )
+        try:
+            self._conns[shard].send_bytes(frame)
+        except (BrokenPipeError, OSError):
+            # The worker died; its error frame is already in the pipe (or
+            # the drainer queue) and surfaces at collect time.  Dropping
+            # the send keeps intake alive long enough to reach it.
+            return
         self._m_tx_frames.inc()
         self._m_tx_messages.inc(len(buffer))
         self._m_tx_bytes.inc(len(frame))
@@ -567,6 +1065,69 @@ class ParallelVerifier:
             if buffer:
                 self._send_frame(shard, buffer)
                 buffer.clear()
+
+    # -- streaming merge plumbing ---------------------------------------------------
+
+    def _ensure_merger(self) -> _StreamMerger:
+        if self._merger is None:
+            self._merger = _StreamMerger(
+                spec=self.spec,
+                shards=self.router.shards,
+                txns=self._txns,
+                commits=self._commits,
+                gc_every=self._options.get("gc_every", 512),
+                metrics=self.metrics,
+                horizon_log=self._horizon_log,
+            )
+        return self._merger
+
+    def _handle_stream_payload(self, payload: bytes) -> None:
+        status, value = decode_shard_reply(payload)
+        if status == "segment":
+            self._m_segments.inc()
+            self._m_stream_bytes.inc(len(payload))
+            merger = self._ensure_merger()
+            merger.offer(
+                value.shard_id, value.watermark, value.horizon, value.events
+            )
+            with self._m_overlap.time():
+                merger.advance()
+        elif status == "ok":
+            self._stream_results[value.shard_id] = value
+            self._m_tx_result_bytes.inc(len(payload))
+        else:
+            self._stream_errors.append(value)
+
+    def _pump(self) -> None:
+        """Drain whatever the segment drainer has queued (non-blocking);
+        called from the intake path so replay overlaps worker compute."""
+        rx = self._rx_queue
+        if rx is None:
+            return
+        while True:
+            try:
+                payload = rx.get_nowait()
+            except queue.Empty:
+                return
+            self._handle_stream_payload(payload)
+
+    def _maybe_flush_inline(self) -> None:
+        """Inline-backend streaming: shard verifiers run synchronously, so
+        whenever any journal passes the budget every shard is flushed at
+        the same (fully caught-up) watermark."""
+        if not any(
+            len(sv.events) >= self._segment_events for sv in self._inline
+        ):
+            return
+        watermark = self._trace_index - 1
+        horizon = self._horizon()
+        merger = self._ensure_merger()
+        for sv in self._inline:
+            self._m_segments.inc()
+            merger.offer(sv.shard_id, watermark, horizon, list(sv.events))
+            sv.events.clear()
+        with self._m_overlap.time():
+            merger.advance()
 
     # -- trace intake -------------------------------------------------------------
 
@@ -580,6 +1141,10 @@ class ParallelVerifier:
                 client_id=trace.client_id, first_interval=trace.interval
             )
             self._txns[trace.txn_id] = record
+            if self.stream_merge:
+                heapq.heappush(
+                    self._active_heap, (trace.interval.ts_bef, trace.txn_id)
+                )
             begin = (MSG_BEGIN, trace.txn_id, trace.client_id, trace.interval)
             for shard in range(self.router.shards):
                 self._send(shard, begin)
@@ -587,6 +1152,7 @@ class ParallelVerifier:
             raise ValueError(
                 f"trace for already-terminated transaction {trace.txn_id}"
             )
+        self._ts_watermark = trace.interval.ts_bef
         index = self._trace_index
         self._trace_index += 1
         if trace.is_terminal:
@@ -598,8 +1164,15 @@ class ParallelVerifier:
             else:
                 record.status = TxnStatus.ABORTED
                 self._txns_aborted += 1
+        if self.stream_merge:
+            self._horizon_log.append((index, self._horizon()))
         for shard, part in self.router.split(trace).items():
             self._send(shard, (MSG_TRACE, index, part))
+        if self.stream_merge:
+            if self._inline:
+                self._maybe_flush_inline()
+            else:
+                self._pump()
 
     def process_batch(self, traces: Sequence[Trace]) -> None:
         """Batch intake: same per-trace routing as :meth:`process` (the
@@ -614,6 +1187,7 @@ class ParallelVerifier:
         send = self._send
         active = TxnStatus.ACTIVE
         commit_kind = OpKind.COMMIT
+        streaming = self.stream_merge
         for trace in traces:
             txn_id = trace.txn_id
             record = txns.get(txn_id)
@@ -622,6 +1196,10 @@ class ParallelVerifier:
                     client_id=trace.client_id, first_interval=trace.interval
                 )
                 txns[txn_id] = record
+                if streaming:
+                    heapq.heappush(
+                        self._active_heap, (trace.interval.ts_bef, txn_id)
+                    )
                 begin = (MSG_BEGIN, txn_id, trace.client_id, trace.interval)
                 for shard in shards:
                     send(shard, begin)
@@ -629,6 +1207,7 @@ class ParallelVerifier:
                 raise ValueError(
                     f"trace for already-terminated transaction {txn_id}"
                 )
+            self._ts_watermark = trace.interval.ts_bef
             index = self._trace_index
             self._trace_index = index + 1
             if trace.is_terminal:
@@ -640,8 +1219,15 @@ class ParallelVerifier:
                 else:
                     record.status = TxnStatus.ABORTED
                     self._txns_aborted += 1
+            if streaming:
+                self._horizon_log.append((index, self._horizon()))
             for shard, part in split(trace).items():
                 send(shard, (MSG_TRACE, index, part))
+        if streaming:
+            if self._inline:
+                self._maybe_flush_inline()
+            else:
+                self._pump()
 
     def process_all(self, traces: Iterable[Trace]) -> "ParallelVerifier":
         for trace in traces:
@@ -656,18 +1242,24 @@ class ParallelVerifier:
         self._ensure_workers()
         self._flush()
         for conn in self._conns:
-            conn.send_bytes(b"")
-        results: List[ShardResult] = []
-        errors: List[str] = []
-        for conn in self._conns:
-            reply = conn.recv_bytes()
-            self._m_tx_result_bytes.inc(len(reply))
-            status, payload = decode_shard_reply(reply)
-            if status == "ok":
-                results.append(payload)
-            else:
-                errors.append(payload)
-            conn.close()
+            try:
+                conn.send_bytes(b"")
+            except (BrokenPipeError, OSError):
+                pass  # dead worker; its error frame surfaces below
+        if self.stream_merge:
+            results, errors = self._await_stream_replies()
+        else:
+            results = []
+            errors = []
+            for conn in self._conns:
+                reply = conn.recv_bytes()
+                self._m_tx_result_bytes.inc(len(reply))
+                status, payload = decode_shard_reply(reply)
+                if status == "ok":
+                    results.append(payload)
+                else:
+                    errors.append(payload)
+                conn.close()
         for proc in self._workers:
             proc.join()
         if errors:
@@ -675,6 +1267,37 @@ class ParallelVerifier:
                 "shard worker failed:\n" + "\n".join(errors)
             )
         return results
+
+    def _await_stream_replies(self) -> Tuple[List[ShardResult], List[str]]:
+        """Block until every worker's terminal reply arrived, replaying
+        any segments that are still in flight along the way (this tail of
+        overlap is what shrinks the deferred merge's serial finish)."""
+        rx = self._rx_queue
+        want = self.router.shards
+        while len(self._stream_results) + len(self._stream_errors) < want:
+            try:
+                payload = rx.get(timeout=0.1)
+            except queue.Empty:
+                if self._drainer is not None and not self._drainer.is_alive():
+                    # Every pipe hit EOF and the queue is dry: a worker
+                    # died without managing to send even an error frame.
+                    missing = want - len(self._stream_results) - len(
+                        self._stream_errors
+                    )
+                    raise RuntimeError(
+                        f"{missing} shard worker(s) exited without a reply"
+                    )
+                continue
+            self._handle_stream_payload(payload)
+        if self._drainer is not None:
+            self._drainer.join(timeout=5.0)
+        for conn in self._conns:
+            conn.close()
+        results = [
+            self._stream_results[shard]
+            for shard in sorted(self._stream_results)
+        ]
+        return results, list(self._stream_errors)
 
     def finish(self) -> VerificationReport:
         if self._report is not None:
@@ -689,7 +1312,11 @@ class ParallelVerifier:
         if self.metrics.enabled:
             self._absorb_shard_metrics(results)
             with self.metrics.timer("parallel.merge.seconds"):
+                if self.stream_merge:
+                    return self._finalize_stream(results)
                 return self._merge_events(results)
+        if self.stream_merge:
+            return self._finalize_stream(results)
         return self._merge_events(results)
 
     def _absorb_shard_metrics(self, results: List[ShardResult]) -> None:
@@ -702,9 +1329,22 @@ class ParallelVerifier:
             )
             self.metrics.set_gauge(
                 "parallel.shard.journal.events",
-                len(result.events),
+                result.journal_total,
                 shard=result.shard_id,
             )
+
+    def _finalize_stream(self, results: List[ShardResult]) -> VerificationReport:
+        """Streamed finish: only the journal residue past the last merged
+        watermark remains to replay; everything else was certified during
+        the run."""
+        merger = self._ensure_merger()
+        for result in results:
+            merger.add_residual(result.shard_id, result.events)
+        descriptor = merger.finalize()
+        stats = self._merge_stats([result.stats for result in results])
+        return VerificationReport(
+            descriptor=descriptor, stats=stats, isolation_level=self.spec.name
+        )
 
     def _merge_events(self, results: List[ShardResult]) -> VerificationReport:
         events: List[Tuple[int, int, int, str, object]] = []
@@ -803,12 +1443,20 @@ class ParallelVerifier:
     # -- online-wrapper surface -----------------------------------------------------
 
     def violations_so_far(self) -> List[Violation]:
-        """Violations visible without the global certification pass: the
-        per-shard mechanism findings (inline backend) or, after
-        :meth:`finish`, the full merged list.  Cross-shard certifier
-        findings only exist after the merge."""
+        """Violations visible before :meth:`finish`.
+
+        Streaming merge: the globally certified violations replayed so
+        far -- an append-only list that the final report extends in
+        place, so online alerting indexes stay stable across the finish
+        boundary.  Deferred merge: the per-shard mechanism findings
+        (inline backend only); cross-shard certifier findings exist only
+        after the merge."""
         if self._report is not None:
             return self._report.violations
+        if self.stream_merge:
+            if self._merger is None:
+                return []
+            return self._merger.descriptor.violations
         merged = BugDescriptor()
         for shard in self._inline:
             merged.absorb(shard.state.descriptor)
@@ -817,12 +1465,19 @@ class ParallelVerifier:
     def live_structure_count(self) -> int:
         """Total retained structures across shard states (inline backend;
         the process backend's memory lives in the workers, so only the
-        coordinator-side registry is counted)."""
+        coordinator-side registry is counted), plus -- when streaming --
+        the replay state and the buffered journal (the structures whose
+        flatness the streamed GC is responsible for)."""
         if self._inline:
-            return sum(
+            total = sum(
                 shard.state.live_structure_count() for shard in self._inline
             )
-        return len(self._txns)
+        else:
+            total = len(self._txns)
+        if self._merger is not None:
+            total += self._merger.state.live_structure_count()
+            total += self._merger.pending_events()
+        return total
 
 
 def verify_traces_parallel(

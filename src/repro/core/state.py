@@ -11,8 +11,9 @@ state; the mechanism modules operate on it and the verifier orchestrates.
 from __future__ import annotations
 
 import enum
+import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from .dependencies import DependencyGraph
 from .intervals import Interval
@@ -133,6 +134,10 @@ class VerifierState:
         #: sweeping every chain (the sweep dominated collection cost once
         #: steady-state chains shrank to one version).
         self.gc_version_candidates: Dict[Key, VersionChain] = {}
+        #: min-heap of ``(terminal ts_aft, txn_id)`` pushed as transactions
+        #: finish; transaction-metadata GC pops entries behind the horizon
+        #: instead of sweeping the whole ``txns`` table each collection.
+        self.terminal_heap: List[Tuple[float, str]] = []
 
     def attach_metrics(self, registry) -> None:
         """Hand chain/lock memo counters out of a metrics registry
@@ -201,6 +206,12 @@ class VerifierState:
 
     def get_txn(self, txn_id: str) -> Optional[TxnState]:
         return self.txns.get(txn_id)
+
+    def note_terminal(self, txn_id: str, ts_aft: float) -> None:
+        """Register a finished transaction with the terminal-timestamp
+        heap (the metadata-GC index).  Every path that moves a transaction
+        out of ACTIVE calls this, or its metadata is never pruned."""
+        heapq.heappush(self.terminal_heap, (ts_aft, txn_id))
 
     def active_txns(self) -> List[TxnState]:
         return [t for t in self.txns.values() if not t.finished]

@@ -30,6 +30,11 @@ class IncrementalTopology:
         self._out: Dict[Node, Set[Node]] = {}
         self._in: Dict[Node, Set[Node]] = {}
         self._next_index = 0
+        #: forward-search scratch shared between :meth:`_discover` (which
+        #: fills it) and :meth:`_reorder` (which consumes it).  One list is
+        #: reused across insertions instead of reallocating per affected-
+        #: region search.
+        self._delta_f: List[Node] = []
 
     # -- structure ----------------------------------------------------------
 
@@ -116,13 +121,14 @@ class IncrementalTopology:
         """Forward DFS from ``start`` restricted to ord <= upper.  Fills
         ``self._delta_f`` with visited nodes; returns a cycle path if
         ``target`` is reachable."""
-        self._delta_f: List[Node] = []
+        delta_f = self._delta_f
+        delta_f.clear()
         parent: Dict[Node, Node] = {}
         stack = [start]
         seen = {start}
         while stack:
             node = stack.pop()
-            self._delta_f.append(node)
+            delta_f.append(node)
             for succ in self._out[node]:
                 if succ == target:
                     # Path start -> ... -> node -> target exists; with the

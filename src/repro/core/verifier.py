@@ -352,6 +352,7 @@ class Verifier:
         state = self.state
         txn.status = TxnStatus.COMMITTED
         txn.terminal_interval = trace.interval
+        state.note_terminal(txn.txn_id, trace.interval.ts_aft)
         state.stats.txns_committed += 1
         state.graph.add_txn(txn.txn_id, trace.interval)
         if self._session_order:
@@ -378,6 +379,7 @@ class Verifier:
         state = self.state
         txn.status = TxnStatus.ABORTED
         txn.terminal_interval = trace.interval
+        state.note_terminal(txn.txn_id, trace.interval.ts_aft)
         state.stats.txns_aborted += 1
         for key in {v.key for v in txn.staged_versions}:
             chain = state.chain(key)

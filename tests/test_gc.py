@@ -113,3 +113,79 @@ class TestMemoryBoundedness:
                 verifier.process(trace)
             sizes[n] = verifier.state.live_structure_count()
         assert sizes[1600] < sizes[400] * 2
+
+
+class TestFrontierEquivalence:
+    """The indexed pruners must reach exactly the scan-to-fixpoint
+    reference's fixpoint -- same pruned set, same survivor set."""
+
+    def _populated_state(self, txns=140):
+        verifier = Verifier(spec=PG_SERIALIZABLE, initial_db=INIT, gc_every=0)
+        for trace in serial_history(txns):
+            verifier.process(trace)
+        return verifier.state
+
+    def _workload_state(self):
+        run = run_workload(
+            BlindW.rw(keys=16), PG_SERIALIZABLE, clients=6, txns=200, seed=11
+        )
+        from repro.core.pipeline import pipeline_from_client_streams
+
+        verifier = Verifier(
+            spec=PG_SERIALIZABLE, initial_db=run.initial_db, gc_every=0
+        )
+        for trace in pipeline_from_client_streams(run.client_streams):
+            verifier.process(trace)
+        return verifier.state
+
+    @pytest.mark.parametrize("builder", ["_populated_state", "_workload_state"])
+    def test_frontier_prune_matches_scan_to_fixpoint(self, builder):
+        import copy
+
+        base = getattr(self, builder)()
+        fast = copy.deepcopy(base)
+        slow = copy.deepcopy(base)
+        gc_fast = GarbageCollector(fast, every=1)
+        gc_slow = GarbageCollector(slow, every=1)
+        horizons = sorted(
+            {txn.first_interval.ts_bef for txn in base.txns.values()}
+        )
+        # A few interior horizons plus one past everything.
+        picks = horizons[:: max(1, len(horizons) // 5)] + [
+            horizons[-1] + 100.0
+        ]
+        for horizon in picks:
+            gc_fast._prune_graph(horizon)
+            gc_slow._prune_graph_scan(horizon)
+            assert set(fast.graph.nodes()) == set(slow.graph.nodes())
+            assert (
+                fast.stats.gc_txns_pruned == slow.stats.gc_txns_pruned
+            ), horizon
+            gc_fast._prune_txn_states(horizon)
+            gc_slow._prune_txn_states(horizon)
+            assert set(fast.txns) == set(slow.txns)
+
+    def test_terminal_heap_prunes_exactly_the_unreferenced(self):
+        """Heap-driven metadata pruning must drop precisely the finished
+        transactions behind the horizon whose graph node is gone -- the
+        brute-force predicate over the whole table."""
+        state = self._populated_state()
+        gc = GarbageCollector(state, every=1)
+        horizon = 70.0
+        gc._prune_graph(horizon)
+        expected_gone = {
+            txn_id
+            for txn_id, txn in state.txns.items()
+            if txn.finished
+            and txn.terminal_interval is not None
+            and txn.terminal_interval.ts_aft < horizon
+            and txn_id not in state.graph
+        }
+        before = set(state.txns)
+        gc._prune_txn_states(horizon)
+        assert before - set(state.txns) == expected_gone
+        # Entries still referenced by the graph were re-pushed, not lost:
+        # a later, larger horizon still collects them.
+        gc._prune_graph(float("inf"))
+        gc._prune_txn_states(float("inf"))
+        assert all(not state.txns[t].finished for t in state.txns)

@@ -1,0 +1,312 @@
+"""Streaming certifier merge: equivalence, mid-run surfacing, edge cases.
+
+The contract pinned here is the tentpole's acceptance bar:
+
+* streaming the merge (``stream_merge=True``) is *observationally
+  invisible* -- report fingerprints and mechanism/bus counters are
+  identical to the defer-everything merge on clean and fault-injected
+  histories, for both backends and at 1 and 4 shards;
+* violations certified by the global replay surface *during* the run via
+  ``violations_so_far()`` (and through :class:`OnlineVerifier` alerts),
+  and the mid-run list is a stable prefix of the final report;
+* the segment protocol's edge cases hold: an empty segment still
+  advances a shard's watermark, same-trace-index events from different
+  shards replay in shard order (the deferred sort's tie-break), and a
+  worker dying mid-stream surfaces its traceback at ``finish()``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PG_SERIALIZABLE, pipeline_from_client_streams
+from repro.core.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.core.parallel import (
+    ParallelVerifier,
+    StreamSegment,
+    _DEP,
+    _StreamMerger,
+    decode_shard_reply,
+    encode_segment_frame,
+)
+from repro.dbsim.faults import FaultPlan
+from repro.workloads import BlindW, run_workload
+from tests.test_parallel import (
+    FAULT_CASES,
+    fault_run,
+    report_fingerprint,
+)
+
+
+def stream_report(
+    run,
+    shards,
+    backend,
+    *,
+    stream=True,
+    segment_events=16,
+    gc_every=64,
+    metrics=None,
+):
+    verifier = ParallelVerifier(
+        spec=PG_SERIALIZABLE,
+        initial_db=run.initial_db,
+        shards=shards,
+        backend=backend,
+        stream_merge=stream,
+        segment_events=segment_events,
+        gc_every=gc_every,
+        metrics=metrics,
+    )
+    for trace in pipeline_from_client_streams(run.client_streams):
+        verifier.process(trace)
+    return verifier.finish()
+
+
+def violation_key(violation):
+    return (
+        violation.mechanism,
+        violation.kind,
+        violation.txns,
+        violation.key,
+        violation.details,
+    )
+
+
+def mechanism_counters(registry):
+    """Counter values for every mechanism/bus/gc instrument (the subset
+    whose totals must not depend on how the merge is scheduled)."""
+    return {
+        key: value
+        for key, value in registry.snapshot()["counters"].items()
+        if key.startswith(("cr.", "me.", "fuw.", "sc.", "bus.", "gc."))
+    }
+
+
+class TestStreamedEqualsDeferred:
+    @pytest.mark.parametrize("backend", ["inline", "process"])
+    @pytest.mark.parametrize("shards", [1, 4])
+    def test_clean_run_identical(self, blindw_rw_run, backend, shards):
+        streamed = stream_report(blindw_rw_run, shards, backend)
+        deferred = stream_report(
+            blindw_rw_run, shards, backend, stream=False
+        )
+        assert report_fingerprint(streamed) == report_fingerprint(deferred)
+        assert streamed.ok
+
+    @pytest.mark.parametrize("backend", ["inline", "process"])
+    @pytest.mark.parametrize("fault", sorted(FAULT_CASES))
+    def test_fault_cases_identical(self, fault, backend):
+        run = fault_run(fault)
+        streamed = stream_report(run, 4, backend, segment_events=8)
+        deferred = stream_report(run, 4, backend, stream=False)
+        assert report_fingerprint(streamed) == report_fingerprint(deferred)
+
+    def test_mechanism_counters_identical(self):
+        """Bus/mechanism counter identity: scheduling the replay early
+        must not re-count (or drop) a single dependency or check."""
+        run = fault_run("dirty-read")
+        streamed_metrics = MetricsRegistry()
+        deferred_metrics = MetricsRegistry()
+        stream_report(
+            run, 2, "inline", segment_events=8, metrics=streamed_metrics
+        )
+        stream_report(run, 2, "inline", stream=False, metrics=deferred_metrics)
+        assert mechanism_counters(streamed_metrics) == mechanism_counters(
+            deferred_metrics
+        )
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(0, 2**16),
+        fault=st.sampled_from([None, "stale-read", "lost-update", "dirty-read"]),
+        segment_events=st.sampled_from([1, 4, 32]),
+    )
+    def test_workload_shuffles_identical(self, seed, fault, segment_events):
+        """Hypothesis shuffles the interleaving (workload seed) and the
+        flush cadence; every combination must stream byte-identically."""
+        plan = FAULT_CASES[fault] if fault else None
+        run = run_workload(
+            BlindW.rw(keys=32),
+            PG_SERIALIZABLE,
+            clients=4,
+            txns=120,
+            seed=seed,
+            faults=plan,
+        )
+        streamed = stream_report(
+            run, 2, "inline", segment_events=segment_events, gc_every=24
+        )
+        deferred = stream_report(run, 2, "inline", stream=False, gc_every=24)
+        assert report_fingerprint(streamed) == report_fingerprint(deferred)
+
+
+class TestMidRunSurfacing:
+    def test_violations_surface_before_finish(self):
+        run = fault_run("dirty-read")
+        verifier = ParallelVerifier(
+            spec=PG_SERIALIZABLE,
+            initial_db=run.initial_db,
+            shards=2,
+            backend="inline",
+            stream_merge=True,
+            segment_events=4,
+            gc_every=32,
+        )
+        counts = []
+        mid_run = []
+        for trace in pipeline_from_client_streams(run.client_streams):
+            verifier.process(trace)
+            seen = verifier.violations_so_far()
+            counts.append(len(seen))
+            mid_run = [violation_key(v) for v in seen]
+        report = verifier.finish()
+        assert not report.ok
+        # The streamed replay certified real findings mid-run -- the
+        # deferred path would report 0 here until finish().
+        assert counts[-1] > 0
+        # Monotone: the certified list only ever grows.
+        assert all(a <= b for a, b in zip(counts, counts[1:]))
+        # Stable prefix: finish() extends the same list, never reorders.
+        final = [violation_key(v) for v in report.violations]
+        assert final[: len(mid_run)] == mid_run
+        assert len(final) >= len(mid_run)
+
+    def test_online_alerts_fire_before_finish(self):
+        from repro import OnlineVerifier
+
+        run = fault_run("dirty-read")
+        backend = ParallelVerifier(
+            spec=PG_SERIALIZABLE,
+            initial_db=run.initial_db,
+            shards=2,
+            backend="inline",
+            stream_merge=True,
+            segment_events=4,
+        )
+        alerts = []
+        online = OnlineVerifier(verifier=backend, on_violation=alerts.append)
+        alerts_before_finish = 0
+        for trace in pipeline_from_client_streams(run.client_streams):
+            online.feed(trace)
+            alerts_before_finish = len(alerts)
+        report = online.finish()
+        assert not report.ok
+        assert alerts_before_finish > 0
+        assert len(alerts) == len(report.violations)
+
+    def test_stream_metrics_populated(self):
+        run = fault_run("dirty-read")
+        metrics = MetricsRegistry()
+        stream_report(
+            run, 2, "inline", segment_events=8, gc_every=32, metrics=metrics
+        )
+        counters = metrics.snapshot()["counters"]
+        assert counters["parallel.stream.segments"] > 0
+        assert counters["parallel.stream.replayed"] > 0
+        assert counters["parallel.stream.gc.frontier.scanned"] > 0
+
+
+def dep(src, dst, key):
+    from repro.core.dependencies import Dependency, DepType
+
+    return Dependency(src=src, dst=dst, dep_type=DepType.WW, key=key)
+
+
+def make_merger(shards):
+    return _StreamMerger(
+        spec=PG_SERIALIZABLE,
+        shards=shards,
+        txns={},
+        commits=[],
+        gc_every=10_000,
+        metrics=NULL_REGISTRY,
+    )
+
+
+class TestSegmentEdgeCases:
+    def test_segment_codec_round_trip(self):
+        events = [
+            (0, 0, _DEP, dep("t1", "t2", "k0")),
+            (3, 1, _DEP, dep("t2", "t3", ("range", 4))),
+        ]
+        payload = encode_segment_frame(1, 7, 12.5, events)
+        kind, segment = decode_shard_reply(payload)
+        assert kind == "segment"
+        assert isinstance(segment, StreamSegment)
+        assert segment.shard_id == 1
+        assert segment.watermark == 7
+        assert segment.horizon == 12.5
+        assert segment.events == events
+
+    def test_pre_first_flush_header_round_trips(self):
+        # Before the first applied frame a worker echoes the sentinel
+        # header: watermark -1, horizon -inf.
+        payload = encode_segment_frame(0, -1, float("-inf"), [])
+        kind, segment = decode_shard_reply(payload)
+        assert kind == "segment"
+        assert segment.watermark == -1
+        assert segment.horizon == float("-inf")
+        assert segment.events == []
+
+    def test_empty_segment_advances_watermark(self):
+        """A shard with nothing to journal still unblocks the merge: its
+        empty segment's watermark lets the other shards' events replay."""
+        merger = make_merger(2)
+        replayed = []
+        merger._replay = lambda events: replayed.extend(events)
+        merger.offer(0, 5, 1.0, [(2, 0, _DEP, "a"), (7, 1, _DEP, "b")])
+        # Shard 1 has not acked anything yet: nothing is certain.
+        assert merger.advance() == 0
+        assert replayed == []
+        merger.offer(1, 5, 1.0, [])
+        assert merger.advance() == 1
+        assert [event[4] for event in replayed] == ["a"]
+        # Index 7 is past the merged watermark and stays buffered.
+        assert merger.pending_events() == 1
+
+    def test_watermark_tie_replays_in_shard_order(self):
+        """Same trace index on two shards: the merge must use the shard id
+        as the tie-break, exactly like the deferred global sort."""
+        merger = make_merger(2)
+        replayed = []
+        merger._replay = lambda events: replayed.extend(events)
+        merger.offer(1, 4, 1.0, [(4, 0, _DEP, "shard1-first")])
+        merger.offer(0, 4, 1.0, [(4, 0, _DEP, "shard0-first")])
+        assert merger.advance() == 2
+        assert [event[4] for event in replayed] == [
+            "shard0-first",
+            "shard1-first",
+        ]
+
+    def test_late_watermark_never_regresses(self):
+        merger = make_merger(1)
+        merger._replay = lambda events: None
+        merger.offer(0, 9, 3.0, [])
+        merger.offer(0, 4, 1.0, [])  # stale ack arrives late
+        assert merger._watermarks[0] == 9
+        assert merger._horizons[0] == 3.0
+
+    def test_worker_error_mid_stream_surfaces_at_finish(self, blindw_rw_run):
+        verifier = ParallelVerifier(
+            spec=PG_SERIALIZABLE,
+            initial_db=blindw_rw_run.initial_db,
+            shards=2,
+            backend="process",
+            stream_merge=True,
+            segment_events=8,
+        )
+        traces = list(
+            pipeline_from_client_streams(blindw_rw_run.client_streams)
+        )
+        for trace in traces[: len(traces) // 2]:
+            verifier.process(trace)
+        # Inject a malformed frame: the worker's decoder raises, and the
+        # worker ships its traceback as an error frame before exiting.
+        verifier._conns[0].send_bytes(b"\xff\xff\xff")
+        for trace in traces[len(traces) // 2 :]:
+            verifier.process(trace)
+        with pytest.raises(RuntimeError, match="shard worker failed"):
+            verifier.finish()
