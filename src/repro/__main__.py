@@ -207,6 +207,61 @@ def cmd_verify(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from .service import IngestGateway, ServiceConfig
+
+    spec = _resolve_spec(args.dbms, args.level)
+    initial_db = (
+        load_initial_db(Path(args.initial_db)) if args.initial_db else None
+    )
+    metrics = MetricsRegistry() if args.stats else None
+    config = ServiceConfig(
+        spec=spec,
+        initial_db=initial_db,
+        host=args.host,
+        port=args.port,
+        status_port=args.status_port,
+        ingest_unix=args.unix,
+        status_unix=args.status_unix,
+        shards=args.parallel,
+        backend=args.parallel_backend,
+        stream_merge=args.stream,
+        gc_every=args.gc_every,
+        session_credit=args.credit,
+        pending_budget=args.budget,
+        metrics=metrics,
+    )
+
+    async def serve() -> int:
+        gateway = IngestGateway(config)
+        await gateway.start()
+        print(f"ingest endpoint : {gateway.ingest_endpoint}", flush=True)
+        print(f"status endpoint : {gateway.status_endpoint}", flush=True)
+        loop = asyncio.get_running_loop()
+
+        def request_drain() -> None:
+            asyncio.ensure_future(gateway.drain())
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, request_drain)
+            except NotImplementedError:  # pragma: no cover - non-POSIX loops
+                pass
+        # Runs until a drain arrives -- via signal or the status
+        # endpoint's `drain` query.
+        await gateway.drained.wait()
+        report = gateway.final_report
+        print(report.summary())
+        print(f"fingerprint     : {gateway.fingerprint}")
+        await gateway.aclose()
+        return 0 if report.ok else 1
+
+    return asyncio.run(serve())
+
+
 def cmd_profiles(args) -> int:
     from .bench.experiments import fig1_profiles
 
@@ -311,6 +366,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="instrument the run and write the repro.stats/v1 JSON document",
     )
     verify_p.set_defaults(fn=cmd_verify)
+
+    serve_p = sub.add_parser(
+        "serve", help="run the online verification service (docs/service.md)"
+    )
+    serve_p.add_argument("--dbms", default="postgresql", choices=supported_dbms())
+    serve_p.add_argument("--level", default="SR")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=7401)
+    serve_p.add_argument("--status-port", type=int, default=7402)
+    serve_p.add_argument(
+        "--unix", default=None, metavar="PATH",
+        help="serve ingest on a Unix socket instead of TCP",
+    )
+    serve_p.add_argument(
+        "--status-unix", default=None, metavar="PATH",
+        help="serve status on a Unix socket instead of TCP",
+    )
+    serve_p.add_argument(
+        "--initial-db", default=None, metavar="PATH",
+        help="initial database image (initial_db.json from `run`)",
+    )
+    serve_p.add_argument(
+        "--parallel", type=int, default=0, metavar="N",
+        help="verify with N key-partitioned shards (0 = serial verifier)",
+    )
+    serve_p.add_argument(
+        "--parallel-backend", choices=["process", "inline"], default="process"
+    )
+    serve_stream = serve_p.add_mutually_exclusive_group()
+    serve_stream.add_argument(
+        "--stream", dest="stream", action="store_true", default=None
+    )
+    serve_stream.add_argument("--no-stream", dest="stream", action="store_false")
+    serve_p.add_argument("--gc-every", type=int, default=512)
+    serve_p.add_argument(
+        "--credit", type=int, default=8,
+        help="TRACES frames a session may have in flight",
+    )
+    serve_p.add_argument(
+        "--budget", type=int, default=200_000,
+        help="service-wide pending-event ceiling",
+    )
+    serve_p.add_argument(
+        "--stats", action="store_true",
+        help="instrument the service (metrics query serves the registry)",
+    )
+    serve_p.set_defaults(fn=cmd_serve)
 
     profiles_p = sub.add_parser("profiles", help="print the Fig. 1 registry")
     profiles_p.set_defaults(fn=cmd_profiles)

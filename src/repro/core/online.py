@@ -21,7 +21,7 @@ periodic heartbeats (empty progress marks) for idle clients --
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .report import VerificationReport, Violation
 from .spec import IsolationSpec, PG_SERIALIZABLE
@@ -64,6 +64,10 @@ class OnlineVerifier:
         self._heap: List[Tuple[float, int, Trace]] = []
         self._alerted = 0
         self._dispatched = 0
+        #: timestamp of the newest trace already handed to the backend --
+        #: the point of no return: the dispatch stream is globally sorted,
+        #: so a trace behind it can never be merged soundly.
+        self._emitted = float("-inf")
         self._finished = False
 
     # -- client-facing ingestion --------------------------------------------------
@@ -87,6 +91,12 @@ class OnlineVerifier:
                 f"client {trace.client_id} pushed trace at {trace.ts_bef} "
                 f"behind its progress mark {floor}"
             )
+        if trace.ts_bef < self._emitted:
+            raise ValueError(
+                f"client {trace.client_id} pushed trace at {trace.ts_bef} "
+                f"behind the dispatched watermark {self._emitted}; sessions "
+                f"must join before verification passes their first timestamp"
+            )
         if stage and trace.ts_bef < stage[-1].ts_bef:
             raise ValueError(
                 f"client {trace.client_id} stream is not monotone"
@@ -94,6 +104,59 @@ class OnlineVerifier:
         stage.append(trace)
         self._floors[trace.client_id] = trace.ts_bef
         return self._advance()
+
+    def feed_batch(self, client_id: int, traces: Sequence[Trace]) -> int:
+        """Push a whole run of traces from one client -- the service
+        gateway's per-frame entry point.  Equivalent to calling
+        :meth:`feed` per trace, but the run is validated and staged first
+        and the watermark advances once, so a thousand-trace frame costs
+        one dispatch pass instead of a thousand.  Returns the number of
+        traces the advance dispatched."""
+        if self._finished:
+            raise RuntimeError("online verifier already finished")
+        if not traces:
+            return 0
+        stage = self._stages.setdefault(client_id, [])
+        floor = self._floors.setdefault(client_id, float("-inf"))
+        if traces[0].ts_bef < self._emitted:
+            raise ValueError(
+                f"client {client_id} pushed trace at {traces[0].ts_bef} "
+                f"behind the dispatched watermark {self._emitted}; sessions "
+                f"must join before verification passes their first timestamp"
+            )
+        last = stage[-1].ts_bef if stage else floor
+        for trace in traces:
+            if trace.client_id != client_id:
+                raise ValueError(
+                    f"trace from client {trace.client_id} pushed on "
+                    f"client {client_id}'s stream"
+                )
+            ts = trace.ts_bef
+            if ts < floor:
+                raise ValueError(
+                    f"client {client_id} pushed trace at {ts} "
+                    f"behind its progress mark {floor}"
+                )
+            if ts < last:
+                raise ValueError(f"client {client_id} stream is not monotone")
+            last = ts
+        stage.extend(traces)
+        self._floors[client_id] = last
+        return self._advance()
+
+    def evict_client(self, client_id: int) -> int:
+        """Forget a client entirely: drop its staged traces and remove it
+        from watermark accounting.  The gateway evicts sessions that sent
+        a poison frame, so one bad client cannot freeze everyone else's
+        watermark.  Returns the number of staged traces dropped; the
+        eviction itself may advance the watermark and dispatch other
+        clients' traces."""
+        stage = self._stages.pop(client_id, None)
+        self._floors.pop(client_id, None)
+        dropped = len(stage) if stage else 0
+        if not self._finished and self._stages:
+            self._advance()
+        return dropped
 
     def heartbeat(self, client_id: int, now: float) -> int:
         """An idle client vouches that all its future traces begin after
@@ -128,24 +191,55 @@ class OnlineVerifier:
             for trace in batch:
                 process(trace)
         self._dispatched += len(batch)
+        self._emitted = batch[-1].ts_bef
         self._alert_new()
 
     def _advance(self) -> int:
-        watermark = self._watermark()
-        for client_id, stage in self._stages.items():
-            keep = []
-            for trace in stage:
-                if trace.ts_bef <= watermark:
-                    heapq.heappush(
-                        self._heap, (trace.ts_bef, trace.trace_id, trace)
-                    )
-                else:
-                    keep.append(trace)
-            self._stages[client_id] = keep
-        heap = self._heap
+        stages = self._stages
+        if not stages:
+            return 0
+        floors = self._floors
+        # K-way merge to a fixpoint: the globally smallest staged trace
+        # dispatches whenever its timestamp is covered by every client's
+        # progress mark (staged head, or idle floor once the stage is
+        # empty).  Dispatching it raises its client's mark -- and with it
+        # possibly the watermark -- so the merge keeps going until an
+        # idle client's floor bounds progress.  Staged entries sort ahead
+        # of equal floors and tie-break on trace id, so the dispatch
+        # order is the offline pipeline's ``(ts_bef, trace_id)`` order
+        # exactly.
+        cursors = {client_id: 0 for client_id in stages}
+        entries = []
+        for client_id, stage in stages.items():
+            if stage:
+                entries.append(
+                    (stage[0].ts_bef, 0, stage[0].trace_id, client_id)
+                )
+            else:
+                entries.append((floors[client_id], 1, 0, client_id))
+        heapq.heapify(entries)
         batch: List[Trace] = []
-        while heap and heap[0][0] <= watermark:
-            batch.append(heapq.heappop(heap)[2])
+        while entries:
+            _ts, idle, _tid, client_id = entries[0]
+            if idle:
+                break
+            stage = stages[client_id]
+            cursor = cursors[client_id]
+            batch.append(stage[cursor])
+            cursor += 1
+            cursors[client_id] = cursor
+            if cursor < len(stage):
+                head = stage[cursor]
+                heapq.heapreplace(
+                    entries, (head.ts_bef, 0, head.trace_id, client_id)
+                )
+            else:
+                heapq.heapreplace(
+                    entries, (floors[client_id], 1, 0, client_id)
+                )
+        for client_id, cursor in cursors.items():
+            if cursor:
+                del stages[client_id][:cursor]
         if batch:
             self._dispatch(batch)
         return len(batch)
@@ -178,6 +272,24 @@ class OnlineVerifier:
     def dispatched(self) -> int:
         return self._dispatched
 
+    def staged_count(self, client_id: int) -> int:
+        """Traces currently staged (undispatched) for one client."""
+        return len(self._stages.get(client_id, ()))
+
+    @property
+    def watermark(self) -> float:
+        """The current dispatch bound (-inf before any client vouched)."""
+        return self._watermark()
+
+    def client_mark(self, client_id: int) -> float:
+        """The smallest timestamp one client could still produce: its
+        staged head if any, else its progress floor (+inf for unknown
+        clients -- they cannot hold the watermark back)."""
+        stage = self._stages.get(client_id)
+        if stage:
+            return stage[0].ts_bef
+        return self._floors.get(client_id, float("inf"))
+
     @property
     def violations_so_far(self) -> List[Violation]:
         return self._current_violations()
@@ -199,8 +311,13 @@ class OnlineVerifier:
             "clients": len(self._stages),
             "pending": self.pending,
             "dispatched": self._dispatched,
-            # -inf (no client has vouched yet) is not JSON-representable.
-            "watermark": watermark if watermark > float("-inf") else None,
+            # Neither -inf (no client has vouched yet) nor +inf (every
+            # client said goodbye) is JSON-representable.
+            "watermark": (
+                watermark
+                if float("-inf") < watermark < float("inf")
+                else None
+            ),
             "violations": len(self._current_violations()),
             "alerted": self._alerted,
             "live_structures": self.live_structure_count(),

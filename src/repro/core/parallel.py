@@ -739,10 +739,25 @@ class _StreamMerger:
         n = len(due)
         while start < n:
             take = min(n - start, self._gc_every - self._since_gc)
-            chunk = due[start:start + take]
+            end = start + take
+            # Never fire mid-trace: the serial collector only runs between
+            # traces, after every dependency of the current trace has been
+            # delivered -- a cycle-closing edge journaled later in the same
+            # trace index must land before its endpoints can be pruned.  So
+            # extend the chunk to the end of the threshold event's index
+            # group.  Index groups are always complete inside ``due``
+            # (``advance`` cuts at the merged watermark, ``finalize`` drains
+            # everything), so the extension -- and with it every fire
+            # position -- remains a pure function of the trace stream,
+            # independent of segment arrival timing.
+            if end < n:
+                boundary = due[end - 1][0]
+                while end < n and due[end][0] == boundary:
+                    end += 1
+            chunk = due[start:end]
             self._replay(chunk)
-            self._since_gc += take
-            start += take
+            self._since_gc += len(chunk)
+            start = end
             if self._since_gc >= self._gc_every:
                 self._since_gc = 0
                 self._gc.collect(horizon_ts=self._gc_horizon(chunk[-1][0]))
@@ -1461,6 +1476,14 @@ class ParallelVerifier:
         for shard in self._inline:
             merged.absorb(shard.state.descriptor)
         return merged.violations
+
+    def coordinator_pending_events(self) -> int:
+        """Journal events buffered coordinator-side awaiting replay (zero
+        with the deferred merge): the component of the service-wide memory
+        budget this verifier owns beyond the staged traces."""
+        if self._merger is None:
+            return 0
+        return self._merger.pending_events()
 
     def live_structure_count(self) -> int:
         """Total retained structures across shard states (inline backend;

@@ -9,7 +9,10 @@ schedule against the DBMS.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
@@ -217,3 +220,28 @@ class VerificationReport:
         for violation in self.descriptor:
             lines.append(f"  - {violation}")
         return "\n".join(lines)
+
+
+def report_fingerprint(report: VerificationReport) -> str:
+    """Canonical digest of a verification outcome.
+
+    Two runs over the same logical trace stream must fingerprint
+    identically no matter how the traces were delivered -- offline files,
+    the online service, any arrival interleaving -- which is the
+    equivalence the service's drain contract and the offline-vs-online
+    tests pin down.  Timing (``mechanism_seconds``) is excluded: it
+    measures the run, not the history.  Violations are compared by their
+    rendered form and sorted, so backend-dependent discovery order does
+    not leak into the digest.
+    """
+    stats = dataclasses.asdict(report.stats)
+    stats.pop("mechanism_seconds", None)
+    doc = {
+        "isolation_level": report.isolation_level,
+        "ok": report.ok,
+        "violations": sorted(str(v) for v in report.violations),
+        "witnesses": report.descriptor.raw_count,
+        "stats": stats,
+    }
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -60,7 +60,13 @@ class EngineLockManager:
     def __init__(self) -> None:
         self._locks: Dict[Key, _KeyLock] = {}
         self._waits_for: Dict[str, Set[str]] = {}
-        self._held: Dict[str, Set[Key]] = {}
+        # Insertion-ordered (dict keys, not a set): release_all grants
+        # blocked waiters key by key, so the iteration order here decides
+        # which client resumes first -- it must be a function of the
+        # acquisition history, never of the per-process hash salt
+        # (PYTHONHASHSEED), or seeded workload runs stop being
+        # reproducible across interpreters.
+        self._held: Dict[str, Dict[Key, None]] = {}
 
     # -- acquisition -----------------------------------------------------------
 
@@ -104,7 +110,7 @@ class EngineLockManager:
             if EngineLockMode.EXCLUSIVE in (held, mode)
             else mode
         )
-        self._held.setdefault(txn_id, set()).add(key)
+        self._held.setdefault(txn_id, {})[key] = None
         self._waits_for.pop(txn_id, None)
 
     def _blockers(self, lock: _KeyLock, txn_id: str, mode: EngineLockMode) -> Set[str]:
@@ -148,8 +154,9 @@ class EngineLockManager:
         """Release every lock of a transaction and return the continuations
         of waiters that became grantable (the caller schedules them)."""
         granted: List[Callable[[], None]] = []
-        keys = self._held.pop(txn_id, set())
-        keys.update(self._remove_from_queues(txn_id))
+        keys = self._held.pop(txn_id, {})
+        for key in self._remove_from_queues(txn_id):
+            keys.setdefault(key, None)
         self._waits_for.pop(txn_id, None)
         for key in keys:
             lock = self._locks.get(key)
@@ -161,14 +168,15 @@ class EngineLockManager:
                 del self._locks[key]
         return granted
 
-    def _remove_from_queues(self, txn_id: str) -> Set[Key]:
+    def _remove_from_queues(self, txn_id: str) -> List[Key]:
         """Remove a transaction from all wait queues; returns the keys whose
-        queues changed (their heads may have become grantable)."""
-        affected: Set[Key] = set()
+        queues changed (their heads may have become grantable), in lock-table
+        insertion order (deterministic across hash seeds)."""
+        affected: List[Key] = []
         for key, lock in self._locks.items():
             if any(w.txn_id == txn_id for w in lock.queue):
                 lock.queue = deque(w for w in lock.queue if w.txn_id != txn_id)
-                affected.add(key)
+                affected.append(key)
         return affected
 
     def _drain_queue(self, lock: _KeyLock, key: Key) -> List[Callable[[], None]]:
@@ -202,6 +210,10 @@ class EngineLockManager:
 
     def held_keys(self, txn_id: str) -> Set[Key]:
         return set(self._held.get(txn_id, ()))
+
+    def held_keys_ordered(self, txn_id: str) -> List[Key]:
+        """Held keys in acquisition order (hash-seed independent)."""
+        return list(self._held.get(txn_id, ()))
 
     def waiting_count(self) -> int:
         return sum(len(lock.queue) for lock in self._locks.values())

@@ -1,0 +1,550 @@
+"""Asyncio ingest gateway: concurrent client sessions feeding one
+online verifier.
+
+Each connection pushes length-prefixed frames (``protocol``); accepted
+``TRACES`` frames are decoded with the binary codec, stamped with
+deterministic trace ids (``sessions``) and staged into the
+:class:`~repro.core.online.OnlineVerifier`, whose watermark dispatches
+them to the verifier backend -- the serial :class:`~repro.core.verifier.
+Verifier` or a sharded :class:`~repro.core.parallel.ParallelVerifier`
+with the streamed certifier merge.
+
+Backpressure is two-layered (documented in ``docs/service.md``):
+
+* **credit** is the hard per-session gate: ``WELCOME`` grants a number of
+  ``TRACES`` frames that may be in flight; the server returns one credit
+  per drained frame, so a session can never buffer more than
+  ``session_credit`` undecoded frames server-side;
+* the **service-wide memory budget** bounds pending events (staged
+  traces + the parallel coordinator's journal backlog).  While over
+  budget, credit is withheld from every session that is *ahead of* the
+  watermark (an advisory ``PAUSE`` is sent); the laggard sessions -- the
+  ones whose next frame can advance the watermark and therefore *shrink*
+  the backlog -- are always admitted, so the gate throttles without
+  deadlocking.
+
+A poison frame (malformed bytes, unsorted stream, wrong client id) kills
+only its own session: the client is evicted from watermark accounting so
+the other sessions keep dispatching, and the ``ERROR`` frame sent back
+carries the session id and byte offset of the offending frame.
+
+Graceful drain: stop accepting connections, wait for live sessions,
+flush every staged trace through ``finish()`` and publish the final
+report -- byte-identical (same :func:`~repro.core.report.
+report_fingerprint`) to an offline ``verify`` over the same streams.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Set, Tuple, Union
+
+from ..core.codec import CodecError, decode_batch
+from ..core.metrics import MetricsRegistry, NULL_REGISTRY
+from ..core.online import OnlineVerifier
+from ..core.report import VerificationReport, report_fingerprint
+from ..core.spec import IsolationSpec, PG_SERIALIZABLE
+from ..core.trace import Trace
+from . import protocol, status
+from .protocol import ServiceProtocolError
+from .sessions import Session, SessionRegistry
+
+Key = object
+
+
+@dataclass
+class ServiceConfig:
+    """Everything the gateway needs to run; mirrors ``verify``'s knobs
+    plus the service-only transport and backpressure settings."""
+
+    spec: IsolationSpec = PG_SERIALIZABLE
+    initial_db: Optional[Mapping[Key, Mapping[str, object]]] = None
+    #: TCP endpoints (port 0 binds an ephemeral port) ...
+    host: str = "127.0.0.1"
+    port: int = 0
+    status_port: int = 0
+    #: ... or Unix sockets, which take precedence when set.
+    ingest_unix: Optional[str] = None
+    status_unix: Optional[str] = None
+    #: 0 = serial verifier; N > 0 = N key-partitioned shards.
+    shards: int = 0
+    backend: str = "process"
+    stream_merge: Optional[bool] = None
+    gc_every: int = 512
+    #: TRACES frames a session may have in flight (the hard per-session
+    #: buffer cap; WELCOME announces it).
+    session_credit: int = 8
+    #: service-wide pending-event ceiling: staged traces plus the
+    #: parallel coordinator's buffered journal events.
+    pending_budget: int = 200_000
+    #: listen(2) backlog for both listeners.  Hundreds of sessions
+    #: connecting at once (a soak start, a fleet reconnect) overflow the
+    #: asyncio default of 100 and the kernel resets the excess mid
+    #: handshake, so size for the connection *burst*, not the steady
+    #: state.
+    listen_backlog: int = 1024
+    metrics: Optional[MetricsRegistry] = None
+
+
+class IngestGateway:
+    """The long-running service: ingest listener + status listener over
+    one shared online verifier."""
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.metrics = config.metrics if config.metrics is not None else NULL_REGISTRY
+        if config.shards > 0:
+            from ..core.parallel import ParallelVerifier
+
+            self._backend = ParallelVerifier(
+                spec=config.spec,
+                initial_db=config.initial_db,
+                shards=config.shards,
+                backend=config.backend,
+                stream_merge=config.stream_merge,
+                gc_every=config.gc_every,
+                metrics=config.metrics,
+            )
+        else:
+            from ..core.verifier import Verifier
+
+            self._backend = Verifier(
+                spec=config.spec,
+                initial_db=config.initial_db,
+                gc_every=config.gc_every,
+                metrics=config.metrics,
+            )
+        self.online = OnlineVerifier(verifier=self._backend)
+        self.registry = SessionRegistry()
+
+        # Plain-int service counters (always on; the registry mirrors them
+        # as service.* instruments when metrics are enabled).
+        self.frames_total = 0
+        self.traces_total = 0
+        self.bytes_total = 0
+        self.heartbeats_total = 0
+        self.errors_total = 0
+        self.evictions_total = 0
+        self.credits_total = 0
+        self.stalls_total = 0
+        self.pending_peak = 0
+        #: largest TRACES frame seen so far, in traces -- sizes the
+        #: budget gate's in-flight margin.
+        self.frame_traces_max = 0
+        self.max_ts_seen: Optional[float] = None
+        #: last protocol errors, newest last (status endpoint shows them).
+        self.errors: List[Dict[str, object]] = []
+
+        self._m_active = self.metrics.gauge("service.sessions.active")
+        self._m_opened = self.metrics.counter("service.sessions.opened")
+        self._m_closed = self.metrics.counter("service.sessions.closed")
+        self._m_frames = self.metrics.counter("service.frames")
+        self._m_traces = self.metrics.counter("service.traces")
+        self._m_bytes = self.metrics.counter("service.bytes")
+        self._m_heartbeats = self.metrics.counter("service.heartbeats")
+        self._m_errors = self.metrics.counter("service.errors")
+        self._m_evictions = self.metrics.counter("service.evictions")
+        self._m_credits = self.metrics.counter("service.credit.granted")
+        self._m_stalls = self.metrics.counter("service.budget.stalls")
+        self._m_pending = self.metrics.gauge("service.pending")
+        self._m_pending_peak = self.metrics.gauge("service.pending.peak")
+        self._m_lag = self.metrics.gauge("service.watermark.lag")
+
+        self._ingest_server: Optional[asyncio.base_events.Server] = None
+        self._status_server: Optional[asyncio.base_events.Server] = None
+        self._tasks: Set[asyncio.Task] = set()
+        self._status_tasks: Set[asyncio.Task] = set()
+        self._dispatch_cond: Optional[asyncio.Condition] = None
+        self._drain_lock: Optional[asyncio.Lock] = None
+        self._draining = False
+        self._final_report: Optional[VerificationReport] = None
+        self._fingerprint: Optional[str] = None
+        self.drained = asyncio.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind both listeners (ephemeral ports are resolved here)."""
+        self._dispatch_cond = asyncio.Condition()
+        self._drain_lock = asyncio.Lock()
+        cfg = self.config
+        if cfg.ingest_unix:
+            self._ingest_server = await asyncio.start_unix_server(
+                self._handle_ingest,
+                path=cfg.ingest_unix,
+                backlog=cfg.listen_backlog,
+            )
+        else:
+            self._ingest_server = await asyncio.start_server(
+                self._handle_ingest,
+                cfg.host,
+                cfg.port,
+                backlog=cfg.listen_backlog,
+            )
+        if cfg.status_unix:
+            self._status_server = await asyncio.start_unix_server(
+                self._handle_status,
+                path=cfg.status_unix,
+                backlog=cfg.listen_backlog,
+            )
+        else:
+            self._status_server = await asyncio.start_server(
+                self._handle_status,
+                cfg.host,
+                cfg.status_port,
+                backlog=cfg.listen_backlog,
+            )
+
+    @property
+    def ingest_endpoint(self) -> Union[str, Tuple[str, int]]:
+        if self.config.ingest_unix:
+            return self.config.ingest_unix
+        sock = self._ingest_server.sockets[0]
+        return sock.getsockname()[:2]
+
+    @property
+    def status_endpoint(self) -> Union[str, Tuple[str, int]]:
+        if self.config.status_unix:
+            return self.config.status_unix
+        sock = self._status_server.sockets[0]
+        return sock.getsockname()[:2]
+
+    async def drain(self) -> VerificationReport:
+        """Graceful shutdown: refuse new connections, wait for live
+        sessions to finish, flush everything staged and publish the final
+        report.  Idempotent; concurrent callers share the one report."""
+        async with self._drain_lock:
+            if self._final_report is not None:
+                return self._final_report
+            self._draining = True
+            async with self._dispatch_cond:
+                self._dispatch_cond.notify_all()
+            self._ingest_server.close()
+            await self._ingest_server.wait_closed()
+            tasks = [t for t in self._tasks if t is not asyncio.current_task()]
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            report = self.online.finish()
+            self._final_report = report
+            self._fingerprint = report_fingerprint(report)
+            self.drained.set()
+            return report
+
+    async def aclose(self) -> None:
+        """Tear down both listeners (tests; ``drain`` already closed the
+        ingest side)."""
+        for server in (self._ingest_server, self._status_server):
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+        tasks = [
+            t
+            for t in self._tasks | self._status_tasks
+            if t is not asyncio.current_task()
+        ]
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    # -- shared state ------------------------------------------------------
+
+    @property
+    def final_report(self) -> Optional[VerificationReport]:
+        return self._final_report
+
+    @property
+    def fingerprint(self) -> Optional[str]:
+        return self._fingerprint
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def pending_events(self) -> int:
+        """The quantity the service-wide budget bounds: traces staged in
+        the online layer plus journal events buffered coordinator-side by
+        the parallel streamed merge."""
+        pending = self.online.pending
+        extra = getattr(self._backend, "coordinator_pending_events", None)
+        if callable(extra):
+            pending += extra()
+        return pending
+
+    def watermark_lag(self) -> Optional[float]:
+        """Seconds between the newest trace accepted and the watermark --
+        how far the slowest client holds dispatch back."""
+        watermark = self.online.watermark
+        if self.max_ts_seen is None or watermark == float("-inf"):
+            return None
+        if watermark == float("inf"):
+            return 0.0
+        return max(0.0, self.max_ts_seen - watermark)
+
+    def _note_pending(self) -> None:
+        pending = self.pending_events()
+        if pending > self.pending_peak:
+            self.pending_peak = pending
+        self._m_pending.set(pending)
+        self._m_pending_peak.high_watermark(pending)
+        lag = self.watermark_lag()
+        if lag is not None:
+            self._m_lag.set(lag)
+
+    async def _notify_dispatch(self) -> None:
+        async with self._dispatch_cond:
+            self._dispatch_cond.notify_all()
+
+    # -- ingest connections ------------------------------------------------
+
+    async def _handle_ingest(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._tasks.add(task)
+        session = self.registry.open()
+        self._m_opened.inc()
+        self._m_active.set(self.registry.active)
+        try:
+            if self._draining:
+                raise ServiceProtocolError(
+                    "service is draining", session_id=session.session_id
+                )
+            await self._session_loop(session, reader, writer)
+        except (ServiceProtocolError, CodecError, ValueError) as exc:
+            await self._poison(session, writer, exc)
+        except asyncio.CancelledError:
+            # Deliberate teardown (aclose); end the task cleanly so the
+            # streams machinery does not log the cancellation.
+            pass
+        except (asyncio.IncompleteReadError, ConnectionError):
+            # Abrupt transport loss mid-frame: same contract as a
+            # disconnect without BYE -- the client may reconnect and
+            # resume from its cursor.
+            pass
+        finally:
+            self.registry.close(session)
+            self._m_closed.inc()
+            self._m_active.set(self.registry.active)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._tasks.discard(task)
+
+    async def _session_loop(self, session: Session, reader, writer) -> None:
+        cfg = self.config
+        await protocol.read_magic(reader)
+        offset = len(protocol.SERVICE_MAGIC)
+
+        # Handshake: the first frame must be HELLO.
+        session.frame_offset = offset
+        payload = await protocol.read_frame(reader)
+        if payload is None:
+            return
+        offset += protocol.PREFIX_SIZE + len(payload)
+        tag, body = protocol.split_frame(payload)
+        if tag != protocol.F_HELLO:
+            raise ServiceProtocolError(
+                f"first frame must be HELLO, got "
+                f"{protocol.TAG_NAMES.get(tag, hex(tag))}",
+                session_id=session.session_id,
+                byte_offset=session.frame_offset,
+            )
+        client_id = protocol.parse_control(tag, body)["client_id"]
+        self.registry.bind(session, client_id)
+        self.online.register_client(client_id)
+        writer.write(protocol.welcome_frame(session.session_id, cfg.session_credit))
+        await writer.drain()
+
+        while True:
+            session.frame_offset = offset
+            payload = await protocol.read_frame(reader)
+            if payload is None:
+                # Disconnect without BYE: the client keeps its watermark
+                # floor and may reconnect on a fresh session.
+                return
+            size = protocol.PREFIX_SIZE + len(payload)
+            offset += size
+            session.frames += 1
+            session.bytes += size
+            self.frames_total += 1
+            self.bytes_total += size
+            self._m_frames.inc()
+            self._m_bytes.inc(size)
+            tag, body = protocol.split_frame(payload)
+
+            if tag == protocol.F_TRACES:
+                traces = decode_batch(body)
+                dispatched = self._ingest_traces(session, client_id, traces)
+                if dispatched:
+                    await self._notify_dispatch()
+                self._note_pending()
+                await self._budget_gate(session, client_id, writer)
+                writer.write(protocol.credit_frame(1))
+                self.credits_total += 1
+                self._m_credits.inc()
+                await writer.drain()
+            elif tag == protocol.F_HEARTBEAT:
+                now = protocol.parse_control(tag, body)["now"]
+                self.heartbeats_total += 1
+                self._m_heartbeats.inc()
+                if self.online.heartbeat(client_id, now):
+                    await self._notify_dispatch()
+                self._note_pending()
+            elif tag == protocol.F_BYE:
+                # The stream is complete: an infinite floor takes the
+                # client out of watermark accounting for good.
+                if self.online.heartbeat(client_id, float("inf")):
+                    await self._notify_dispatch()
+                self._note_pending()
+                writer.write(protocol.bye_ack_frame(session.traces))
+                await writer.drain()
+                return
+            else:
+                raise ServiceProtocolError(
+                    f"unexpected frame "
+                    f"{protocol.TAG_NAMES.get(tag, hex(tag))} on the "
+                    f"ingest stream",
+                    session_id=session.session_id,
+                    byte_offset=session.frame_offset,
+                )
+
+    def _ingest_traces(
+        self, session: Session, client_id: int, traces: List[Trace]
+    ) -> int:
+        """Stamp and stage one accepted frame; returns dispatched count."""
+        stamped = self.registry.stamp(session, traces)
+        dispatched = self.online.feed_batch(client_id, stamped)
+        count = len(stamped)
+        if count > self.frame_traces_max:
+            self.frame_traces_max = count
+        session.traces += count
+        self.traces_total += count
+        self._m_traces.inc(count)
+        if count:
+            newest = stamped[-1].ts_bef
+            if self.max_ts_seen is None or newest > self.max_ts_seen:
+                self.max_ts_seen = newest
+        return dispatched
+
+    def inflight_capacity(self) -> int:
+        """Worst-case traces the fleet's outstanding credit can still
+        land: every active session holds ~``session_credit`` tokens (one
+        returns per drained frame), each worth up to the largest frame
+        observed.  The budget gate trips this far *below* the budget --
+        credit already granted cannot be recalled, so a purely reactive
+        gate overshoots by exactly this amount."""
+        return (
+            self.registry.active
+            * self.config.session_credit
+            * self.frame_traces_max
+        )
+
+    def over_budget(self) -> bool:
+        return (
+            self.pending_events() + self.inflight_capacity()
+            > self.config.pending_budget
+        )
+
+    async def _budget_gate(self, session: Session, client_id: int, writer) -> None:
+        """Hold this session's credit while the service is over budget --
+        unless the session is a laggard (at the watermark), whose next
+        frame is the only thing that can shrink the backlog."""
+        if not self.over_budget():
+            return
+        if self.online.client_mark(client_id) <= self.online.watermark:
+            return
+        self.stalls_total += 1
+        self._m_stalls.inc()
+        writer.write(protocol.pause_frame())
+        await writer.drain()
+        while not self._draining:
+            if not self.over_budget():
+                break
+            if self.online.client_mark(client_id) <= self.online.watermark:
+                break
+            async with self._dispatch_cond:
+                try:
+                    await asyncio.wait_for(self._dispatch_cond.wait(), timeout=0.25)
+                except asyncio.TimeoutError:
+                    pass
+        writer.write(protocol.resume_frame())
+        await writer.drain()
+
+    async def _poison(self, session: Session, writer, exc: Exception) -> None:
+        """One bad frame kills one session: evict its client from
+        watermark accounting (nobody else stalls on its floor), refuse the
+        stream forever, and report session id + byte offset back."""
+        if isinstance(exc, ServiceProtocolError) and exc.session_id is not None:
+            err = exc
+        else:
+            reason = exc.reason if isinstance(exc, ServiceProtocolError) else str(exc)
+            err = ServiceProtocolError(
+                reason,
+                session_id=session.session_id,
+                byte_offset=session.frame_offset,
+            )
+        session.error = str(err)
+        self.errors_total += 1
+        self._m_errors.inc()
+        self.errors.append(
+            {
+                "session": err.session_id,
+                "client": session.client_id,
+                "byte_offset": err.byte_offset,
+                "error": err.reason,
+            }
+        )
+        del self.errors[:-100]
+        client_id = session.client_id
+        if client_id is not None:
+            self.registry.evict(client_id)
+            self.online.evict_client(client_id)
+            self.evictions_total += 1
+            self._m_evictions.inc()
+            # The eviction may have advanced the watermark for everyone
+            # else -- wake any budget-gated session.
+            await self._notify_dispatch()
+            self._note_pending()
+        try:
+            writer.write(
+                protocol.error_frame(
+                    err.session_id or 0, err.byte_offset or 0, err.reason
+                )
+            )
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
+    # -- status connections ------------------------------------------------
+
+    async def _handle_status(self, reader, writer) -> None:
+        """Line-JSON query loop: one request line in, one response line
+        out (schema in ``docs/service.md``)."""
+        task = asyncio.current_task()
+        self._status_tasks.add(task)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                if not line.strip():
+                    continue
+                response = await status.handle_query(self, line)
+                writer.write(
+                    json.dumps(response, sort_keys=True).encode("utf-8") + b"\n"
+                )
+                await writer.drain()
+        except asyncio.CancelledError:
+            pass
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            self._status_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass

@@ -27,6 +27,7 @@ def test_documented_operator_pages_exist():
         "paper_mapping.md",
         "observability.md",
         "plugins.md",
+        "service.md",
     ):
         assert (docs / page).exists(), page
 
@@ -41,3 +42,38 @@ def test_observability_doc_matches_the_schema():
         assert phase in text
     for surface in ("--stats-json", "snapshot()", "REPRO_BENCH_STATS_DIR"):
         assert surface in text
+
+
+def test_service_doc_matches_the_wire_protocol():
+    """docs/service.md must document every control frame, every status
+    query, and the service metric surface -- the page is the normative
+    spec, so it tracks the code symbol-for-symbol."""
+    from repro.service import protocol, status
+
+    text = (REPO_ROOT / "docs" / "service.md").read_text()
+    assert protocol.SERVICE_MAGIC.decode().strip() in text
+    for name in protocol.TAG_NAMES.values():
+        assert name in text, f"frame {name} undocumented"
+    for query in status.KNOWN_QUERIES:
+        assert f"`{query}`" in text, f"status query {query} undocumented"
+    for metric in (
+        "service.sessions.active",
+        "service.sessions.opened",
+        "service.sessions.closed",
+        "service.frames",
+        "service.traces",
+        "service.bytes",
+        "service.heartbeats",
+        "service.errors",
+        "service.evictions",
+        "service.credit.granted",
+        "service.budget.stalls",
+        "service.pending",
+        "service.pending.peak",
+        "service.watermark.lag",
+    ):
+        assert f"`{metric}`" in text, f"metric {metric} undocumented"
+    # The backpressure contract and the drain guarantee are the two
+    # load-bearing operational promises -- keep them on the page.
+    for promise in ("Laggards", "byte-identical"):
+        assert promise in text

@@ -1,0 +1,96 @@
+"""Hash-seed determinism of the simulated DBMS.
+
+A seeded ``run_workload`` must emit the identical trace stream on every
+interpreter hash seed -- set/dict iteration anywhere in the simulator's
+hot path would leak ``PYTHONHASHSEED`` into lock grant order and from
+there into the whole history.  PR 5 pinned exactly that leak (the lock
+manager's per-transaction held-key *sets*); these tests run real
+subprocesses under different hash seeds and compare history digests, so
+a regression cannot hide behind this process's own fixed seed.
+"""
+
+import hashlib
+import os
+import subprocess
+import sys
+
+import pytest
+
+_DIGEST_SCRIPT = r"""
+import hashlib
+from repro.workloads import BlindW, run_workload
+from repro import PG_SERIALIZABLE
+from repro.dbsim.faults import FaultPlan
+
+plan = FaultPlan(stale_read_prob=0.05, seed=7)
+run = run_workload(
+    BlindW.rw(keys=16),
+    PG_SERIALIZABLE,
+    clients=4,
+    txns=60,
+    seed=1234,
+    faults=plan,
+)
+h = hashlib.sha256()
+for client_id in sorted(run.client_streams):
+    for t in run.client_streams[client_id]:
+        h.update(
+            repr(
+                (
+                    client_id,
+                    t.kind.name,
+                    round(t.ts_bef, 9),
+                    round(t.ts_aft, 9),
+                    t.txn_id,
+                    sorted(map(repr, t.reads.items())),
+                    sorted(map(repr, t.writes.items())),
+                )
+            ).encode()
+        )
+print(h.hexdigest())
+"""
+
+
+def _digest_under_hash_seed(hash_seed: int) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = str(hash_seed)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    proc = subprocess.run(
+        [sys.executable, "-c", _DIGEST_SCRIPT],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout.strip()
+
+
+class TestHashSeedStability:
+    def test_seeded_workload_identical_across_hash_seeds(self):
+        digests = {seed: _digest_under_hash_seed(seed) for seed in (0, 1, 3)}
+        assert len(set(digests.values())) == 1, (
+            f"trace stream depends on PYTHONHASHSEED: {digests}"
+        )
+
+    def test_lock_release_order_is_insertion_order(self):
+        # The in-process guarantee behind the subprocess test: the lock
+        # manager reports held keys in acquisition order, not set order.
+        from repro.dbsim.locks import EngineLockManager, EngineLockMode
+
+        manager = EngineLockManager()
+        keys = [f"k{i}" for i in (9, 2, 7, 1, 8)]
+        for key in keys:
+            granted = manager.acquire(
+                "t1", key, EngineLockMode.EXCLUSIVE, on_grant=lambda: None
+            )
+            assert granted
+        assert manager.held_keys_ordered("t1") == keys
+
+    def test_digest_helper_is_deterministic_in_process(self):
+        # Sanity-check the digest itself: same args, same process, same
+        # value (guards against accidental nondeterminism in the script).
+        a = _digest_under_hash_seed(5)
+        b = _digest_under_hash_seed(5)
+        assert a == b

@@ -432,6 +432,11 @@ class TestOperatorSurfaces:
         snapshot = online.snapshot()
         assert snapshot["dispatched"] == 0
         assert snapshot["watermark"] is None
+        # Clients must be known before dispatch passes their first
+        # timestamp (late joiners are refused), so register the whole
+        # fleet up front -- the pattern the service's start gate uses.
+        for client_id in workload_run.client_streams:
+            online.register_client(client_id)
         for client_id, stream in workload_run.client_streams.items():
             for trace in stream[:20]:
                 online.feed(trace)

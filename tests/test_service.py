@@ -1,0 +1,598 @@
+"""The online verification service: wire protocol, gateway end-to-end,
+poison isolation, and online/offline report identity."""
+
+import asyncio
+import os
+
+import pytest
+
+from repro.core.codec import encode_batch
+from repro.core.trace import Trace
+from repro.service import IngestGateway, ServiceConfig, ServiceProtocolError
+from repro.service import protocol
+from repro.service.load import (
+    LoadConfig,
+    drive_client,
+    initial_db,
+    iter_frames,
+    offline_fingerprint,
+    query_status,
+    synthetic_stream,
+)
+
+
+# -- protocol frames -----------------------------------------------------------
+
+
+class TestProtocolFrames:
+    def test_control_frames_round_trip(self):
+        cases = [
+            (protocol.hello_frame(42), protocol.F_HELLO, {"client_id": 42}),
+            (
+                protocol.heartbeat_frame(1.5),
+                protocol.F_HEARTBEAT,
+                {"now": 1.5},
+            ),
+            (protocol.bye_frame(), protocol.F_BYE, {}),
+            (
+                protocol.welcome_frame(7, 8),
+                protocol.S_WELCOME,
+                {"session_id": 7, "credit": 8},
+            ),
+            (protocol.credit_frame(3), protocol.S_CREDIT, {"frames": 3}),
+            (protocol.pause_frame(), protocol.S_PAUSE, {}),
+            (protocol.resume_frame(), protocol.S_RESUME, {}),
+            (
+                protocol.error_frame(9, 1234, "bad frame"),
+                protocol.S_ERROR,
+                {"session_id": 9, "byte_offset": 1234, "message": "bad frame"},
+            ),
+            (
+                protocol.bye_ack_frame(100),
+                protocol.S_BYE,
+                {"traces_accepted": 100},
+            ),
+        ]
+        for frame, expect_tag, expect_fields in cases:
+            payload = frame[protocol.PREFIX_SIZE :]
+            tag, body = protocol.split_frame(payload)
+            assert tag == expect_tag
+            assert protocol.parse_control(tag, body) == expect_fields
+
+    def test_every_tag_has_a_name(self):
+        for tag in (
+            protocol.F_HELLO,
+            protocol.F_TRACES,
+            protocol.F_HEARTBEAT,
+            protocol.F_BYE,
+            protocol.S_WELCOME,
+            protocol.S_CREDIT,
+            protocol.S_PAUSE,
+            protocol.S_RESUME,
+            protocol.S_ERROR,
+            protocol.S_BYE,
+        ):
+            assert tag in protocol.TAG_NAMES
+
+    def test_large_varints_round_trip(self):
+        # Deterministic trace ids pack the client id above bit 40.
+        frame = protocol.hello_frame(2**53)
+        tag, body = protocol.split_frame(frame[protocol.PREFIX_SIZE :])
+        assert protocol.parse_control(tag, body)["client_id"] == 2**53
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(ServiceProtocolError, match="trailing"):
+            protocol.parse_control(protocol.F_BYE, b"\x00")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ServiceProtocolError, match="unknown frame tag"):
+            protocol.parse_control(0x7F, b"")
+
+    def test_error_formats_session_and_offset(self):
+        err = ServiceProtocolError("boom", session_id=3, byte_offset=99)
+        assert "session 3" in str(err)
+        assert "byte offset 99" in str(err)
+        assert err.reason == "boom"
+
+
+class TestFrameReader:
+    def _reader(self, data: bytes) -> asyncio.StreamReader:
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return reader
+
+    def test_clean_eof_returns_none(self):
+        async def scenario():
+            return await protocol.read_frame(self._reader(b""))
+
+        assert asyncio.run(scenario()) is None
+
+    def test_truncated_prefix_raises(self):
+        async def scenario():
+            await protocol.read_frame(self._reader(b"\x01\x02"))
+
+        with pytest.raises(ServiceProtocolError, match="length prefix"):
+            asyncio.run(scenario())
+
+    def test_truncated_payload_raises(self):
+        async def scenario():
+            await protocol.read_frame(self._reader(b"\x08\x00\x00\x00\x01"))
+
+        with pytest.raises(ServiceProtocolError, match="payload"):
+            asyncio.run(scenario())
+
+    def test_oversize_frame_refused_before_allocation(self):
+        huge = (protocol.MAX_FRAME_BYTES + 1).to_bytes(4, "little")
+
+        async def scenario():
+            await protocol.read_frame(self._reader(huge))
+
+        with pytest.raises(ServiceProtocolError, match="cap"):
+            asyncio.run(scenario())
+
+    def test_bad_magic_raises(self):
+        async def scenario():
+            await protocol.read_magic(self._reader(b"not the service magic!!"))
+
+        with pytest.raises(ServiceProtocolError, match="stream"):
+            asyncio.run(scenario())
+
+
+# -- gateway end-to-end --------------------------------------------------------
+
+
+def _quick_cfg(tmp_path, **overrides) -> LoadConfig:
+    defaults = dict(
+        traces=640,
+        sessions=4,
+        shards=2,
+        backend="inline",
+        frame_traces=16,
+        session_credit=4,
+        pending_budget=5_000,
+        gc_every=64,
+        socket_dir=str(tmp_path),
+    )
+    defaults.update(overrides)
+    return LoadConfig(**defaults)
+
+
+def _gateway(cfg: LoadConfig, tmp_path) -> IngestGateway:
+    return IngestGateway(
+        ServiceConfig(
+            spec=cfg.spec,
+            initial_db=initial_db(cfg),
+            ingest_unix=os.path.join(str(tmp_path), "ingest.sock"),
+            status_unix=os.path.join(str(tmp_path), "status.sock"),
+            shards=cfg.shards,
+            backend=cfg.backend,
+            gc_every=cfg.gc_every,
+            session_credit=cfg.session_credit,
+            pending_budget=cfg.pending_budget,
+        )
+    )
+
+
+class TestGatewayEndToEnd:
+    def test_concurrent_clients_match_offline_fingerprint(self, tmp_path):
+        cfg = _quick_cfg(tmp_path)
+
+        async def scenario():
+            gateway = _gateway(cfg, tmp_path)
+            await gateway.start()
+            ingest = gateway.ingest_endpoint
+            status = gateway.status_endpoint
+            try:
+                gate = asyncio.Barrier(cfg.sessions)
+                stats = await asyncio.gather(
+                    *(
+                        drive_client(
+                            ingest, c, iter_frames(cfg, c), start_gate=gate
+                        )
+                        for c in range(cfg.sessions)
+                    )
+                )
+                mid = await query_status(status, "status")
+                drained = await query_status(status, "drain")
+                final = await query_status(status, "report")
+            finally:
+                await gateway.aclose()
+            return gateway, stats, mid, drained, final
+
+        gateway, stats, mid, drained, final = asyncio.run(scenario())
+
+        # Every client's whole stream was accepted and acked.
+        per_client = cfg.actual_traces // cfg.sessions
+        assert [s["acked"] for s in stats] == [per_client] * cfg.sessions
+        assert not any(s["errors"] for s in stats)
+        assert gateway.traces_total == cfg.actual_traces
+
+        # Status counters agree with the online verifier's own snapshot.
+        snapshot = gateway.online.snapshot()
+        assert mid["verifier"]["dispatched"] == snapshot["dispatched"]
+        assert mid["service"]["traces"] == gateway.traces_total
+        assert mid["service"]["sessions_total"] == cfg.sessions
+        assert mid["budget"]["pending_peak"] == gateway.pending_peak
+
+        # The drained report is byte-identical to the offline batch run.
+        assert drained["ok"] and drained["report_ok"]
+        assert final["fingerprint"] == drained["fingerprint"]
+        assert drained["fingerprint"] == offline_fingerprint(cfg)
+        assert gateway.pending_peak <= cfg.pending_budget
+
+    def test_budget_is_a_hard_ceiling_under_pressure(self, tmp_path):
+        """A budget far below the workload forces the gate to trip, and
+        the predictive margin (budget - in-flight credit capacity) keeps
+        the pending peak under the configured ceiling anyway -- while
+        the drained report stays byte-identical to the offline run."""
+        cfg = _quick_cfg(
+            tmp_path,
+            traces=1280,
+            session_credit=2,
+            pending_budget=160,
+        )
+        # in-flight capacity: 4 sessions x 2 credits x 16-trace frames =
+        # 128, so the gate trips as soon as 32 events sit pending.
+        assert cfg.sessions * cfg.session_credit * cfg.frame_traces < 160
+
+        async def scenario():
+            gateway = _gateway(cfg, tmp_path)
+            await gateway.start()
+            try:
+                gate = asyncio.Barrier(cfg.sessions)
+                stats = await asyncio.gather(
+                    *(
+                        drive_client(
+                            gateway.ingest_endpoint,
+                            c,
+                            iter_frames(cfg, c),
+                            start_gate=gate,
+                        )
+                        for c in range(cfg.sessions)
+                    )
+                )
+                drained = await query_status(gateway.status_endpoint, "drain")
+            finally:
+                await gateway.aclose()
+            return gateway, stats, drained
+
+        gateway, stats, drained = asyncio.run(scenario())
+        assert not any(s["errors"] for s in stats)
+        assert gateway.traces_total == cfg.actual_traces
+        assert gateway.stalls_total > 0
+        assert gateway.pending_peak <= cfg.pending_budget
+        assert drained["ok"] and drained["report_ok"]
+        assert drained["fingerprint"] == offline_fingerprint(cfg)
+
+    def test_disconnect_and_reconnect_resumes_cursor(self, tmp_path):
+        cfg = _quick_cfg(tmp_path, sessions=2)
+
+        async def partial_session(path, client_id, frames, gate):
+            """Send ``frames`` without BYE, then drop the connection."""
+            reader, writer = await asyncio.open_unix_connection(path)
+            writer.write(protocol.SERVICE_MAGIC + protocol.hello_frame(client_id))
+            await writer.drain()
+            payload = await protocol.read_frame(reader)
+            tag, _ = protocol.split_frame(payload)
+            assert tag == protocol.S_WELCOME
+            await gate.wait()
+            for frame in frames:
+                writer.write(frame)
+                await writer.drain()
+                # One credit comes back per drained frame.
+                payload = await protocol.read_frame(reader)
+                tag, _ = protocol.split_frame(payload)
+                assert tag == protocol.S_CREDIT
+            writer.close()
+            await writer.wait_closed()
+
+        async def scenario():
+            gateway = _gateway(cfg, tmp_path)
+            await gateway.start()
+            ingest = gateway.ingest_endpoint
+            try:
+                frames = list(iter_frames(cfg, 0))
+                half = len(frames) // 2
+                gate = asyncio.Barrier(2)
+                # Client 1 streams its whole history; client 0's first
+                # session drops mid-stream without BYE, then a fresh
+                # session resumes the same client id from its cursor.
+                other = asyncio.ensure_future(
+                    drive_client(
+                        ingest, 1, iter_frames(cfg, 1), start_gate=gate
+                    )
+                )
+                await partial_session(ingest, 0, frames[:half], gate)
+                resumed = await drive_client(ingest, 0, iter(frames[half:]))
+                stats = [resumed, await other]
+                report = await gateway.drain()
+            finally:
+                await gateway.aclose()
+            return gateway, stats, report
+
+        gateway, stats, report = asyncio.run(scenario())
+        per_client = cfg.actual_traces // cfg.sessions
+        # The reconnected session acks only its own frames; the totals
+        # still cover both full streams.
+        assert stats[1]["acked"] == per_client
+        assert gateway.traces_total == cfg.actual_traces
+        assert report.ok
+        from repro.core.report import report_fingerprint
+
+        assert report_fingerprint(report) == offline_fingerprint(cfg)
+
+    def test_heartbeat_advances_idle_client(self, tmp_path):
+        cfg = _quick_cfg(tmp_path, sessions=2)
+
+        async def scenario():
+            gateway = _gateway(cfg, tmp_path)
+            await gateway.start()
+            ingest = gateway.ingest_endpoint
+            try:
+                # Client 1 connects but only heartbeats: without the
+                # heartbeat, client 0's traces would stay staged forever.
+                reader, writer = await asyncio.open_unix_connection(ingest)
+                writer.write(
+                    protocol.SERVICE_MAGIC + protocol.hello_frame(1)
+                )
+                await writer.drain()
+                await protocol.read_frame(reader)  # WELCOME
+                writer.write(protocol.heartbeat_frame(10.0**6))
+                await writer.drain()
+
+                await drive_client(ingest, 0, iter_frames(cfg, 0))
+                dispatched = gateway.online.snapshot()["dispatched"]
+                writer.write(protocol.bye_frame())
+                await writer.drain()
+                await protocol.read_frame(reader)  # BYE_ACK
+                writer.close()
+                await writer.wait_closed()
+                await gateway.drain()
+            finally:
+                await gateway.aclose()
+            return dispatched
+
+        dispatched = asyncio.run(scenario())
+        assert dispatched == cfg.actual_traces // cfg.sessions
+
+
+# -- poison isolation ----------------------------------------------------------
+
+
+class TestPoisonFrames:
+    def _bad_client(self, path, client_id, bad_payload):
+        """Connect, handshake, send one poison frame, return the ERROR."""
+
+        async def run():
+            reader, writer = await asyncio.open_unix_connection(path)
+            try:
+                writer.write(
+                    protocol.SERVICE_MAGIC + protocol.hello_frame(client_id)
+                )
+                await writer.drain()
+                payload = await protocol.read_frame(reader)
+                tag, body = protocol.split_frame(payload)
+                expected_offset = len(protocol.SERVICE_MAGIC) + len(
+                    protocol.hello_frame(client_id)
+                )
+                if tag == protocol.S_ERROR:
+                    # Refused at HELLO (e.g. an evicted client rejoining).
+                    return protocol.parse_control(tag, body), expected_offset
+                assert tag == protocol.S_WELCOME
+                writer.write(bad_payload)
+                await writer.drain()
+                while True:
+                    payload = await protocol.read_frame(reader)
+                    if payload is None:
+                        return None, expected_offset
+                    tag, body = protocol.split_frame(payload)
+                    if tag == protocol.S_ERROR:
+                        return (
+                            protocol.parse_control(tag, body),
+                            expected_offset,
+                        )
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+        return run()
+
+    def test_error_carries_session_and_byte_offset(self, tmp_path):
+        cfg = _quick_cfg(tmp_path, sessions=1)
+
+        async def scenario():
+            gateway = _gateway(cfg, tmp_path)
+            await gateway.start()
+            try:
+                error, offset = await self._bad_client(
+                    gateway.ingest_endpoint,
+                    0,
+                    protocol.traces_frame(b"\xff garbage bytes \xff"),
+                )
+            finally:
+                await gateway.aclose()
+            return gateway, error, offset
+
+        gateway, error, offset = asyncio.run(scenario())
+        assert error is not None
+        assert error["session_id"] == 1
+        assert error["byte_offset"] == offset
+        assert gateway.errors_total == 1
+        assert gateway.evictions_total == 1
+        assert gateway.errors[-1]["byte_offset"] == offset
+
+    def test_unsorted_frame_is_poison(self, tmp_path):
+        cfg = _quick_cfg(tmp_path, sessions=1)
+        backwards = [
+            Trace.write(5.0, 5.1, "tz", {("acct", 0): {"v": 1}}, client_id=0),
+            Trace.write(1.0, 1.1, "ty", {("acct", 0): {"v": 2}}, client_id=0),
+        ]
+
+        async def scenario():
+            gateway = _gateway(cfg, tmp_path)
+            await gateway.start()
+            try:
+                error, _ = await self._bad_client(
+                    gateway.ingest_endpoint,
+                    0,
+                    protocol.traces_frame(encode_batch(backwards)),
+                )
+            finally:
+                await gateway.aclose()
+            return error
+
+        error = asyncio.run(scenario())
+        assert error is not None and "monotone" in error["message"]
+
+    def test_bad_client_does_not_stall_other_sessions(self, tmp_path):
+        cfg = _quick_cfg(tmp_path, sessions=3)
+
+        async def scenario():
+            gateway = _gateway(cfg, tmp_path)
+            await gateway.start()
+            ingest = gateway.ingest_endpoint
+            try:
+                # The poison client registers in watermark accounting and
+                # then sends garbage: without eviction, its -inf floor
+                # would hold the watermark (and every session) forever.
+                bad = self._bad_client(
+                    ingest,
+                    99,
+                    protocol.traces_frame(b"\x00 not a batch"),
+                )
+                gate = asyncio.Barrier(cfg.sessions)
+                good = asyncio.gather(
+                    *(
+                        drive_client(
+                            ingest, c, iter_frames(cfg, c), start_gate=gate
+                        )
+                        for c in range(cfg.sessions)
+                    )
+                )
+                (error, _), stats = await asyncio.wait_for(
+                    asyncio.gather(bad, good), timeout=30
+                )
+                report = await gateway.drain()
+            finally:
+                await gateway.aclose()
+            return gateway, error, stats, report
+
+        gateway, error, stats, report = asyncio.run(scenario())
+        assert error is not None
+        per_client = cfg.actual_traces // cfg.sessions
+        assert [s["acked"] for s in stats] == [per_client] * cfg.sessions
+        assert report.ok
+        # The poisoned stream contributed nothing; the good streams'
+        # report is still byte-identical to the offline run.
+        from repro.core.report import report_fingerprint
+
+        assert report_fingerprint(report) == offline_fingerprint(cfg)
+
+    def test_evicted_client_cannot_rejoin(self, tmp_path):
+        cfg = _quick_cfg(tmp_path, sessions=1)
+
+        async def scenario():
+            gateway = _gateway(cfg, tmp_path)
+            await gateway.start()
+            ingest = gateway.ingest_endpoint
+            try:
+                await self._bad_client(
+                    ingest, 0, protocol.traces_frame(b"junk")
+                )
+                # The same client id comes back: refused at HELLO.
+                error, _ = await self._bad_client(
+                    ingest, 0, protocol.bye_frame()
+                )
+            finally:
+                await gateway.aclose()
+            return error
+
+        error = asyncio.run(scenario())
+        assert error is not None and "evicted" in error["message"]
+
+
+# -- status endpoint -----------------------------------------------------------
+
+
+class TestStatusQueries:
+    def _boot(self, tmp_path, cfg):
+        gateway = _gateway(cfg, tmp_path)
+
+        async def ask(*requests):
+            await gateway.start()
+            try:
+                return [
+                    await query_status(gateway.status_endpoint, r)
+                    for r in requests
+                ]
+            finally:
+                await gateway.aclose()
+
+        return gateway, ask
+
+    def test_ping_and_unknown(self, tmp_path):
+        _, ask = self._boot(tmp_path, _quick_cfg(tmp_path))
+        pong, unknown = asyncio.run(ask("ping", "definitely-not-a-query"))
+        assert pong == {"ok": True, "q": "ping", "pong": True}
+        assert not unknown["ok"]
+        assert unknown["known"] == [
+            "ping",
+            "status",
+            "violations",
+            "metrics",
+            "drain",
+            "report",
+        ]
+
+    def test_report_before_drain_is_an_error(self, tmp_path):
+        _, ask = self._boot(tmp_path, _quick_cfg(tmp_path))
+        (resp,) = asyncio.run(ask("report"))
+        assert not resp["ok"] and "drain" in resp["error"]
+
+    def test_violations_empty_and_windowed(self, tmp_path):
+        _, ask = self._boot(tmp_path, _quick_cfg(tmp_path))
+        (resp,) = asyncio.run(
+            ask('{"q": "violations", "offset": 0, "limit": 10}')
+        )
+        assert resp["ok"] and resp["total"] == 0 and resp["violations"] == []
+
+    def test_refuses_connections_while_draining(self, tmp_path):
+        cfg = _quick_cfg(tmp_path, sessions=1)
+
+        async def scenario():
+            gateway = _gateway(cfg, tmp_path)
+            await gateway.start()
+            try:
+                await drive_client(
+                    gateway.ingest_endpoint, 0, iter_frames(cfg, 0)
+                )
+                drained = await query_status(gateway.status_endpoint, "drain")
+                again = await query_status(gateway.status_endpoint, "drain")
+            finally:
+                await gateway.aclose()
+            return drained, again
+
+        drained, again = asyncio.run(scenario())
+        assert drained["ok"] and again["ok"]
+        # Idempotent: the second drain returns the same fingerprint.
+        assert drained["fingerprint"] == again["fingerprint"]
+
+
+# -- deterministic stamping ----------------------------------------------------
+
+
+class TestSyntheticWorkload:
+    def test_stream_is_monotone_and_unique(self):
+        cfg = LoadConfig(traces=400, sessions=4)
+        seen = set()
+        for client in range(cfg.sessions):
+            last = float("-inf")
+            for trace in synthetic_stream(cfg, client):
+                assert trace.ts_bef > last
+                last = trace.ts_bef
+                assert trace.ts_bef not in seen
+                seen.add(trace.ts_bef)

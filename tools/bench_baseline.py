@@ -776,6 +776,17 @@ def main(argv=None) -> int:
             "(default: --parallel if set, else 4 -- the ISSUE 5 target point)"
         ),
     )
+    parser.add_argument(
+        "--service",
+        action="store_true",
+        help=(
+            "also measure the online service's ingest ceiling: boot the "
+            "asyncio gateway on Unix sockets, drive concurrent protocol "
+            "sessions (tools/service_load.py harness, scaled by --scale), "
+            "and record traces/sec, pending peak and the drain-vs-offline "
+            "fingerprint identity in a 'service' block"
+        ),
+    )
     args = parser.parse_args(argv)
 
     scale = args.scale if args.scale is not None else (0.2 if args.quick else 1.0)
@@ -876,6 +887,34 @@ def main(argv=None) -> int:
             flush=True,
         )
 
+    service = None
+    if args.service:
+        import tempfile
+
+        from repro.service.load import LoadConfig, run_load_sync
+
+        service_cfg = LoadConfig(
+            traces=max(2_000, int(40_000 * scale)),
+            sessions=max(4, int(16 * scale)),
+            shards=args.parallel if args.parallel > 0 else 2,
+            backend="inline",
+            frame_traces=64,
+            pending_budget=max(5_000, int(100_000 * scale)),
+            socket_dir=tempfile.mkdtemp(prefix="repro-bench-svc-"),
+        )
+        print(
+            f"[bench] service ingest ceiling (traces={service_cfg.actual_traces}, "
+            f"sessions={service_cfg.sessions}, shards={service_cfg.shards}) ...",
+            flush=True,
+        )
+        service = run_load_sync(service_cfg)
+        print(
+            f"[bench] service: {service['traces_per_sec']:.1f} traces/sec, "
+            f"pending peak {service['pending_peak']}/{service['pending_budget']}, "
+            f"fingerprints_match={service['fingerprints_match']}",
+            flush=True,
+        )
+
     primary = workloads[PRIMARY_WORKLOAD]
     document = {
         "schema": SCHEMA,
@@ -893,6 +932,8 @@ def main(argv=None) -> int:
     }
     if streaming is not None:
         document["streaming"] = streaming
+    if service is not None:
+        document["service"] = service
     if args.baseline_root is not None:
         txns = max(50, int(1000 * scale))
         print(
@@ -1082,6 +1123,34 @@ def main(argv=None) -> int:
         if failures:
             print(
                 f"[bench] FAIL: streaming merge: {'; '.join(failures)}",
+                file=sys.stderr,
+            )
+            return 1
+    if service is not None:
+        failures = []
+        # The service block is a correctness gate like the streaming one:
+        # traces/sec is recorded for the trajectory, but a drain that is
+        # not byte-identical to the offline run, a budget breach, or any
+        # client-visible protocol error fails the bench outright.
+        if not service["fingerprints_match"]:
+            failures.append("service drain report != offline report")
+        if not service["within_budget"]:
+            failures.append(
+                f"service pending peak {service['pending_peak']} exceeds "
+                f"budget {service['pending_budget']}"
+            )
+        if service["client_errors"]:
+            failures.append(
+                f"{service['client_errors']} client protocol error(s)"
+            )
+        if service["traces_accepted"] != service["traces"]:
+            failures.append(
+                f"accepted {service['traces_accepted']} of "
+                f"{service['traces']} traces"
+            )
+        if failures:
+            print(
+                f"[bench] FAIL: service: {'; '.join(failures)}",
                 file=sys.stderr,
             )
             return 1
