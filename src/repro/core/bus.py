@@ -87,14 +87,17 @@ class DependencyBus:
         else:
             self.metrics = MetricsRegistry()
         #: per-(metric, mechanism, type) counter handles for the cold
-        #: metrics (dropped, deferred), resolved once per triple.
-        self._handles: Dict[Tuple[str, object, object], object] = {}
-        #: per-(mechanism, type) ``(accepted, delivered)`` handle pairs:
-        #: every surviving publication bumps both, so the hot path fetches
-        #: them with a single dict lookup per event instead of two
-        #: :meth:`_count` calls (two key tuples + two lookups).
+        #: metrics (dropped, deferred), resolved once per triple.  Keyed by
+        #: ``(metric, id(mechanism), id(type))``: enum members are process
+        #: singletons, and identity keys hash at C level where enum
+        #: ``__hash__`` is a Python call on every event.
+        self._handles: Dict[Tuple[str, int, int], object] = {}
+        #: per-(mechanism, type) ``(accepted, delivered)`` handle pairs
+        #: (same identity keying): every surviving publication bumps both,
+        #: so the hot path fetches them with a single dict lookup per event
+        #: instead of two :meth:`_count` calls.
         self._pair_handles: Dict[
-            Tuple[object, object], Tuple[object, object]
+            Tuple[int, int], Tuple[object, object]
         ] = {}
         self._pending: List[Dependency] = []
 
@@ -143,7 +146,7 @@ class DependencyBus:
     def _count(self, metric: str, dep: Dependency) -> None:
         """Bump ``bus.deps.<metric>{mechanism=...,type=...}``, caching the
         counter handle per (metric, mechanism, type)."""
-        key = (metric, dep.source, dep.dep_type)
+        key = (metric, id(dep.source), id(dep.dep_type))
         handle = self._handles.get(key)
         if handle is None:
             source = dep.source.value if dep.source is not None else "?"
@@ -155,7 +158,7 @@ class DependencyBus:
     def _pair(self, dep: Dependency) -> Tuple[object, object]:
         """``(accepted, delivered)`` counter handles for the dependency's
         (mechanism, type) pair, created together on first sight."""
-        key = (dep.source, dep.dep_type)
+        key = (id(dep.source), id(dep.dep_type))
         pair = self._pair_handles.get(key)
         if pair is None:
             source = dep.source.value if dep.source is not None else "?"
@@ -239,11 +242,39 @@ class DependencyBus:
         derivation reacting to a ww edge) are fully processed before the
         outer publication returns -- the exchange semantics of Section V-A.
         Returns whether the dependency survived the garbage guard.
+
+        The body is :meth:`_accept` inlined (and counters bumped through
+        the handle's ``value`` slot directly): one publication per deduced
+        dependency makes this the bus's hottest entry point.
         """
-        pair = self._accept(dep)
-        if pair is None:
+        nodes = self._graph_nodes
+        txns = self._txns
+        src = dep.src
+        dst = dep.dst
+        if (src not in nodes and src not in txns) or (
+            dst not in nodes and dst not in txns
+        ):
+            self._count("bus.deps.dropped", dep)
             return False
-        pair[1].inc()
+        dep_type = dep.dep_type
+        if self._count_stats:
+            stats = self._state.stats
+            if dep_type is DepType.WR:
+                stats.deps_wr += 1
+            elif dep_type is DepType.WW:
+                stats.deps_ww += 1
+            elif dep_type is DepType.SO:
+                stats.deps_so += 1
+            else:
+                stats.deps_rw += 1
+        pair = self._pair_handles.get((id(dep.source), id(dep_type)))
+        if pair is None:
+            pair = self._pair(dep)
+        pair[0].value += 1
+        pair[1].value += 1
+        if self._taps:
+            for fn in self._taps:
+                fn(dep)
         for fn in self._dispatch:
             fn(dep)
         return True
@@ -253,17 +284,45 @@ class DependencyBus:
         many survived the garbage guard.  Equivalent to calling
         :meth:`publish` per dependency, but the batch shape lets callers
         (the mechanism terminal loop, the parallel merge replay) hand over
-        whole deduction groups without per-event call overhead."""
-        accept = self._accept
+        whole deduction groups without per-event call overhead; the guard
+        and counter state are bound once per batch instead of per event."""
+        nodes = self._graph_nodes
+        txns = self._txns
+        count_stats = self._count_stats
+        stats = self._state.stats
+        pair_handles = self._pair_handles
+        taps = self._taps
         dispatch = self._dispatch
         accepted = 0
         for dep in deps:
-            pair = accept(dep)
-            if pair is not None:
-                pair[1].inc()
-                for fn in dispatch:
+            src = dep.src
+            dst = dep.dst
+            if (src not in nodes and src not in txns) or (
+                dst not in nodes and dst not in txns
+            ):
+                self._count("bus.deps.dropped", dep)
+                continue
+            dep_type = dep.dep_type
+            if count_stats:
+                if dep_type is DepType.WR:
+                    stats.deps_wr += 1
+                elif dep_type is DepType.WW:
+                    stats.deps_ww += 1
+                elif dep_type is DepType.SO:
+                    stats.deps_so += 1
+                else:
+                    stats.deps_rw += 1
+            pair = pair_handles.get((id(dep.source), id(dep_type)))
+            if pair is None:
+                pair = self._pair(dep)
+            pair[0].value += 1
+            pair[1].value += 1
+            if taps:
+                for fn in taps:
                     fn(dep)
-                accepted += 1
+            for fn in dispatch:
+                fn(dep)
+            accepted += 1
         return accepted
 
     def publish_deferred(self, dep: Dependency) -> bool:
@@ -318,6 +377,17 @@ class VersionOrderDeriver(MechanismVerifier):
     def __init__(self, state: "VerifierState", bus: DependencyBus):
         self._state = state
         self._bus = bus
+        #: the bus guard's endpoint tables: reader sets accumulate
+        #: transaction ids that GC has long pruned, and a derived edge with
+        #: a pruned endpoint is dropped by the guard anyway (Theorem 5), so
+        #: the derivation loops test liveness *before* constructing the
+        #: dependency -- same outcome, no allocation or publication for
+        #: edges that cannot survive.
+        self._graph_nodes = bus._graph_nodes
+        self._txns = bus._txns
+
+    def _live(self, txn_id: str) -> bool:
+        return txn_id in self._graph_nodes or txn_id in self._txns
 
     @classmethod
     def build(cls, ctx: MechanismContext) -> "VersionOrderDeriver":
@@ -344,7 +414,7 @@ class VersionOrderDeriver(MechanismVerifier):
         which produce no wr edge but still anti-depend on the first
         overwriter."""
         version.readers.add(reader)
-        if version.txn_id != INIT_TXN:
+        if version.txn_id != INIT_TXN and self._live(version.txn_id):
             self._bus.publish(
                 Dependency(
                     src=version.txn_id,
@@ -361,6 +431,7 @@ class VersionOrderDeriver(MechanismVerifier):
         if (
             successor is not None
             and successor.txn_id != reader
+            and self._live(successor.txn_id)
             and self._order_confirmed(version, successor)
         ):
             self._bus.publish(
@@ -392,6 +463,8 @@ class VersionOrderDeriver(MechanismVerifier):
             for reader in version.readers:
                 if reader == dep.dst or reader == version.txn_id:
                     continue
+                if not self._live(reader):
+                    continue
                 self._bus.publish(
                     Dependency(
                         src=reader,
@@ -420,6 +493,8 @@ class VersionOrderDeriver(MechanismVerifier):
                 continue
             for reader in predecessor.readers:
                 if reader == version.txn_id:
+                    continue
+                if not self._live(reader):
                     continue
                 self._bus.publish(
                     Dependency(

@@ -27,7 +27,13 @@ from .mechanism import MechanismContext, MechanismVerifier, register_mechanism
 from .report import Mechanism, Violation, ViolationKind
 from .spec import CRLevel, IsolationSpec
 from .state import PendingRead, PendingScan, TxnState, VerifierState
-from .trace import Trace, apply_delta, is_tombstone, reads_match
+from .trace import (
+    TOMBSTONE_COLUMN as _TOMB,
+    Trace,
+    apply_delta,
+    is_tombstone,
+    reads_match,
+)
 from .versions import Version
 
 EmitFn = Callable[[Dependency], None]
@@ -54,6 +60,12 @@ class ConsistentReadVerifier(MechanismVerifier):
         self._state = state
         self._spec = spec
         self._emit = emit
+        #: stable per-state handles pre-bound for the per-read hot path
+        #: (the dict and stats objects live as long as the state; only
+        #: ``state.ww_order`` stays dynamically resolved -- the
+        #: exchange-dependencies ablation swaps it after assembly).
+        self._chains_get = state.chains.get
+        self._stats = state.stats
         registry = metrics if metrics is not None else NULL_REGISTRY
         #: size of the (minimal) candidate version set per checked read --
         #: the quantity the Fig. 6 optimisation shrinks.
@@ -79,6 +91,17 @@ class ConsistentReadVerifier(MechanismVerifier):
         #: must be by default: an engine may not serve inconsistent data
         #: even to a transaction that later rolls back).
         self._check_aborted = check_aborted_reads
+        #: uniquely-matched reads awaiting delivery to the deriver as
+        #: ``(version, reader_txn_id)`` pairs.  By default they are drained
+        #: at the end of :meth:`on_terminal`; the verifier flips
+        #: :meth:`enable_deferred_matches` so it can drain them *after*
+        #: CR's timed window closes -- the derivation (and the certifier
+        #: work it triggers) is then billed to the deriver instead of
+        #: inflating the CR bucket.  Delivery order and the position of the
+        #: drain relative to the certifier's terminal hook are unchanged,
+        #: so reports are byte-identical either way.
+        self._match_queue: list = []
+        self._defer_matches = False
 
     @classmethod
     def build(cls, ctx: MechanismContext) -> "ConsistentReadVerifier":
@@ -105,7 +128,7 @@ class ConsistentReadVerifier(MechanismVerifier):
         append = txn.pending_reads.append
         own_delta_for = txn.own_delta_for
         for key, observed in trace.reads.items():
-            append(PendingRead(trace, key, observed, own_delta_for(key)))
+            append((trace, key, observed, own_delta_for(key)))
         if trace.predicate is not None:
             txn.pending_scans.append(
                 PendingScan(
@@ -118,12 +141,40 @@ class ConsistentReadVerifier(MechanismVerifier):
             # Ablation: aborted transactions' reads go unchecked.
             txn.pending_reads.clear()
             return
-        for pending in txn.pending_reads:
-            self._check_read(txn, pending)
-        txn.pending_reads.clear()
-        for scan in txn.pending_scans:
-            self._check_scan(txn, scan)
-        txn.pending_scans.clear()
+        pending_reads = txn.pending_reads
+        if pending_reads:
+            # Per-read counters batched here so the check itself stays
+            # free of bookkeeping (every pending read is checked exactly
+            # once, early returns included).
+            self._stats.reads_checked += len(pending_reads)
+            self._m_reads.inc(len(pending_reads))
+            check = self._check_read
+            for pending in pending_reads:
+                check(txn, pending)
+            pending_reads.clear()
+        if txn.pending_scans:
+            for scan in txn.pending_scans:
+                self._check_scan(txn, scan)
+            txn.pending_scans.clear()
+        if self._match_queue and not self._defer_matches:
+            self.drain_matches()
+
+    def enable_deferred_matches(self):
+        """Switch unique-match delivery from inline (end of
+        :meth:`on_terminal`) to caller-drained, and hand back the drain
+        hook.  Used by the verifier's terminal dispatch to attribute
+        derivation time to the deriver rather than to CR."""
+        self._defer_matches = True
+        return self.drain_matches
+
+    def drain_matches(self) -> None:
+        """Deliver queued unique matches to the deriver, in check order."""
+        queue = self._match_queue
+        if queue:
+            deliver = self._on_read_match
+            for version, reader in queue:
+                deliver(version, reader)
+            queue.clear()
 
     # -- the CR check -------------------------------------------------------------
 
@@ -132,18 +183,16 @@ class ConsistentReadVerifier(MechanismVerifier):
             return txn.first_interval
         # Statement-level CR, and the fallback when no CR is claimed: the
         # snapshot is generated during the read operation itself.
-        return pending.trace.interval
+        return pending[0].interval
 
     def _check_read(self, txn: TxnState, pending: PendingRead) -> None:
-        self._state.stats.reads_checked += 1
-        self._m_reads.inc()
+        # Counters are batch-incremented by :meth:`on_terminal`.
+        trace, key, observed, own_delta = pending
         # Inline _snapshot_interval for the per-read hot path.
         if self._txn_snapshot and txn.first_interval is not None:
             snapshot = txn.first_interval
         else:
-            snapshot = pending.trace.interval
-        observed = pending.observed
-        own_delta = pending.own_delta
+            snapshot = trace.interval
 
         # First CR case: columns covered by the transaction's own earlier
         # writes must reflect them exactly.
@@ -161,11 +210,13 @@ class ConsistentReadVerifier(MechanismVerifier):
             return
 
         state = self._state
-        chain = state.chains.get(pending.key)
+        chain = self._chains_get(key)
         if chain is None:
-            chain = state.chain(pending.key)
-        if len(chain) == 0 and is_tombstone(observed):
+            chain = state.chain(key)
+        if not chain._chain and observed.get(_TOMB):
             # The row never existed and the read observed its absence.
+            # (``chain._chain``/``_TOMB`` dodge the ``__len__`` and
+            # ``is_tombstone`` calls on this per-read path.)
             return
         minimal = self._minimal
         if minimal:
@@ -174,9 +225,50 @@ class ConsistentReadVerifier(MechanismVerifier):
             ).candidates
         else:
             raw_candidates = chain.committed_versions()
+        snap_aft = snapshot.ts_aft
+        if minimal and not own_delta and len(raw_candidates) == 1:
+            # The dominant shape under the Fig. 6 minimal set: exactly one
+            # candidate (the pivot) and no own writes.  Same checks and
+            # bookkeeping as the general pass below, without the list and
+            # loop machinery; ``reads_match`` is inlined (tombstone guards,
+            # then per-column comparison).
+            version = raw_candidates[0]
+            commit = version.commit
+            if commit is not None and snap_aft <= commit.ts_bef:
+                self._m_candidates.observe(0)
+                self._diagnose_miss(txn, pending, snapshot, chain, observed)
+                return
+            self._m_candidates.observe(1)
+            image = version.image
+            if observed.get(_TOMB):
+                matched = bool(image.get(_TOMB))
+            elif image.get(_TOMB):
+                matched = False
+            else:
+                matched = True
+                image_get = image.get
+                for column, value in observed.items():
+                    if image_get(column) != value:
+                        matched = False
+                        break
+            if not matched:
+                self._diagnose_miss(txn, pending, snapshot, chain, observed)
+                return
+            stats = self._stats
+            stats.conflict_pairs += 1
+            installed = commit if commit is not None else version.install
+            if not (
+                installed.ts_aft <= snapshot.ts_bef
+                or snap_aft <= installed.ts_bef
+            ):
+                stats.overlapped_pairs += 1
+                stats.deduced_overlapped_pairs += 1
+            self._m_unique.inc()
+            if txn.committed and self._on_read_match is not None:
+                self._match_queue.append((version, txn.txn_id))
+            return
         # One pass: visibility filter (minimal mode only, inlined
         # _definitely_invisible) and observation matching together.
-        snap_aft = snapshot.ts_aft
         n_candidates = 0
         matches = []
         for version in raw_candidates:
@@ -194,7 +286,7 @@ class ConsistentReadVerifier(MechanismVerifier):
         if not matches:
             self._diagnose_miss(txn, pending, snapshot, chain, observed)
             return
-        stats = state.stats
+        stats = self._stats
         stats.conflict_pairs += 1
         # Inlined Interval.overlaps over the (usually single-element) match
         # list: three method calls per read otherwise.
@@ -216,9 +308,10 @@ class ConsistentReadVerifier(MechanismVerifier):
                 stats.deduced_overlapped_pairs += 1
             # Dependencies are defined between *committed* transactions
             # (Section II-A); an aborted reader's checks still ran above,
-            # but it contributes no graph node.
+            # but it contributes no graph node.  Queued rather than
+            # delivered inline; see :meth:`drain_matches`.
             if txn.committed and self._on_read_match is not None:
-                self._on_read_match(version, txn.txn_id)
+                self._match_queue.append((version, txn.txn_id))
         else:
             # More than one match: the read is legal but the exact version
             # read is uncertain (duplicate values, Fig. 13's SmallBank
@@ -236,9 +329,7 @@ class ConsistentReadVerifier(MechanismVerifier):
             return  # no CR claim: scan freshness is not promised
         self._m_scans.inc()
         predicate = scan.trace.predicate
-        snapshot = self._snapshot_interval(
-            txn, PendingRead(trace=scan.trace, key=None, observed={}, own_delta={})
-        )
+        snapshot = self._snapshot_interval(txn, (scan.trace, None, {}, {}))
         missing = []
         for key, chain in self._state.chains.items():
             if key in scan.observed_keys or not predicate.matches(key):
@@ -373,11 +464,11 @@ class ConsistentReadVerifier(MechanismVerifier):
                 mechanism=Mechanism.CONSISTENT_READ,
                 kind=kind,
                 txns=txns,
-                key=pending.key,
+                key=pending[1],
                 details=details,
                 evidence={
-                    "read_interval": pending.trace.interval,
-                    "observed": dict(pending.observed),
+                    "read_interval": pending[0].interval,
+                    "observed": dict(pending[2]),
                 },
             )
         )

@@ -42,12 +42,20 @@ class FirstUpdaterWinsVerifier(MechanismVerifier):
         spec: IsolationSpec,
         emit: EmitFn,
         metrics=None,
+        emit_many=None,
     ):
         from .metrics import NULL_REGISTRY
 
         self._state = state
         self._spec = spec
         self._emit = emit
+        #: batch publication (``bus.publish_many``): ww deductions are
+        #: collected across a commit's pair checks and delivered as one
+        #: group -- the checks read only intervals and transaction
+        #: metadata, so deferral preserves the dependency sequence.
+        self._emit_many = emit_many
+        #: reused deduction buffer for the per-commit batch.
+        self._dep_batch: list = []
         registry = metrics if metrics is not None else NULL_REGISTRY
         #: committed-writer pairs whose snapshot/commit interval orders
         #: were checked (Fig. 8 / Theorem 4).
@@ -57,7 +65,13 @@ class FirstUpdaterWinsVerifier(MechanismVerifier):
 
     @classmethod
     def build(cls, ctx: MechanismContext) -> "FirstUpdaterWinsVerifier":
-        return cls(ctx.state, ctx.spec, ctx.bus.publish, metrics=ctx.metrics)
+        return cls(
+            ctx.state,
+            ctx.spec,
+            ctx.bus.publish,
+            metrics=ctx.metrics,
+            emit_many=ctx.bus.publish_many,
+        )
 
     def on_terminal(
         self, txn: TxnState, trace, installed: List[Version]
@@ -74,6 +88,8 @@ class FirstUpdaterWinsVerifier(MechanismVerifier):
         m_writes = self._m_writes
         chains = state.chains
         txn_id = txn.txn_id
+        if not installed:
+            return
         for version in installed:
             stats.writes_checked += 1
             m_writes.inc()
@@ -84,6 +100,14 @@ class FirstUpdaterWinsVerifier(MechanismVerifier):
                 if other_txn_id == txn_id or other_txn_id == INIT_TXN:
                     continue
                 self._check_pair(txn, version, other)
+        batch = self._dep_batch
+        if batch:
+            if self._emit_many is not None:
+                self._emit_many(batch)
+            else:
+                for dep in batch:
+                    self._emit(dep)
+            batch.clear()
 
     # -- pair analysis -------------------------------------------------------------
 
@@ -153,7 +177,7 @@ class FirstUpdaterWinsVerifier(MechanismVerifier):
         else:
             src, dst = txn.txn_id, other.txn_id
         self._m_deduced.inc()
-        self._emit(
+        self._dep_batch.append(
             Dependency(
                 src=src,
                 dst=dst,

@@ -76,7 +76,7 @@ class LockEntry:
     finished: bool = False
     #: process-wide acquisition sequence; breaks sort-key ties so chain
     #: order is total and bisect-searchable.
-    seq: int = field(default_factory=lambda: next(_lock_seq))
+    seq: int = field(default_factory=_lock_seq.__next__)
 
     def close(self, release: Interval, committed: bool) -> None:
         self.release = release

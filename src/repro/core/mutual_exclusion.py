@@ -42,12 +42,21 @@ class MutualExclusionVerifier(MechanismVerifier):
         spec: IsolationSpec,
         emit: EmitFn,
         metrics=None,
+        emit_many=None,
     ):
         from .metrics import NULL_REGISTRY
 
         self._state = state
         self._spec = spec
         self._emit = emit
+        #: batch publication (``bus.publish_many``): deduced ww edges are
+        #: collected across a terminal's pair checks and handed to the bus
+        #: as one group.  The pair checks read only lock intervals, so
+        #: deferring delivery to the end of the terminal preserves the
+        #: dependency sequence exactly.
+        self._emit_many = emit_many
+        #: reused deduction buffer for the terminal batch.
+        self._dep_batch: list = []
         registry = metrics if metrics is not None else NULL_REGISTRY
         #: conflicting lock pairs whose hidden-instant orders were
         #: enumerated at a terminal (Fig. 7 / Theorem 3).
@@ -57,7 +66,13 @@ class MutualExclusionVerifier(MechanismVerifier):
 
     @classmethod
     def build(cls, ctx: MechanismContext) -> "MutualExclusionVerifier":
-        return cls(ctx.state, ctx.spec, ctx.bus.publish, metrics=ctx.metrics)
+        return cls(
+            ctx.state,
+            ctx.spec,
+            ctx.bus.publish,
+            metrics=ctx.metrics,
+            emit_many=ctx.bus.publish_many,
+        )
 
     # -- trace handlers ------------------------------------------------------
 
@@ -97,9 +112,19 @@ class MutualExclusionVerifier(MechanismVerifier):
         released = self._state.locks.release_all(
             txn.txn_id, trace.interval, committed=txn.committed
         )
+        if not released:
+            return
         for entry, conflicts in released:
             for other in conflicts:
                 self._check_pair(entry, other)
+        batch = self._dep_batch
+        if batch:
+            if self._emit_many is not None:
+                self._emit_many(batch)
+            else:
+                for dep in batch:
+                    self._emit(dep)
+            batch.clear()
 
     # -- pair analysis ------------------------------------------------------------
 
@@ -143,7 +168,7 @@ class MutualExclusionVerifier(MechanismVerifier):
         else:
             src, dst = other.txn_id, entry.txn_id
         self._m_deduced.inc()
-        self._emit(
+        self._dep_batch.append(
             Dependency(
                 src=src,
                 dst=dst,

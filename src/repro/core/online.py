@@ -307,7 +307,24 @@ class OnlineVerifier:
         Documented in ``docs/observability.md``."""
         registry = getattr(self._verifier, "metrics", None)
         watermark = self._watermark()
+        # Classification-memo effectiveness gauge (docs/observability.md):
+        # the hit rate answers "is the frontier/memo layer actually
+        # absorbing the read traffic" without shipping the whole registry.
+        memo = {"hits": 0, "misses": 0, "hit_rate": 0.0}
+        if registry is not None and registry.enabled:
+            memo["hits"] = sum(
+                registry.counters_with_name("chain.memo.hits").values()
+            )
+            memo["misses"] = sum(
+                registry.counters_with_name("chain.memo.misses").values()
+            )
+            lookups = memo["hits"] + memo["misses"]
+            memo["hit_rate"] = (
+                round(memo["hits"] / lookups, 4) if lookups else 0.0
+            )
+            registry.gauge("chain.memo.hit_rate").set(memo["hit_rate"])
         return {
+            "chain_memo": memo,
             "clients": len(self._stages),
             "pending": self.pending,
             "dispatched": self._dispatched,

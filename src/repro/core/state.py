@@ -20,7 +20,15 @@ from .intervals import Interval
 from .locktable import LockTable
 from .report import BugDescriptor, VerificationStats
 from .trace import ColumnMap, Key, Trace, apply_delta
-from .versions import NULL_CHAIN_COUNTERS, Version, VersionChain
+from .versions import (
+    NULL_CHAIN_COUNTERS,
+    Version,
+    VersionChain,
+    chain_frontier_enabled,
+    chain_index_enabled,
+    direct_scan_max,
+    snap_memo_cap,
+)
 
 
 class TxnStatus(enum.Enum):
@@ -35,21 +43,16 @@ class TxnStatus(enum.Enum):
 _EMPTY_DELTA: Dict[str, object] = {}
 
 
-@dataclass(slots=True)
-class PendingRead:
-    """A read deferred until its transaction's terminal trace.
-
-    Deferral guarantees that every write trace able to influence the read's
-    candidate version set has already been dispatched (its before-timestamp
-    is provably smaller than the reader's terminal before-timestamp).
-    """
-
-    trace: Trace
-    key: Key
-    observed: ColumnMap
-    #: merged own-transaction writes to this key at the moment of the read
-    #: (first CR case: a transaction sees its own earlier changes).
-    own_delta: Dict[str, object]
+#: A read deferred until its transaction's terminal trace, stored as a
+#: plain ``(trace, key, observed, own_delta)`` tuple -- one is allocated
+#: per key observation on the ingest hot path, where a dataclass would
+#: double the construction cost.  ``own_delta`` is the merge of the
+#: transaction's own earlier writes to the key at the moment of the read
+#: (first CR case: a transaction sees its own changes).  Deferral
+#: guarantees that every write trace able to influence the read's candidate
+#: version set has already been dispatched (its before-timestamp is
+#: provably smaller than the reader's terminal before-timestamp).
+PendingRead = Tuple[Trace, Optional[Key], ColumnMap, Dict[str, object]]
 
 
 @dataclass(slots=True)
@@ -112,6 +115,7 @@ class VerifierState:
         initial_db: Optional[Mapping[Key, Mapping[str, object]]] = None,
         incremental_graph: bool = True,
         chain_index: Optional[bool] = None,
+        chain_frontier: Optional[bool] = None,
     ):
         self.chains: Dict[Key, VersionChain] = {}
         self.locks = LockTable()
@@ -123,10 +127,26 @@ class VerifierState:
         #: monotone dispatch order makes this a watermark over all clients.
         self.watermark: float = float("-inf")
         self._initial_db = dict(initial_db or {})
-        #: indexed-chain toggle: None defers to REPRO_CR_INDEX per chain.
-        self.chain_index = chain_index
-        #: (hits, misses, invalidations) handles shared by every chain;
-        #: replaced by :meth:`attach_metrics` on instrumented runs.
+        #: indexed-chain / frontier toggles, resolved to concrete booleans
+        #: once per state (``None`` defers to the ``REPRO_CR_INDEX`` /
+        #: ``REPRO_CR_FRONTIER`` process defaults).  Chains are built in the
+        #: hot loop; handing them resolved flags keeps ``os.environ`` reads
+        #: out of it.
+        self.chain_index = (
+            chain_index_enabled() if chain_index is None else bool(chain_index)
+        )
+        self.chain_frontier = self.chain_index and (
+            chain_frontier_enabled()
+            if chain_frontier is None
+            else bool(chain_frontier)
+        )
+        #: memo knobs resolved once per state (chains are built in the hot
+        #: loop; reading the environment per chain would tax it).
+        self._chain_snap_cap = snap_memo_cap()
+        self._chain_scan_max = direct_scan_max()
+        #: (hits, misses, invalidations, local_invalidations,
+        #: frontier_hits) handles shared by every chain; replaced by
+        #: :meth:`attach_metrics` on instrumented runs.
         self._chain_counters = NULL_CHAIN_COUNTERS
         #: chains that could have prunable versions (two or more committed
         #: versions, or aborted residue).  The verifier marks chains here at
@@ -150,11 +170,17 @@ class VerifierState:
             registry.counter("chain.memo.hits"),
             registry.counter("chain.memo.misses"),
             registry.counter("chain.memo.invalidations"),
+            registry.counter("chain.memo.local_invalidations"),
+            registry.counter("chain.memo.frontier_hits"),
         )
         for chain in self.chains.values():
-            chain._c_hits, chain._c_misses, chain._c_invalidations = (
-                self._chain_counters
-            )
+            (
+                chain._c_hits,
+                chain._c_misses,
+                chain._c_invalidations,
+                chain._c_local_invalidations,
+                chain._c_frontier,
+            ) = self._chain_counters
 
     # -- accessors -----------------------------------------------------------
 
@@ -173,6 +199,9 @@ class VerifierState:
                 initial_image=initial,
                 use_index=self.chain_index,
                 counters=self._chain_counters,
+                use_frontier=self.chain_frontier,
+                snap_cap=self._chain_snap_cap,
+                scan_max=self._chain_scan_max,
             )
             self.chains[key] = existing
         return existing

@@ -91,6 +91,11 @@ class Verifier:
         default) defers to the ``REPRO_CR_INDEX`` environment escape
         hatch; ignored when ``state`` is injected (the state owns its
         chains).
+    chain_frontier:
+        Whether indexed chains take the committed-version frontier fast
+        path with frontier-local memo invalidation.  ``None`` (the
+        default) defers to ``REPRO_CR_FRONTIER``; ignored when ``state``
+        is injected, and moot when the chain index is off.
     """
 
     def __init__(
@@ -107,6 +112,7 @@ class Verifier:
         mechanism_overrides=None,
         metrics: Optional[MetricsRegistry] = None,
         chain_index: Optional[bool] = None,
+        chain_frontier: Optional[bool] = None,
     ):
         """``session_order`` adds same-client program-order edges to the
         dependency graph (strong-session guarantee).  Sound for every
@@ -122,6 +128,7 @@ class Verifier:
             initial_db=initial_db,
             incremental_graph=incremental_graph,
             chain_index=chain_index,
+            chain_frontier=chain_frontier,
         )
         self.state.attach_metrics(self.metrics)
         self.bus = DependencyBus(self.state, metrics=self.metrics)
@@ -152,11 +159,19 @@ class Verifier:
         #: re-resolving ``on_read``/``on_write`` attributes per operation.
         self._read_hook_fns = tuple(m.on_read for m in self._read_hooks)
         self._write_hook_fns = tuple(m.on_write for m in self._write_hooks)
-        #: precompiled terminal dispatch: (mechanism, name, histogram) with
-        #: name/histogram None for untimed mechanisms.  Computing this once
-        #: keeps the per-terminal loop free of closures and branches on
-        #: mechanism flags (the histogram handles are no-ops when the
-        #: registry is disabled, so timing needs no enabled check).
+        #: precompiled terminal dispatch: (mechanism, name, histogram,
+        #: drain) with name/histogram None for untimed mechanisms.
+        #: Computing this once keeps the per-terminal loop free of closures
+        #: and branches on mechanism flags (the histogram handles are
+        #: no-ops when the registry is disabled, so timing needs no enabled
+        #: check).  ``drain`` is the mechanism's deferred dependency-
+        #: delivery hook (CR's unique-match queue): it runs right after the
+        #: mechanism's timed window closes, before the next mechanism's
+        #: hook, so attribution improves while delivery order is unchanged.
+        def _deferred_drain(m):
+            enable = getattr(m, "enable_deferred_matches", None)
+            return enable() if enable is not None else None
+
         self._terminal_dispatch = tuple(
             (
                 m,
@@ -166,6 +181,7 @@ class Verifier:
                 )
                 if m.timed
                 else None,
+                _deferred_drain(m),
             )
             for m in self.mechanisms
         )
@@ -265,58 +281,86 @@ class Verifier:
             raise RuntimeError("verifier already finished")
         state = self.state
         stats = state.stats
+        txns_get = state.txns.get
         txns = state.txns
-        chains = state.chains
+        chains_get = state.chains.get
+        state_chain = state.chain
         read_hooks = self._read_hook_fns
         write_hooks = self._write_hook_fns
+        # The common assemblies have exactly one read hook (CR) and one
+        # write hook (ME); dispatching through a bound local skips the
+        # tuple iteration per operation.
+        read_hook = read_hooks[0] if len(read_hooks) == 1 else None
+        write_hook = write_hooks[0] if len(write_hooks) == 1 else None
+        on_commit = self._on_commit
+        on_abort = self._on_abort
         gc = self._gc
         ok = OpStatus.OK
         read_kind, write_kind = OpKind.READ, OpKind.WRITE
         commit_kind = OpKind.COMMIT
         active = TxnStatus.ACTIVE
+        new_txn = TxnState
+        watermark = state.watermark
+        stats.traces_processed += len(traces)
+        # GC countdown as a plain local, pre-sliced so collections fire at
+        # exactly the trace indices the per-trace reference fires them at;
+        # the residue is written back after the loop.
+        remaining = (gc._every - gc._since_last) if gc is not None else -1
         for trace in traces:
-            stats.traces_processed += 1
-            ts_bef = trace.interval.ts_bef
-            if ts_bef > state.watermark:
-                state.watermark = ts_bef
+            interval = trace.interval
+            ts_bef = interval.ts_bef
+            if ts_bef > watermark:
+                # Kept in a local and written back lazily: the only mid-run
+                # reader is the collector (synced right before it fires).
+                watermark = ts_bef
             txn_id = trace.txn_id
-            txn = txns.get(txn_id)
+            txn = txns_get(txn_id)
             if txn is None:
-                txn = TxnState(txn_id=txn_id, client_id=trace.client_id)
+                txn = new_txn(txn_id=txn_id, client_id=trace.client_id)
                 txns[txn_id] = txn
             if txn.status is not active:
                 raise ValueError(
                     f"trace for already-terminated transaction {trace.txn_id}"
                 )
             if txn.first_interval is None:
-                txn.first_interval = trace.interval
+                txn.first_interval = interval
             txn.op_count += 1
             kind = trace.kind
             if kind is read_kind:
                 if trace.status is ok:
-                    for hook in read_hooks:
-                        hook(trace, txn)
+                    if read_hook is not None:
+                        read_hook(trace, txn)
+                    else:
+                        for hook in read_hooks:
+                            hook(trace, txn)
             elif kind is write_kind:
                 if trace.status is ok:
-                    for hook in write_hooks:
-                        hook(trace, txn)
-                    interval = trace.interval
+                    if write_hook is not None:
+                        write_hook(trace, txn)
+                    else:
+                        for hook in write_hooks:
+                            hook(trace, txn)
                     staged = txn.staged_versions.append
                     for key, columns in trace.writes.items():
-                        chain = chains.get(key)
+                        chain = chains_get(key)
                         if chain is None:
-                            chain = state.chain(key)
+                            chain = state_chain(key)
                         staged(chain.stage_write(txn_id, columns, interval))
                         txn.merge_own_write(key, columns)
             elif kind is commit_kind:
-                self._on_commit(trace, txn)
+                on_commit(trace, txn)
             else:
-                self._on_abort(trace, txn)
-            if gc is not None:
-                gc._since_last += 1
-                if gc._since_last >= gc._every:
+                on_abort(trace, txn)
+            if remaining > 0:
+                remaining -= 1
+                if not remaining:
+                    state.watermark = watermark
                     gc._since_last = 0
                     gc.collect()
+                    remaining = gc._every
+        state.watermark = watermark
+        if gc is not None:
+            gc._since_last = gc._every - remaining
 
     def process_all(self, traces: Iterable[Trace]) -> "Verifier":
         for trace in traces:
@@ -331,22 +375,32 @@ class Verifier:
         """Run every mechanism's terminal hook in registry order.  The
         order is load-bearing: ME and FUW deduce the ww edges that confirm
         version adjacency before the Fig. 9 rw derivation and the CR
-        checks consume them.  Nested timing (a mechanism emitting a
-        dependency that the certifier times as SC) double-counts by
-        design: each bucket answers "how long did this mechanism's code
-        run"."""
+        checks consume them.
+
+        CR's unique-match deliveries (the Fig. 9 wr recording and rw
+        derivation, plus the certifier work those publications trigger)
+        are drained *between* CR's timed window and the certifier's hook
+        and billed to the ``RW-DERIVE`` bucket: same delivery order, same
+        reports, but the CR bucket now answers "how long did the CR checks
+        themselves run".  Other nesting (e.g. a commit-hook publication the
+        certifier consumes inline) still double-counts by design."""
         bucket = self.state.stats.mechanism_seconds
-        for mechanism, name, hist in self._terminal_dispatch:
+        for mechanism, name, hist, drain in self._terminal_dispatch:
             if name is None:
                 mechanism.on_terminal(txn, trace, installed)
-                continue
-            start = time.perf_counter()
-            try:
-                mechanism.on_terminal(txn, trace, installed)
-            finally:
+            else:
+                start = time.perf_counter()
+                try:
+                    mechanism.on_terminal(txn, trace, installed)
+                finally:
+                    elapsed = time.perf_counter() - start
+                    bucket[name] = bucket.get(name, 0.0) + elapsed
+                    hist.observe(elapsed)
+            if drain is not None:
+                start = time.perf_counter()
+                drain()
                 elapsed = time.perf_counter() - start
-                bucket[name] = bucket.get(name, 0.0) + elapsed
-                hist.observe(elapsed)
+                bucket["RW-DERIVE"] = bucket.get("RW-DERIVE", 0.0) + elapsed
 
     def _on_commit(self, trace: Trace, txn: TxnState) -> None:
         state = self.state
@@ -368,11 +422,12 @@ class Verifier:
                 )
             self._session_tail[trace.client_id] = txn.txn_id
         installed: List[Version] = []
-        for key in {v.key for v in txn.staged_versions}:
-            chain = state.chain(key)
-            installed.extend(chain.commit_txn(txn.txn_id, trace.interval))
-            if len(chain) >= 2:
-                state.gc_version_candidates[key] = chain
+        if txn.staged_versions:
+            for key in {v.key for v in txn.staged_versions}:
+                chain = state.chain(key)
+                installed.extend(chain.commit_txn(txn.txn_id, trace.interval))
+                if len(chain) >= 2:
+                    state.gc_version_candidates[key] = chain
         self._dispatch_terminal(txn, trace, installed)
 
     def _on_abort(self, trace: Trace, txn: TxnState) -> None:
@@ -381,11 +436,12 @@ class Verifier:
         txn.terminal_interval = trace.interval
         state.note_terminal(txn.txn_id, trace.interval.ts_aft)
         state.stats.txns_aborted += 1
-        for key in {v.key for v in txn.staged_versions}:
-            chain = state.chain(key)
-            if chain.abort_txn(txn.txn_id):
-                # Aborted residue is dropped by the next version GC pass.
-                state.gc_version_candidates[key] = chain
+        if txn.staged_versions:
+            for key in {v.key for v in txn.staged_versions}:
+                chain = state.chain(key)
+                if chain.abort_txn(txn.txn_id):
+                    # Aborted residue is dropped by the next version GC pass.
+                    state.gc_version_candidates[key] = chain
         self._dispatch_terminal(txn, trace, [])
 
     # -- dependency exchange (Section V-A / Fig. 9) ------------------------------------

@@ -27,11 +27,24 @@ is a pure function of the chain contents and the snapshot interval, so the
 indexed chain caches it at two granularities -- per exact snapshot
 endpoints, and per *before-boundary* (the prefix of versions definitely
 before the snapshot, which determines pivot, pivot-overlap and garbage
-regardless of where the snapshot ends).  Any chain mutation (a commit
-installing a version, GC pruning one) bumps the chain epoch and drops both
-memos, so stale classifications can never be served.  Hits, misses and
-invalidations are counted through the ``chain.memo.*`` metrics
+regardless of where the snapshot ends).  Hits, misses and invalidations
+are counted through the ``chain.memo.*`` metrics
 (``docs/observability.md``).
+
+On top of the index the default chain keeps a *committed-version frontier*
+(the Vbox time-ordered idiom, see PAPERS.md): commits arrive in roughly
+monotone timestamp order, so most reads carry snapshots that lie at or
+beyond the last committed version's after-timestamp.  For those reads the
+whole chain is the definitely-before prefix -- future and overlap are
+empty by construction -- and the classification is a single cached object
+resolved in O(1) (``chain.memo.frontier_hits``).  Mutations invalidate
+*frontier-locally*: a version appended at the tail leaves every existing
+boundary prefix intact, so only the exact-snapshot entries whose snapshot
+the new version does not definitely postdate are dropped (counted via
+``chain.memo.local_invalidations``); mid-chain inserts and GC prunes keep
+the epoch-wide clear.  ``REPRO_CR_FRONTIER=0`` restores the plain indexed
+path and ``REPRO_CR_INDEX=0`` the linear scan -- the two reference oracles
+the equivalence tests pin byte-identical reports against.
 """
 
 from __future__ import annotations
@@ -61,13 +74,17 @@ _INF = math.inf
 
 #: exact-snapshot memo entries kept per chain before a wholesale clear
 #: (hot chains mutate often and self-clear; this bounds read-only chains).
+#: Process default; tunable via ``REPRO_CR_SNAP_MEMO_CAP``.
 _SNAP_MEMO_LIMIT = 128
 
 #: chains at or below this length classify by direct scan even in indexed
 #: mode: under steady-state GC most chains hold one or two versions, where
 #: the boundary search plus memo bookkeeping costs more than the scan it
 #: replaces.  The index still drives insertion, position lookup and the
-#: O(1) GC pre-check at every length.
+#: O(1) GC pre-check at every length.  Process default; tunable via
+#: ``REPRO_CR_DIRECT_SCAN_MAX`` (raising it disables the memo layers for
+#: longer chains -- the low-contention escape valve, see
+#: ``docs/architecture.md``).
 _DIRECT_SCAN_MAX = 4
 
 
@@ -100,6 +117,41 @@ def chain_index_enabled() -> bool:
     return os.environ.get("REPRO_CR_INDEX", "1") != "0"
 
 
+def chain_frontier_enabled() -> bool:
+    """Process-default for the committed-version frontier fast path
+    (``REPRO_CR_FRONTIER``, on unless set to ``0`` -- the second reference
+    escape hatch: frontier off, index on, is exactly the PR 3 chain)."""
+    return os.environ.get("REPRO_CR_FRONTIER", "1") != "0"
+
+
+def snap_memo_cap() -> int:
+    """Exact-snapshot memo cap (``REPRO_CR_SNAP_MEMO_CAP``, default
+    ``_SNAP_MEMO_LIMIT``).  Non-numeric or non-positive values fall back
+    to the default rather than erroring mid-run."""
+    raw = os.environ.get("REPRO_CR_SNAP_MEMO_CAP")
+    if raw is None:
+        return _SNAP_MEMO_LIMIT
+    try:
+        value = int(raw)
+    except ValueError:
+        return _SNAP_MEMO_LIMIT
+    return value if value > 0 else _SNAP_MEMO_LIMIT
+
+
+def direct_scan_max() -> int:
+    """Chain length at or below which classification bypasses the memo
+    layers entirely (``REPRO_CR_DIRECT_SCAN_MAX``, default
+    ``_DIRECT_SCAN_MAX``)."""
+    raw = os.environ.get("REPRO_CR_DIRECT_SCAN_MAX")
+    if raw is None:
+        return _DIRECT_SCAN_MAX
+    try:
+        value = int(raw)
+    except ValueError:
+        return _DIRECT_SCAN_MAX
+    return value if value >= 0 else _DIRECT_SCAN_MAX
+
+
 class _NullCounter:
     """Stand-in for a metrics counter when a chain is built outside a
     verifier (unit tests, ad-hoc use)."""
@@ -112,8 +164,15 @@ class _NullCounter:
 
 _NULL_COUNTER = _NullCounter()
 
-#: (hits, misses, invalidations) counter triple for unmetered chains.
-NULL_CHAIN_COUNTERS = (_NULL_COUNTER, _NULL_COUNTER, _NULL_COUNTER)
+#: (hits, misses, invalidations, local_invalidations, frontier_hits)
+#: counter handles for unmetered chains.
+NULL_CHAIN_COUNTERS = (
+    _NULL_COUNTER,
+    _NULL_COUNTER,
+    _NULL_COUNTER,
+    _NULL_COUNTER,
+    _NULL_COUNTER,
+)
 
 #: Optional oracle answering "is version a's txn known to precede version
 #: b's txn (ww) on this key?" -- returns True/False when deduced, None when
@@ -142,18 +201,21 @@ class Version:
     committed: bool = False
     #: transactions observed (via CR wr deduction) to have read this version.
     readers: Set[str] = field(default_factory=set)
-    seq: int = field(default_factory=lambda: next(_version_seq))
-
-    @property
-    def is_initial(self) -> bool:
-        return self.txn_id == INIT_TXN
+    seq: int = field(default_factory=_version_seq.__next__)
 
     @property
     def effective_install(self) -> Interval:
         """The interval containing the instant the version became visible:
-        the installing transaction's commit interval (Section II-A).  Falls
-        back to the write-operation interval while uncommitted."""
+        the installing transaction's commit interval (Section II-A), falling
+        back to the write-operation interval while uncommitted.  A derived
+        property (single source of truth is ``commit``); the indexed chain
+        avoids the call on its hot paths by reading the effective interval
+        back out of its cached sort keys."""
         return self.commit if self.commit is not None else self.install
+
+    @property
+    def is_initial(self) -> bool:
+        return self.txn_id == INIT_TXN
 
     def matches(self, observed: ColumnMap) -> bool:
         """Whether a read observing ``observed`` is consistent with the
@@ -202,12 +264,37 @@ class VersionChain:
     Fig. 6 partition is memoised per epoch.
     """
 
+    __slots__ = (
+        "key",
+        "_chain",
+        "_pending",
+        "_aborted",
+        "_use_index",
+        "_use_frontier",
+        "_snap_cap",
+        "_scan_max",
+        "_keys",
+        "epoch",
+        "_snap_memo",
+        "_prefix_memo",
+        "_single_memo",
+        "_frontier_entry",
+        "_c_hits",
+        "_c_misses",
+        "_c_invalidations",
+        "_c_local_invalidations",
+        "_c_frontier",
+    )
+
     def __init__(
         self,
         key: Key,
         initial_image: Optional[Mapping[str, object]] = None,
         use_index: Optional[bool] = None,
         counters=None,
+        use_frontier: Optional[bool] = None,
+        snap_cap: Optional[int] = None,
+        scan_max: Optional[int] = None,
     ):
         self.key = key
         self._chain: List[Version] = []
@@ -216,11 +303,20 @@ class VersionChain:
         self._use_index = (
             chain_index_enabled() if use_index is None else bool(use_index)
         )
+        #: frontier fast path rides on the key index; linear chains never
+        #: take it regardless of the flag.
+        self._use_frontier = self._use_index and (
+            chain_frontier_enabled() if use_frontier is None else bool(use_frontier)
+        )
+        self._snap_cap = snap_memo_cap() if snap_cap is None else int(snap_cap)
+        self._scan_max = direct_scan_max() if scan_max is None else int(scan_max)
         #: parallel sorted :func:`chain_sort_key` list (indexed mode only).
         self._keys: List[Tuple[float, float, float, int]] = []
         #: memo epoch: bumped on every chain mutation.
         self.epoch = 0
-        #: exact-snapshot memo: (ts_bef, ts_aft) -> (future, overlap, boundary).
+        #: exact-snapshot memo: (ts_bef, ts_aft) -> the 5-part partition +
+        #: (finished classification or None, chain length at creation --
+        #: the anchor for the lazy frontier-local ``future`` fold).
         self._snap_memo: Dict[Tuple[float, float], tuple] = {}
         #: prefix memo: boundary index -> (pivot, pivot_overlap, garbage).
         self._prefix_memo: Dict[int, tuple] = {}
@@ -228,10 +324,20 @@ class VersionChain:
         #: of a length-1 chain (future / pivot / overlap), shared across
         #: every snapshot that lands in the same relation to the version.
         self._single_memo: Dict[int, CandidateClassification] = {}
-        hits, misses, invalidations = counters or NULL_CHAIN_COUNTERS
-        self._c_hits = hits
-        self._c_misses = misses
-        self._c_invalidations = invalidations
+        #: frontier cache: (prefix, finished-or-None) for the whole-chain
+        #: boundary; rebuilt lazily once per mutation.
+        self._frontier_entry: Optional[tuple] = None
+        counters = counters or NULL_CHAIN_COUNTERS
+        if len(counters) == 3:
+            # Pre-frontier triple: pad with no-op handles.
+            counters = tuple(counters) + NULL_CHAIN_COUNTERS[3:]
+        (
+            self._c_hits,
+            self._c_misses,
+            self._c_invalidations,
+            self._c_local_invalidations,
+            self._c_frontier,
+        ) = counters
         if initial_image is not None:
             # One shared copy: neither the columns delta nor the image of a
             # version is ever mutated in place (images are rebuilt by
@@ -345,11 +451,47 @@ class VersionChain:
     def _invalidate(self) -> None:
         """Epoch bump: every cached classification is stale."""
         self.epoch += 1
+        self._frontier_entry = None
         if self._snap_memo or self._prefix_memo or self._single_memo:
             self._snap_memo.clear()
             self._prefix_memo.clear()
             self._single_memo.clear()
             self._c_invalidations.inc()
+
+    def _invalidate_local(self, sort_key: Tuple[float, float, float, int]) -> None:
+        """Frontier-local invalidation for a tail append (``sort_key`` is
+        the appended version's chain key; its second component is the
+        effective installation before-timestamp).
+
+        The appended version sorts after every committed version, so ``chain[0:b]``
+        is unchanged for every existing boundary ``b``: the boundary-prefix
+        memo stays valid wholesale (retaining it *is* the incremental
+        maintenance).  Only classifications whose boundary the new version
+        can cross are dropped: exact-snapshot entries whose snapshot does
+        not definitely precede the new version's installation (for those,
+        the version lands in overlap-or-before and the partition changes
+        shape).  Entries whose snapshot the version definitely postdates
+        stay valid with the version appended to their ``future`` tuple --
+        exactly where the linear reference scan would have put it; that
+        append is *lazy* (each entry records the chain length at creation,
+        ``entry[6]``, and a hit folds in ``chain[n0:]``), so entries that
+        are never re-read never pay for maintenance.
+        """
+        self.epoch += 1
+        self._frontier_entry = None
+        if self._single_memo:
+            # Only populated while the chain had length 1; the length-1
+            # fast path can no longer serve these, and the chain returns
+            # to length 1 only through a prune (a full invalidation).
+            self._single_memo.clear()
+        snap_memo = self._snap_memo
+        if snap_memo:
+            v_bef = sort_key[1]
+            stale = [key for key in snap_memo if key[1] > v_bef]
+            if stale:
+                for key in stale:
+                    del snap_memo[key]
+                self._c_local_invalidations.inc(len(stale))
 
     def _insert_sorted(self, version: Version) -> None:
         sort_key = chain_sort_key(version)
@@ -357,10 +499,17 @@ class VersionChain:
             keys = self._keys
             if not keys or sort_key > keys[-1]:
                 # Commits arrive roughly in timestamp order, so the common
-                # case is an append at the tail.
-                position = len(keys)
-            else:
-                position = bisect_left(keys, sort_key)
+                # case is an append at the tail -- the mutation the
+                # frontier-local invalidation covers.
+                keys.append(sort_key)
+                self._chain.append(version)
+                if self._use_frontier:
+                    self._invalidate_local(sort_key)
+                else:
+                    self._invalidate()
+                self._recompute_images(len(self._chain) - 1)
+                return
+            position = bisect_left(keys, sort_key)
             keys.insert(position, sort_key)
         else:
             position = len(self._chain)
@@ -416,11 +565,13 @@ class VersionChain:
             # oracle-independent (no pivot-overlap set to collapse), so
             # the three outcome objects are memoised per epoch and repeat
             # reads of a stable key cost two float comparisons.
-            version = chain[0]
-            installed = version.effective_install
-            if snapshot.ts_aft <= installed.ts_bef:
+            # The sort key caches the effective interval as plain floats
+            # (key = (eff.ts_aft, eff.ts_bef, install.ts_aft, seq)), so the
+            # relation test needs no Version attribute access at all.
+            k = self._keys[0]
+            if snapshot.ts_aft <= k[1]:
                 outcome = 0  # snapshot precedes installation: future
-            elif installed.ts_aft <= snapshot.ts_bef:
+            elif k[0] <= snapshot.ts_bef:
                 outcome = 1  # definitely before the snapshot: the pivot
             else:
                 outcome = 2  # overlap
@@ -429,6 +580,7 @@ class VersionChain:
                 self._c_hits.inc()
                 return cached
             self._c_misses.inc()
+            version = chain[0]
             if outcome == 0:
                 cached = CandidateClassification((), (version,), (), None)
             elif outcome == 1:
@@ -437,14 +589,74 @@ class VersionChain:
                 cached = CandidateClassification((version,), (), (), None)
             self._single_memo[outcome] = cached
             return cached
-        if not self._use_index or len(chain) <= _DIRECT_SCAN_MAX:
+        if self._use_frontier and len(chain) > 1:
+            keys = self._keys
+            # Frontier fast path: the snapshot lies at or beyond the last
+            # committed version's after-timestamp, so the whole chain is
+            # the definitely-before prefix (future and overlap are empty
+            # by the sort order) and the classification depends on the
+            # snapshot not at all.  The zero-width tangency (snapshot and
+            # tail after-timestamp coincide) is excluded exactly as in
+            # :meth:`_partition_indexed` and falls through to the exact
+            # paths below.
+            if keys[-1][0] <= snapshot.ts_bef:
+                snap_aft = snapshot.ts_aft
+                if not (
+                    snapshot.ts_bef == snap_aft and keys[-1][0] == snap_aft
+                ):
+                    entry = self._frontier_entry
+                    if entry is None:
+                        self._c_misses.inc()
+                        boundary = len(keys)
+                        prefix = self._prefix_memo.get(boundary)
+                        if prefix is None:
+                            prefix = self._prefix_memo[boundary] = (
+                                self._compute_prefix(boundary)
+                            )
+                        final = (
+                            self._finalize(
+                                ((), (), prefix[0], (), prefix[2]), None
+                            )
+                            if not prefix[1]
+                            else None
+                        )
+                        entry = self._frontier_entry = (prefix, final)
+                    else:
+                        self._c_frontier.inc()
+                    final = entry[1]
+                    if final is not None:
+                        return final
+                    prefix = entry[0]
+                    return self._finalize(
+                        ((), (), prefix[0], prefix[1], prefix[2]), order_oracle
+                    )
+        if not self._use_index or len(chain) <= self._scan_max:
             # Linear mode, or a chain short enough that the direct scan is
-            # cheaper than boundary search + memoisation.
+            # cheaper than boundary search + memoisation.  The gate sits
+            # *below* the frontier check on purpose: a beyond-frontier
+            # snapshot resolves in O(1) regardless of chain length, and
+            # under GC most steady-state chains are exactly this short.
             return self._finalize(self._partition_linear(snapshot), order_oracle)
         memo_key = (snapshot.ts_bef, snapshot.ts_aft)
         entry = self._snap_memo.get(memo_key)
         if entry is not None:
             self._c_hits.inc()
+            n0 = entry[6]
+            if n0 != len(chain):
+                # The entry survived frontier-local invalidations: every
+                # version committed since its creation is a tail append
+                # that definitely postdates its snapshot (the drop rule in
+                # :meth:`_invalidate_local` guarantees it), so the update
+                # is to extend ``future`` with ``chain[n0:]`` -- exactly
+                # where the linear reference scan would have put those
+                # versions.  Folded in lazily here rather than eagerly per
+                # append: entries that are never re-read never pay for it.
+                parts = (entry[0] + tuple(chain[n0:]),) + entry[1:5]
+                final = (
+                    self._finalize(parts, None) if not entry[3] else None
+                )
+                entry = parts + (final, len(chain))
+                self._snap_memo[memo_key] = entry
             final = entry[5]
             if final is not None:
                 # Oracle-independent classification (no pivot-overlap set
@@ -457,12 +669,16 @@ class VersionChain:
             # for exactness, not memoised (rare by construction).
             return self._finalize(self._partition_linear(snapshot), order_oracle)
         final = self._finalize(parts, order_oracle)
-        if len(self._snap_memo) >= _SNAP_MEMO_LIMIT:
+        if len(self._snap_memo) >= self._snap_cap:
             self._snap_memo.clear()
         # The finalisation is a pure function of the partition unless a
         # pivot-overlap set exists (the oracle may collapse it differently
-        # as ww edges accrue), so cache the finished object when safe.
-        self._snap_memo[memo_key] = parts + ((final if not parts[3] else None),)
+        # as ww edges accrue), so cache the finished object when safe; the
+        # trailing chain length supports the lazy frontier-local fold.
+        self._snap_memo[memo_key] = parts + (
+            (final if not parts[3] else None),
+            len(chain),
+        )
         return final
 
     def _finalize(
@@ -580,11 +796,12 @@ class VersionChain:
         else:
             future_acc: List[Version] = []
             overlap_acc: List[Version] = []
-            for version in chain[boundary:]:
-                if snap_aft <= version.effective_install.ts_bef:
-                    future_acc.append(version)
+            for idx in range(boundary, len(chain)):
+                # keys[idx][1] is the version's effective before-timestamp.
+                if snap_aft <= keys[idx][1]:
+                    future_acc.append(chain[idx])
                 else:
-                    overlap_acc.append(version)
+                    overlap_acc.append(chain[idx])
             future = tuple(future_acc)
             overlap = tuple(overlap_acc)
         prefix = self._prefix_memo.get(boundary)
@@ -705,10 +922,9 @@ class VersionChain:
                 # needed.  (An after-timestamp tie falls through: the
                 # pivot then depends on the seq tie-break.)
                 first, second = self._chain
-                first_install = first.effective_install
-                second_install = second.effective_install
-                if first_install.ts_aft < second_install.ts_aft:
-                    if first_install.ts_aft <= second_install.ts_bef and (
+                first_key, second_key = keys
+                if first_key[0] < second_key[0]:
+                    if first_key[0] <= second_key[1] and (
                         can_prune_txn(first.txn_id) or first.is_initial
                     ):
                         self._chain = [second]

@@ -445,3 +445,99 @@ def test_single_version_fast_path_matches_linear():
         left = indexed.classify(snapshot)
         right = linear.classify(snapshot)
         assert _classification_shape(left) == _classification_shape(right)
+
+
+# -- three-path equivalence (the ISSUE 8 frontier contract) ------------------
+
+def _build_triple():
+    """The same key on all three classification paths: the linear
+    reference scan, the bisect-indexed chain with the frontier fast path
+    disabled (``REPRO_CR_FRONTIER=0``), and the full frontier default."""
+    return (
+        VersionChain("x", use_index=False),
+        VersionChain("x", use_index=True, use_frontier=False),
+        VersionChain("x", use_index=True, use_frontier=True),
+    )
+
+
+_interleave_op = st.tuples(
+    st.sampled_from(["install", "abort", "classify", "classify"]),
+    _grid,
+    _width,
+    _width,
+    _width,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(_interleave_op, min_size=2, max_size=24))
+def test_three_paths_classify_identically_under_interleaving(ops):
+    """Random read/install/abort interleavings must classify identically
+    on all three chain paths -- the escape-hatch contract the bench
+    enforces at workload scale, here driven through every mutation shape
+    the verifier can produce.  The half-integer grid makes boundary
+    slivers (snapshots exactly tangent to install/commit endpoints)
+    constant rather than float-collision-rare, and repeated classify ops
+    against a mutating chain exercise memo/frontier invalidation."""
+    chains = _build_triple()
+    next_id = 0
+    for kind, start, width, gap, cwidth in ops:
+        if kind == "classify":
+            snapshot = Interval(start / 2, (start + width) / 2)
+            reference, indexed, frontier = (
+                chain.classify(snapshot) for chain in chains
+            )
+            assert _classification_shape(indexed) == _classification_shape(
+                reference
+            )
+            assert _classification_shape(frontier) == _classification_shape(
+                reference
+            )
+        else:
+            install = Interval(start / 2, (start + width) / 2)
+            commit = Interval(
+                (start + width + gap) / 2,
+                (start + width + gap + cwidth) / 2,
+            )
+            txn_id = f"i{next_id}"
+            next_id += 1
+            for chain in chains:
+                chain.stage_write(txn_id, {"v": next_id}, install)
+                if kind == "install":
+                    chain.commit_txn(txn_id, commit)
+                else:
+                    chain.abort_txn(txn_id)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(_grid, _width, _width, _width), min_size=6, max_size=14
+    ),
+    st.lists(st.tuples(_grid, _width), min_size=1, max_size=8),
+)
+def test_frontier_fast_path_matches_linear_on_boundary_slivers(
+    specs, snapshots
+):
+    """Beyond-frontier snapshots (everything committed before the read)
+    are the frontier fast path's own regime; sweep snapshots across the
+    same grid the chain was built on so tangency -- where the fast path
+    must decline in favour of the general partition -- is hit constantly.
+    min_size=6 keeps the chain above the direct-scan threshold."""
+    linear = VersionChain("x", use_index=False)
+    frontier = VersionChain("x", use_index=True, use_frontier=True)
+    for i, (start, width, gap, cwidth) in enumerate(specs):
+        install = Interval(start / 2, (start + width) / 2)
+        commit = Interval(
+            (start + width + gap) / 2, (start + width + gap + cwidth) / 2
+        )
+        for chain in (linear, frontier):
+            chain.stage_write(f"t{i}", {"v": i}, install)
+            chain.commit_txn(f"t{i}", commit)
+    for start, width in snapshots:
+        snapshot = Interval(start / 2, (start + width) / 2)
+        # Twice: the second call may serve the frontier entry or a memo.
+        for _ in range(2):
+            assert _classification_shape(
+                frontier.classify(snapshot)
+            ) == _classification_shape(linear.classify(snapshot))

@@ -1,28 +1,42 @@
 #!/usr/bin/env python
-"""Perf baseline harness: verifier hot paths plus the ingestion spine.
+"""Perf baseline harness: latency-SLO suite over the verifier and spine.
 
-Runs the Fig. 11 / time-breakdown workloads through the verifier twice --
-once with the historical linear chain scans (``chain_index=False``, the
-``REPRO_CR_INDEX=0`` path) and once with the bisect-indexed, memoised
-chains -- asserting the two paths produce *identical* reports before
-recording the timing.  The primary workload additionally gets a
-**pipeline/transport attribution** section covering the batched ingestion
-spine: the pipeline-sort phase (sorted-run merging vs. the per-trace heap
-reference), the binary trace codec vs. JSONL (encode/decode time and
-bytes), the whole batched run vs. the per-trace reference loop, and --
-with ``--parallel N`` -- the chunked byte-frame shard transport.  Every
-pair of paths/formats must produce identical reports before timings are
-recorded; any divergence fails the run.  The numbers land in a
-``repro.bench/v1`` JSON document (``BENCH_scale1.json`` at scale 1) so the
-perf trajectory is tracked from PR 3 onward; CI runs ``--quick`` as a
-regression smoke and fails on any verdict mismatch.
+The headline (``primary``) measurement is **bytes-to-verdict**: the whole
+run from serialised trace bytes to the finished report, measured as
+paired rounds of the reference stack (JSONL decode, per-trace heap
+pipeline, ``Verifier.process`` one trace at a time, linear chain scans)
+against the optimised stack (binary codec decode, sorted-run-merge
+batches, ``Verifier.process_batch``, frontier-indexed chains).  Paired
+rounds -- both stacks back to back inside one round, ratio per round,
+median over rounds -- are the noise discipline: on a shared host only
+the within-round comparison is trustworthy, and the median suppresses
+rounds where a neighbour stole the core mid-leg.  Per-stage numbers
+(pipeline sort, codec, chain paths) are kept as attribution; the primary
+is end-to-end precisely because per-stage wins do not otherwise compound
+into a whole-run figure anyone can hold the suite to.
+
+On top of the speedup the primary block carries the **latency SLOs** the
+exit code enforces under ``--slo``:
+
+* whole-run bytes-to-verdict speedup (median of paired ratios),
+* the CR mechanism's share of mechanism wall time (median over rounds),
+* p50/p95/p99 per-trace dispatch latency.  A trace's dispatch latency is
+  bounded by its dispatch round's ``process_batch`` duration (every trace
+  in the round waits for the round), so each trace is billed its round's
+  wall time -- per-round minima across rounds, percentiles over traces.
+
+Every pair of paths/formats must still produce identical reports before
+timings are recorded (linear / indexed / frontier chains, serial and
+2-shard, JSONL and binary round-trips); any divergence fails the run
+regardless of flags.  The numbers land in a ``repro.bench/v2`` JSON
+document (``BENCH_scale1.json`` at scale 1); CI runs ``--quick --slo``
+as a regression smoke.
 
 Usage::
 
     PYTHONPATH=src python tools/bench_baseline.py            # full scale 1
-    PYTHONPATH=src python tools/bench_baseline.py --quick    # CI smoke
-    PYTHONPATH=src python tools/bench_baseline.py --quick --parallel 2
-    PYTHONPATH=src python tools/bench_baseline.py --out BENCH_scale1.json
+    PYTHONPATH=src python tools/bench_baseline.py --quick --slo   # CI smoke
+    PYTHONPATH=src python tools/bench_baseline.py --out BENCH_scale1.json --slo
 
 With ``--baseline-root PATH`` (a checkout of the pre-overhaul code, e.g. a
 ``git worktree`` at the seed commit) the primary workload is additionally
@@ -40,8 +54,10 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import gc as pygc
 import json
 import os
+import statistics
 import subprocess
 import sys
 import time
@@ -59,12 +75,25 @@ from repro.core.codec import dump_traces_binary, load_traces_binary
 from repro.core.io import dump_traces, load_traces
 from repro.workloads import BlindW, SmallBank, TpcC, run_workload
 
-SCHEMA = "repro.bench/v1"
+SCHEMA = "repro.bench/v2"
 
-#: the acceptance target of ISSUE 3: the CR-dominated BlindW-RW breakdown
-#: must verify at least this much faster on the indexed path.
 PRIMARY_WORKLOAD = "blindw-rw"
+#: the historical ISSUE 3 target, still recorded per workload: the
+#: CR-dominated BlindW-RW breakdown must verify at least this much faster
+#: on the indexed path (vs. the in-tree linear escape hatch).
 PRIMARY_TARGET = 1.5
+
+#: ISSUE 8 latency SLOs, enforced by the exit code under ``--slo``.
+#: Quick (smoke-scale) runs use relaxed thresholds: at scale 0.2 the
+#: fixed per-run overheads (interpreter warm-up, tiny batches) crowd the
+#: ratios, so the smoke gate only catches gross regressions while the
+#: committed full-scale document holds the real targets.
+SLO_WHOLE_RUN = 1.3          # bytes-to-verdict speedup, median of paired ratios
+SLO_CR_SHARE = 0.40          # CR fraction of mechanism wall time, median
+SLO_P99_DISPATCH_MS = 50.0   # per-trace dispatch latency bound
+SLO_QUICK_WHOLE_RUN = 1.05
+SLO_QUICK_CR_SHARE = 0.50
+SLO_QUICK_P99_DISPATCH_MS = 50.0
 
 #: the acceptance targets of ISSUE 4: against the pre-PR tree, the
 #: pipeline-sort phase must win by at least PIPELINE_TARGET and the whole
@@ -111,7 +140,33 @@ def _workloads(scale: float):
     }
 
 
-def _verify(run, chain_index: bool, metrics=None):
+def _git_commit(root: Path) -> str:
+    """Resolve the HEAD commit of a checkout; raises on any failure (the
+    bench must not record guessable provenance).  A ``-dirty`` suffix
+    marks a tree with uncommitted changes -- the honest label for a
+    document regenerated inside the very change it measures."""
+    proc = subprocess.run(
+        ["git", "-C", str(root), "rev-parse", "HEAD"],
+        capture_output=True,
+        text=True,
+    )
+    commit = proc.stdout.strip()
+    if proc.returncode != 0 or not commit:
+        raise RuntimeError(
+            f"cannot resolve git commit of {root}: "
+            f"{proc.stderr.strip() or 'empty rev-parse output'}"
+        )
+    status = subprocess.run(
+        ["git", "-C", str(root), "status", "--porcelain"],
+        capture_output=True,
+        text=True,
+    )
+    if status.returncode == 0 and status.stdout.strip():
+        commit += "-dirty"
+    return commit
+
+
+def _verify(run, chain_index: bool, metrics=None, chain_frontier=None):
     """One full verification pass; returns (report, wall_seconds,
     cpu_seconds), excluding pipeline sort time (the two paths share it and
     it is not under test).  Both clocks are kept: wall time is the headline
@@ -122,6 +177,7 @@ def _verify(run, chain_index: bool, metrics=None):
         spec=PG_SERIALIZABLE,
         initial_db=run.initial_db,
         chain_index=chain_index,
+        chain_frontier=chain_frontier,
         **({"metrics": metrics} if metrics is not None else {}),
     )
     traces = list(pipeline_from_client_streams(run.client_streams))
@@ -146,6 +202,251 @@ def report_fingerprint(report) -> dict:
         "violations": [str(v) for v in report.violations],
         "witnesses": report.descriptor.raw_count,
         "stats": stats,
+    }
+
+
+# -- primary: bytes-to-verdict latency-SLO suite (ISSUE 8) ----------------------
+
+
+def _encode_streams(streams):
+    """Serialise every client stream once, both formats; the encoded
+    payloads are the fixed input of every bytes-to-verdict round (encoding
+    happens on the capture side, so it is not part of the verdict path)."""
+    jsonl = {}
+    binary = {}
+    for client_id, traces in streams.items():
+        text_sink = StringIO()
+        dump_traces(traces, text_sink)
+        jsonl[client_id] = text_sink.getvalue()
+        byte_sink = BytesIO()
+        dump_traces_binary(traces, byte_sink)
+        binary[client_id] = byte_sink.getvalue()
+    return {
+        "jsonl": jsonl,
+        "binary": binary,
+        "jsonl_bytes": sum(len(t.encode("utf-8")) for t in jsonl.values()),
+        "binary_bytes": sum(len(b) for b in binary.values()),
+    }
+
+
+def _btv_reference(run, encoded_jsonl):
+    """Reference bytes-to-verdict leg: JSONL decode, per-trace heap
+    pipeline, ``process()`` one trace at a time, linear chain scans (the
+    ``REPRO_CR_INDEX=0`` escape hatch)."""
+    wall = time.perf_counter()
+    cpu = time.process_time()
+    streams = {
+        client_id: list(load_traces(StringIO(text)))
+        for client_id, text in encoded_jsonl.items()
+    }
+    verifier = Verifier(
+        spec=PG_SERIALIZABLE, initial_db=run.initial_db, chain_index=False
+    )
+    pipeline = pipeline_from_client_streams(streams, run_merge=False)
+    for trace in pipeline:
+        verifier.process(trace)
+    report = verifier.finish()
+    cpu = time.process_time() - cpu
+    wall = time.perf_counter() - wall
+    return report, wall, cpu
+
+
+def _btv_optimized(run, encoded_binary):
+    """Optimised bytes-to-verdict leg: binary codec decode, sorted-run
+    merge batches, ``process_batch``, frontier-indexed chains (all
+    defaults).  Also samples each dispatch round's ``process_batch`` wall
+    time as ``(batch_len, seconds)`` for the latency percentiles."""
+    samples = []
+    wall = time.perf_counter()
+    cpu = time.process_time()
+    streams = {
+        client_id: list(load_traces_binary(BytesIO(blob)))
+        for client_id, blob in encoded_binary.items()
+    }
+    verifier = Verifier(spec=PG_SERIALIZABLE, initial_db=run.initial_db)
+    pipeline = pipeline_from_client_streams(streams, run_merge=True)
+    for batch in pipeline.iter_batches():
+        tick = time.perf_counter()
+        verifier.process_batch(batch)
+        samples.append((len(batch), time.perf_counter() - tick))
+    report = verifier.finish()
+    cpu = time.process_time() - cpu
+    wall = time.perf_counter() - wall
+    return report, wall, cpu, samples
+
+
+def _dispatch_percentiles(per_round_samples):
+    """Per-trace dispatch latency percentiles.
+
+    A trace's dispatch latency is bounded by its round's ``process_batch``
+    duration (the round is the dispatch unit; every trace in it waits for
+    the whole round), so each trace is billed its round's wall time.  The
+    round structure is deterministic across repeats, so each round takes
+    its minimum duration over repeats -- the quiet-machine estimate --
+    before the per-trace expansion."""
+    rounds = min(len(s) for s in per_round_samples)
+    per_trace = []
+    for i in range(rounds):
+        size = per_round_samples[0][i][0]
+        seconds = min(s[i][1] for s in per_round_samples)
+        per_trace.extend([seconds] * size)
+    per_trace.sort()
+
+    def pct(q: float) -> float:
+        return per_trace[min(len(per_trace) - 1, int(q * len(per_trace)))] * 1000.0
+
+    return {
+        "p50_ms": round(pct(0.50), 3),
+        "p95_ms": round(pct(0.95), 3),
+        "p99_ms": round(pct(0.99), 3),
+        "max_ms": round(per_trace[-1] * 1000.0, 3),
+        "rounds": rounds,
+        "traces": len(per_trace),
+    }
+
+
+def bench_primary(run, rounds: int) -> dict:
+    """The ISSUE 8 primary: paired bytes-to-verdict rounds plus the CR
+    mechanism share and the dispatch-latency percentiles, all off the same
+    passes.  Fingerprints of the two stacks must match every round."""
+    encoded = _encode_streams(run.client_streams)
+    ratios = []
+    ref_cpu, opt_cpu = [], []
+    ref_wall, opt_wall = [], []
+    cr_shares = []
+    latency_samples = []
+    fingerprints_match = True
+    for _ in range(rounds):
+        pygc.collect()
+        ref_report, wall_r, cpu_r = _btv_reference(run, encoded["jsonl"])
+        pygc.collect()
+        opt_report, wall_o, cpu_o, samples = _btv_optimized(
+            run, encoded["binary"]
+        )
+        ref_cpu.append(cpu_r)
+        opt_cpu.append(cpu_o)
+        ref_wall.append(wall_r)
+        opt_wall.append(wall_o)
+        ratios.append(cpu_r / cpu_o if cpu_o else 0.0)
+        mech = opt_report.stats.mechanism_seconds
+        total = sum(mech.values())
+        cr_shares.append(mech.get("CR", 0.0) / total if total else 0.0)
+        latency_samples.append(samples)
+        if report_fingerprint(ref_report) != report_fingerprint(opt_report):
+            fingerprints_match = False
+    speedup = statistics.median(ratios)
+    return {
+        "definition": (
+            "bytes-to-verdict: serialised traces in, finished report out; "
+            "reference = JSONL decode + per-trace heap pipeline + process() "
+            "+ linear chains, optimized = binary decode + run-merge batches "
+            "+ process_batch() + frontier chains"
+        ),
+        "traces": sum(len(t) for t in run.client_streams.values()),
+        "jsonl_bytes": encoded["jsonl_bytes"],
+        "binary_bytes": encoded["binary_bytes"],
+        "rounds": rounds,
+        "paired_ratios": [round(r, 3) for r in ratios],
+        "speedup": round(speedup, 3),
+        "min_ratio": round(min(ratios), 3),
+        "reference_cpu_seconds": round(min(ref_cpu), 6),
+        "optimized_cpu_seconds": round(min(opt_cpu), 6),
+        "reference_seconds": round(min(ref_wall), 6),
+        "optimized_seconds": round(min(opt_wall), 6),
+        "cr_share": {
+            "per_round": [round(s, 4) for s in cr_shares],
+            "median": round(statistics.median(cr_shares), 4),
+        },
+        "dispatch_latency": _dispatch_percentiles(latency_samples),
+        "fingerprints_match": fingerprints_match,
+    }
+
+
+def bench_throughput(run, shard_counts, repeats: int) -> dict:
+    """Throughput-vs-shards: traces/sec through the batched spine at one
+    shard (the serial ``process_batch`` loop) and through the
+    process-backend :class:`ParallelVerifier` at each higher count.
+    Pipeline sort is included (it is part of the ingest path); best-of-N
+    wall time is the divisor.  Verdicts are cross-checked against the
+    serial run."""
+    from repro.core.parallel import ParallelVerifier
+
+    n_traces = sum(len(t) for t in run.client_streams.values())
+    points = {}
+    serial_ok = None
+    for shards in shard_counts:
+        walls = []
+        ok = None
+        for _ in range(repeats):
+            pygc.collect()
+            wall = time.perf_counter()
+            pipeline = pipeline_from_client_streams(run.client_streams)
+            if shards <= 1:
+                verifier = Verifier(
+                    spec=PG_SERIALIZABLE, initial_db=run.initial_db
+                )
+            else:
+                verifier = ParallelVerifier(
+                    spec=PG_SERIALIZABLE,
+                    initial_db=run.initial_db,
+                    shards=shards,
+                    backend="process",
+                )
+            for batch in pipeline.iter_batches():
+                verifier.process_batch(batch)
+            report = verifier.finish()
+            walls.append(time.perf_counter() - wall)
+            ok = report.ok
+        if shards <= 1:
+            serial_ok = ok
+        best = min(walls)
+        points[str(shards)] = {
+            "seconds": round(best, 6),
+            "traces_per_sec": round(n_traces / best, 1) if best else 0.0,
+            "ok": ok,
+        }
+    verdicts_match = all(p["ok"] == serial_ok for p in points.values())
+    return {
+        "workload": PRIMARY_WORKLOAD,
+        "traces": n_traces,
+        "shards": points,
+        "verdicts_match": verdicts_match,
+    }
+
+
+def bench_sharded_paths(name, run, shards: int = 2) -> dict:
+    """Fingerprint identity of the three chain paths under sharding: one
+    inline-backend parallel run per chain mode (linear / indexed /
+    frontier) at ``shards`` partitions, reports compared byte-for-byte.
+    The inline backend keeps the comparison deterministic and cheap; the
+    chain mode is worker-side state, so transport choice cannot mask a
+    divergence."""
+    from repro.core.parallel import ParallelVerifier
+
+    fingerprints = {}
+    for label, chain_index, chain_frontier in (
+        ("linear", False, False),
+        ("indexed", True, False),
+        ("frontier", True, True),
+    ):
+        verifier = ParallelVerifier(
+            spec=PG_SERIALIZABLE,
+            initial_db=run.initial_db,
+            shards=shards,
+            backend="inline",
+            chain_index=chain_index,
+            chain_frontier=chain_frontier,
+        )
+        for batch in pipeline_from_client_streams(run.client_streams).iter_batches():
+            verifier.process_batch(batch)
+        fingerprints[label] = report_fingerprint(verifier.finish())
+    return {
+        "shards": shards,
+        "paths_match": (
+            fingerprints["linear"]
+            == fingerprints["indexed"]
+            == fingerprints["frontier"]
+        ),
     }
 
 
@@ -628,16 +929,30 @@ def bench_baseline_tree(
     return json.loads(proc.stdout)
 
 
+#: the three chain paths every workload is timed and cross-checked on:
+#: the pre-overhaul linear scans, the bisect-indexed chains with the
+#: frontier fast path off (``REPRO_CR_FRONTIER=0``), and the full
+#: frontier-indexed default.
+CHAIN_PATHS = (
+    ("linear", False, False),
+    ("indexed", True, False),
+    ("frontier", True, True),
+)
+
+
 def bench_workload(name, run, repeats: int, stats_dir):
-    # Interleave the paths across repeats so machine-load drift hits both
-    # equally; best-of-N minima are compared.
-    seconds = {"linear": [], "indexed": []}
-    cpu_seconds = {"linear": [], "indexed": []}
-    cr_seconds = {"linear": [], "indexed": []}
+    # Interleave the paths across repeats so machine-load drift hits all
+    # of them equally; best-of-N minima are compared.
+    labels = [label for label, _, _ in CHAIN_PATHS]
+    seconds = {label: [] for label in labels}
+    cpu_seconds = {label: [] for label in labels}
+    cr_seconds = {label: [] for label in labels}
     fingerprints = {}
     for _ in range(repeats):
-        for label, chain_index in (("linear", False), ("indexed", True)):
-            report, wall, cpu = _verify(run, chain_index)
+        for label, chain_index, chain_frontier in CHAIN_PATHS:
+            report, wall, cpu = _verify(
+                run, chain_index, chain_frontier=chain_frontier
+            )
             seconds[label].append(wall)
             cpu_seconds[label].append(cpu)
             cr_seconds[label].append(
@@ -648,7 +963,11 @@ def bench_workload(name, run, repeats: int, stats_dir):
     best_cpu = {label: min(values) for label, values in cpu_seconds.items()}
     best_cr = {label: min(values) for label, values in cr_seconds.items()}
 
-    verdicts_match = fingerprints["linear"] == fingerprints["indexed"]
+    verdicts_match = (
+        fingerprints["linear"]
+        == fingerprints["indexed"]
+        == fingerprints["frontier"]
+    )
 
     # One instrumented indexed pass for the memo counters and the
     # mechanism breakdown (timing is taken from the uninstrumented runs).
@@ -658,8 +977,16 @@ def bench_workload(name, run, repeats: int, stats_dir):
         field: sum(
             metrics.counters_with_name(f"chain.memo.{field}").values()
         )
-        for field in ("hits", "misses", "invalidations")
+        for field in (
+            "hits",
+            "misses",
+            "invalidations",
+            "local_invalidations",
+            "frontier_hits",
+        )
     }
+    lookups = memo["hits"] + memo["misses"]
+    memo["hit_rate"] = round(memo["hits"] / lookups, 4) if lookups else 0.0
     if stats_dir is not None:
         document = run_stats(
             report, metrics=metrics, wall_seconds=instrumented_seconds
@@ -675,20 +1002,25 @@ def bench_workload(name, run, repeats: int, stats_dir):
         sorted(report.stats.mechanism_seconds.items())
     )
     speedup = (
-        best_cpu["linear"] / best_cpu["indexed"] if best_cpu["indexed"] else 0.0
+        best_cpu["linear"] / best_cpu["frontier"]
+        if best_cpu["frontier"]
+        else 0.0
     )
     cr_speedup = (
-        best_cr["linear"] / best_cr["indexed"] if best_cr["indexed"] else 0.0
+        best_cr["linear"] / best_cr["frontier"] if best_cr["frontier"] else 0.0
     )
     return {
         "linear_seconds": round(best["linear"], 6),
         "indexed_seconds": round(best["indexed"], 6),
+        "frontier_seconds": round(best["frontier"], 6),
         "linear_cpu_seconds": round(best_cpu["linear"], 6),
         "indexed_cpu_seconds": round(best_cpu["indexed"], 6),
+        "frontier_cpu_seconds": round(best_cpu["frontier"], 6),
         "speedup": round(speedup, 3),
         "cr_breakdown": {
             "linear_seconds": round(best_cr["linear"], 6),
             "indexed_seconds": round(best_cr["indexed"], 6),
+            "frontier_seconds": round(best_cr["frontier"], 6),
             "speedup": round(cr_speedup, 3),
         },
         "verdicts_match": verdicts_match,
@@ -711,7 +1043,16 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="CI smoke: scale 0.2, one timing repeat per path",
+        help="CI smoke: scale 0.2, fewer repeats, relaxed SLO thresholds",
+    )
+    parser.add_argument(
+        "--slo",
+        action="store_true",
+        help=(
+            "enforce the latency SLOs (whole-run speedup, CR share, p99 "
+            "dispatch latency) via the exit code; they are recorded either "
+            "way, and correctness gates fail the run regardless"
+        ),
     )
     parser.add_argument(
         "--scale",
@@ -723,13 +1064,16 @@ def main(argv=None) -> int:
         "--repeats",
         type=int,
         default=None,
-        help="timing repeats per path, best-of (default: 3, or 1 with --quick)",
+        help=(
+            "timing repeats per path and paired primary rounds, best-of / "
+            "median-of (default: 7, or 2 with --quick)"
+        ),
     )
     parser.add_argument(
         "--out",
         type=Path,
         default=None,
-        help="write the repro.bench/v1 document here (default: stdout only)",
+        help="write the repro.bench/v2 document here (default: stdout only)",
     )
     parser.add_argument(
         "--baseline-root",
@@ -744,7 +1088,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--baseline-commit",
         default=None,
-        help="commit id of --baseline-root, recorded in the document",
+        help=(
+            "expected commit id of --baseline-root; the bench resolves the "
+            "actual HEAD itself (and fails if it cannot), this flag only "
+            "cross-checks the resolution"
+        ),
     )
     parser.add_argument(
         "--parallel",
@@ -790,23 +1138,73 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     scale = args.scale if args.scale is not None else (0.2 if args.quick else 1.0)
-    repeats = args.repeats if args.repeats is not None else (1 if args.quick else 3)
+    repeats = args.repeats if args.repeats is not None else (2 if args.quick else 7)
     stats_dir = os.environ.get("REPRO_BENCH_STATS_DIR")
 
+    # Provenance first: a bench document that cannot name the tree it
+    # measured is worthless, so an unresolvable commit fails the run
+    # before any timing is spent.
+    try:
+        tree_commit = _git_commit(Path(__file__).resolve().parent.parent)
+    except RuntimeError as exc:
+        print(f"[bench] FAIL: {exc}", file=sys.stderr)
+        return 1
+
+    # The latency-SLO suite runs FIRST, on a fresh heap.  The dispatch
+    # percentiles are absolute times, not paired ratios, so running them
+    # after the three-path workload loops (several minutes of allocation
+    # churn in the same process) systematically inflates them -- the
+    # per-round minima cannot undo heap state that every repeat shares.
+    makers = _workloads(scale)
+    primary_run = makers[PRIMARY_WORKLOAD]()
+    print(
+        f"[bench] primary bytes-to-verdict ({PRIMARY_WORKLOAD}, "
+        f"rounds={repeats}) ...",
+        flush=True,
+    )
+    primary_btv = bench_primary(primary_run, repeats)
+    latency = primary_btv["dispatch_latency"]
+    print(
+        f"[bench] bytes-to-verdict: speedup={primary_btv['speedup']:.2f}x "
+        f"(min {primary_btv['min_ratio']:.2f}x over {repeats} paired rounds), "
+        f"CR share {primary_btv['cr_share']['median']:.1%}, dispatch "
+        f"p50={latency['p50_ms']:.1f}ms p95={latency['p95_ms']:.1f}ms "
+        f"p99={latency['p99_ms']:.1f}ms, "
+        f"fingerprints_match={primary_btv['fingerprints_match']}",
+        flush=True,
+    )
+
+    shard_counts = (1, 2) if args.quick else (1, 2, 4)
+    print(
+        f"[bench] throughput vs shards {list(shard_counts)} "
+        f"({PRIMARY_WORKLOAD}) ...",
+        flush=True,
+    )
+    throughput = bench_throughput(primary_run, shard_counts, max(1, repeats // 2))
+    print(
+        "[bench] throughput: "
+        + ", ".join(
+            f"{shards} shard(s) {point['traces_per_sec']:.0f}/s"
+            for shards, point in throughput["shards"].items()
+        )
+        + f", verdicts_match={throughput['verdicts_match']}",
+        flush=True,
+    )
+
     workloads = {}
-    primary_run = None
-    for name, make_run in _workloads(scale).items():
+    for name, make_run in makers.items():
         print(f"[bench] {name} (scale={scale}, repeats={repeats}) ...", flush=True)
-        run = make_run()
-        if name == PRIMARY_WORKLOAD:
-            primary_run = run
+        run = primary_run if name == PRIMARY_WORKLOAD else make_run()
         result = bench_workload(name, run, repeats, stats_dir)
+        result["sharded"] = bench_sharded_paths(name, run)
         workloads[name] = result
         print(
             f"[bench] {name}: linear={result['linear_seconds']:.3f}s "
             f"indexed={result['indexed_seconds']:.3f}s "
+            f"frontier={result['frontier_seconds']:.3f}s "
             f"speedup={result['speedup']:.2f}x "
-            f"verdicts_match={result['verdicts_match']}",
+            f"verdicts_match={result['verdicts_match']} "
+            f"sharded_match={result['sharded']['paths_match']}",
             flush=True,
         )
 
@@ -916,17 +1314,60 @@ def main(argv=None) -> int:
         )
 
     primary = workloads[PRIMARY_WORKLOAD]
+
+    if args.quick:
+        slo_targets = {
+            "whole_run_speedup": SLO_QUICK_WHOLE_RUN,
+            "cr_share_max": SLO_QUICK_CR_SHARE,
+            "p99_dispatch_ms_max": SLO_QUICK_P99_DISPATCH_MS,
+        }
+    else:
+        slo_targets = {
+            "whole_run_speedup": SLO_WHOLE_RUN,
+            "cr_share_max": SLO_CR_SHARE,
+            "p99_dispatch_ms_max": SLO_P99_DISPATCH_MS,
+        }
+    slo = {
+        "enforced": bool(args.slo),
+        "quick_thresholds": bool(args.quick),
+        "whole_run_speedup": {
+            "value": primary_btv["speedup"],
+            "target": slo_targets["whole_run_speedup"],
+            "met": primary_btv["speedup"] >= slo_targets["whole_run_speedup"],
+        },
+        "cr_share": {
+            "value": primary_btv["cr_share"]["median"],
+            "target_max": slo_targets["cr_share_max"],
+            "met": primary_btv["cr_share"]["median"]
+            < slo_targets["cr_share_max"],
+        },
+        "p99_dispatch_ms": {
+            "value": latency["p99_ms"],
+            "target_max": slo_targets["p99_dispatch_ms_max"],
+            "met": latency["p99_ms"] <= slo_targets["p99_dispatch_ms_max"],
+        },
+    }
+    slo["all_met"] = all(
+        slo[key]["met"]
+        for key in ("whole_run_speedup", "cr_share", "p99_dispatch_ms")
+    )
+
     document = {
         "schema": SCHEMA,
+        "commit": tree_commit,
         "scale": scale,
         "quick": args.quick,
         "repeats": repeats,
         "primary": {
             "workload": PRIMARY_WORKLOAD,
-            "speedup": primary["speedup"],
+            "whole_run": primary_btv,
+            "verify_speedup": primary["speedup"],
             "cr_breakdown_speedup": primary["cr_breakdown"]["speedup"],
-            "target": PRIMARY_TARGET,
+            "verify_target": PRIMARY_TARGET,
+            "target_met": slo["all_met"],
         },
+        "slo": slo,
+        "throughput": throughput,
         "ingestion": ingestion,
         "workloads": workloads,
     }
@@ -935,9 +1376,24 @@ def main(argv=None) -> int:
     if service is not None:
         document["service"] = service
     if args.baseline_root is not None:
+        try:
+            baseline_commit = _git_commit(args.baseline_root)
+        except RuntimeError as exc:
+            print(f"[bench] FAIL: {exc}", file=sys.stderr)
+            return 1
+        if (
+            args.baseline_commit is not None
+            and not baseline_commit.startswith(args.baseline_commit)
+        ):
+            print(
+                f"[bench] FAIL: --baseline-root HEAD is {baseline_commit}, "
+                f"not the expected {args.baseline_commit}",
+                file=sys.stderr,
+            )
+            return 1
         txns = max(50, int(1000 * scale))
         print(
-            f"[bench] baseline {args.baseline_root} "
+            f"[bench] baseline {args.baseline_root} @ {baseline_commit[:12]} "
             f"({PRIMARY_WORKLOAD}, repeats={repeats}) ...",
             flush=True,
         )
@@ -948,35 +1404,30 @@ def main(argv=None) -> int:
             parallel_shards=streaming["shards"] if streaming is not None else 0,
         )
         speedup_vs_baseline = (
-            baseline["cpu_seconds"] / primary["indexed_cpu_seconds"]
-            if primary["indexed_cpu_seconds"]
+            baseline["cpu_seconds"] / primary["frontier_cpu_seconds"]
+            if primary["frontier_cpu_seconds"]
             else 0.0
         )
         cr_speedup_vs_baseline = (
             baseline["cr_seconds"]
-            / primary["cr_breakdown"]["indexed_seconds"]
-            if primary["cr_breakdown"]["indexed_seconds"]
+            / primary["cr_breakdown"]["frontier_seconds"]
+            if primary["cr_breakdown"]["frontier_seconds"]
             else 0.0
         )
         document["baseline"] = {
             "root": str(args.baseline_root),
-            "commit": args.baseline_commit,
+            "commit": baseline_commit,
             "workload": PRIMARY_WORKLOAD,
             "seconds": round(baseline["seconds"], 6),
             "cpu_seconds": round(baseline["cpu_seconds"], 6),
             "cr_seconds": round(baseline["cr_seconds"], 6),
             "summary": baseline["summary"],
             "ok": baseline["ok"],
+            "speedup_vs_baseline": round(speedup_vs_baseline, 3),
+            "cr_breakdown_speedup_vs_baseline": round(
+                cr_speedup_vs_baseline, 3
+            ),
         }
-        document["primary"].update(
-            {
-                "speedup_vs_baseline": round(speedup_vs_baseline, 3),
-                "cr_breakdown_speedup_vs_baseline": round(
-                    cr_speedup_vs_baseline, 3
-                ),
-                "target_met": cr_speedup_vs_baseline >= PRIMARY_TARGET,
-            }
-        )
         print(
             f"[bench] baseline: {baseline['seconds']:.3f}s "
             f"(CR {baseline['cr_seconds']:.3f}s) -> "
@@ -1064,8 +1515,31 @@ def main(argv=None) -> int:
     mismatched = [n for n, w in workloads.items() if not w["verdicts_match"]]
     if mismatched:
         print(
-            f"[bench] FAIL: indexed and linear verdicts differ on: "
+            f"[bench] FAIL: linear/indexed/frontier verdicts differ on: "
             f"{', '.join(mismatched)}",
+            file=sys.stderr,
+        )
+        return 1
+    sharded_mismatched = [
+        n for n, w in workloads.items() if not w["sharded"]["paths_match"]
+    ]
+    if sharded_mismatched:
+        print(
+            f"[bench] FAIL: sharded chain-path reports differ on: "
+            f"{', '.join(sharded_mismatched)}",
+            file=sys.stderr,
+        )
+        return 1
+    if not primary_btv["fingerprints_match"]:
+        print(
+            "[bench] FAIL: bytes-to-verdict reference and optimized stacks "
+            "produced different reports",
+            file=sys.stderr,
+        )
+        return 1
+    if not throughput["verdicts_match"]:
+        print(
+            "[bench] FAIL: sharded throughput verdicts differ from serial",
             file=sys.stderr,
         )
         return 1
@@ -1154,6 +1628,18 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             return 1
+    if args.slo and not slo["all_met"]:
+        missed = [
+            f"{key}: {slo[key]['value']} vs target "
+            f"{slo[key].get('target', slo[key].get('target_max'))}"
+            for key in ("whole_run_speedup", "cr_share", "p99_dispatch_ms")
+            if not slo[key]["met"]
+        ]
+        print(
+            f"[bench] FAIL: latency SLOs missed: {'; '.join(missed)}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
