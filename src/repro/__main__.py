@@ -211,7 +211,7 @@ def cmd_serve(args) -> int:
     import asyncio
     import signal
 
-    from .service import IngestGateway, ServiceConfig
+    from .service import ServiceConfig, create_gateway
 
     spec = _resolve_spec(args.dbms, args.level)
     initial_db = (
@@ -232,11 +232,16 @@ def cmd_serve(args) -> int:
         gc_every=args.gc_every,
         session_credit=args.credit,
         pending_budget=args.budget,
+        status_refresh=args.status_refresh,
         metrics=metrics,
     )
+    if args.workers is not None:
+        # None keeps ServiceConfig's default (the REPRO_SERVICE_WORKERS
+        # escape hatch).
+        config.acceptor_workers = max(1, args.workers)
 
     async def serve() -> int:
-        gateway = IngestGateway(config)
+        gateway = create_gateway(config)
         await gateway.start()
         print(f"ingest endpoint : {gateway.ingest_endpoint}", flush=True)
         print(f"status endpoint : {gateway.status_endpoint}", flush=True)
@@ -407,6 +412,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument(
         "--budget", type=int, default=200_000,
         help="service-wide pending-event ceiling",
+    )
+    serve_p.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="acceptor worker processes (default: REPRO_SERVICE_WORKERS "
+        "or 1 = single-loop gateway)",
+    )
+    serve_p.add_argument(
+        "--status-refresh", type=float, default=0.25, metavar="SECONDS",
+        help="multi-worker status snapshot-cache refresh interval",
     )
     serve_p.add_argument(
         "--stats", action="store_true",

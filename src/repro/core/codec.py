@@ -51,6 +51,7 @@ from .trace import (
     OpStatus,
     STATUS_TO_CODE,
     Trace,
+    _trace_counter,
 )
 
 #: Versioned header; bump the suffix for incompatible layout changes.
@@ -406,7 +407,10 @@ def encode_batch(traces: Sequence[Trace]) -> bytes:
     return encoder.finish()
 
 
-def decode_batch(payload: Union[bytes, memoryview]) -> List[Trace]:
+def decode_batch(
+    payload: Union[bytes, memoryview],
+    first_trace_id: Optional[int] = None,
+) -> List[Trace]:
     """Decode one frame payload back into traces.
 
     This is the ingestion hot loop, so the record grammar is decoded
@@ -416,6 +420,12 @@ def decode_batch(payload: Union[bytes, memoryview]) -> List[Trace]:
     equivalence is pinned by the codec tests).  Varints take a
     single-byte fast path because ids, counts and table refs almost
     always fit seven bits.
+
+    ``first_trace_id`` stamps deterministic ids during construction:
+    record ``i`` gets ``first_trace_id + i`` instead of a fresh
+    process-local counter value.  The service's forwarding tier uses this
+    to materialise the session registry's ``client_id << SEQ_BITS | seq``
+    stamps without a second per-trace ``dataclasses.replace`` pass.
     """
     data = bytes(payload)
     size = len(data)
@@ -504,11 +514,14 @@ def decode_batch(payload: Union[bytes, memoryview]) -> List[Trace]:
         n_records, pos = _varint(pos)
         traces: List[Trace] = []
         append = traces.append
+        next_id = (
+            _trace_counter.__next__ if first_trace_id is None else None
+        )
         unpack_dd = _DD.unpack_from
         code_to_kind = CODE_TO_KIND
         status_ok = OpStatus.OK
         status_failed = CODE_TO_STATUS[1]
-        for _ in range(n_records):
+        for record_index in range(n_records):
             flags = data[pos]
             index = data[pos + 1]
             if index < 0x80:
@@ -557,6 +570,11 @@ def decode_batch(payload: Union[bytes, memoryview]) -> List[Trace]:
                     for_update=bool(flags & _F_FOR_UPDATE),
                     predicate=predicate,
                     op_index=op_index,
+                    trace_id=(
+                        next_id()
+                        if next_id is not None
+                        else first_trace_id + record_index
+                    ),
                 )
             )
     except (IndexError, struct.error):

@@ -144,6 +144,40 @@ class OnlineVerifier:
         self._floors[client_id] = last
         return self._advance()
 
+    def feed_validated(self, client_id: int, traces: Sequence[Trace]) -> int:
+        """Push a pre-validated run of traces from one client.
+
+        The multi-loop service's acceptor workers already enforce the
+        per-trace contract (ownership, monotonicity, the floor) before
+        forwarding, so the hot verifier loop only re-checks the O(1)
+        endpoints -- the late-join guard against the dispatched watermark
+        and the batch-head floor -- then stages the run and advances.
+        Behaviour is otherwise identical to :meth:`feed_batch`; callers
+        that cannot vouch for the run must use :meth:`feed_batch`.
+        """
+        if self._finished:
+            raise RuntimeError("online verifier already finished")
+        if not traces:
+            return 0
+        stage = self._stages.setdefault(client_id, [])
+        floor = self._floors.setdefault(client_id, float("-inf"))
+        first = traces[0].ts_bef
+        if first < self._emitted:
+            raise ValueError(
+                f"client {client_id} pushed trace at {first} "
+                f"behind the dispatched watermark {self._emitted}; sessions "
+                f"must join before verification passes their first timestamp"
+            )
+        last = stage[-1].ts_bef if stage else floor
+        if first < max(floor, last):
+            raise ValueError(
+                f"client {client_id} pushed trace at {first} "
+                f"behind its progress mark {max(floor, last)}"
+            )
+        stage.extend(traces)
+        self._floors[client_id] = traces[-1].ts_bef
+        return self._advance()
+
     def evict_client(self, client_id: int) -> int:
         """Forget a client entirely: drop its staged traces and remove it
         from watermark accounting.  The gateway evicts sessions that sent
@@ -312,12 +346,22 @@ class OnlineVerifier:
         # absorbing the read traffic" without shipping the whole registry.
         memo = {"hits": 0, "misses": 0, "hit_rate": 0.0}
         if registry is not None and registry.enabled:
-            memo["hits"] = sum(
-                registry.counters_with_name("chain.memo.hits").values()
-            )
-            memo["misses"] = sum(
-                registry.counters_with_name("chain.memo.misses").values()
-            )
+            # Sharded backends own the memo counters in their workers; the
+            # coordinator's registry only absorbs them at finish.  The
+            # backend accessor surfaces the mid-run values the workers ship
+            # with every journal segment, so a status poll during the soak
+            # sees real numbers instead of zeros.
+            counts = getattr(self._verifier, "chain_memo_counts", None)
+            live = counts() if callable(counts) else None
+            if live is not None:
+                memo["hits"], memo["misses"] = live
+            else:
+                memo["hits"] = sum(
+                    registry.counters_with_name("chain.memo.hits").values()
+                )
+                memo["misses"] = sum(
+                    registry.counters_with_name("chain.memo.misses").values()
+                )
             lookups = memo["hits"] + memo["misses"]
             memo["hit_rate"] = (
                 round(memo["hits"] / lookups, 4) if lookups else 0.0

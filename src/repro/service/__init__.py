@@ -9,7 +9,14 @@ operator watches live status and mid-run violations.
 Wire protocol and operations guide: ``docs/service.md``.
 """
 
-from .gateway import IngestGateway, ServiceConfig
+from .gateway import IngestGateway, ServiceConfig, create_gateway
 from .protocol import ServiceProtocolError
+from .workers import MultiLoopGateway
 
-__all__ = ["IngestGateway", "ServiceConfig", "ServiceProtocolError"]
+__all__ = [
+    "IngestGateway",
+    "MultiLoopGateway",
+    "ServiceConfig",
+    "ServiceProtocolError",
+    "create_gateway",
+]

@@ -38,7 +38,8 @@ from __future__ import annotations
 
 import asyncio
 import json
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Set, Tuple, Union
 
 from ..core.codec import CodecError, decode_batch
@@ -52,6 +53,16 @@ from .protocol import ServiceProtocolError
 from .sessions import Session, SessionRegistry
 
 Key = object
+
+
+def _default_workers() -> int:
+    """``REPRO_SERVICE_WORKERS`` escape hatch: 1 keeps this module's
+    single-loop gateway (the reference oracle); N > 1 selects the
+    multi-loop ingest tier (``workers``)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_SERVICE_WORKERS", "1")))
+    except ValueError:
+        return 1
 
 
 @dataclass
@@ -85,7 +96,55 @@ class ServiceConfig:
     #: handshake, so size for the connection *burst*, not the steady
     #: state.
     listen_backlog: int = 1024
+    #: acceptor processes in front of the verifier loop.  1 (the
+    #: default, overridable via ``REPRO_SERVICE_WORKERS``) runs the
+    #: single-loop gateway below, verbatim; N > 1 selects the
+    #: stamp-and-forward multi-loop tier (``repro.service.workers``).
+    acceptor_workers: int = field(default_factory=_default_workers)
+    #: multi-loop only: minimum seconds between status-document renders
+    #: (the snapshot cache's staleness bound).
+    status_refresh: float = 0.25
+    #: multi-loop only: seconds between each worker's stats flush to the
+    #: coordinator.
+    stats_interval: float = 0.2
     metrics: Optional[MetricsRegistry] = None
+
+
+def build_backend(config: ServiceConfig):
+    """The verifier backend a gateway feeds: serial below ``shards=1``,
+    the sharded parallel verifier with the streamed merge otherwise."""
+    if config.shards > 0:
+        from ..core.parallel import ParallelVerifier
+
+        return ParallelVerifier(
+            spec=config.spec,
+            initial_db=config.initial_db,
+            shards=config.shards,
+            backend=config.backend,
+            stream_merge=config.stream_merge,
+            gc_every=config.gc_every,
+            metrics=config.metrics,
+        )
+    from ..core.verifier import Verifier
+
+    return Verifier(
+        spec=config.spec,
+        initial_db=config.initial_db,
+        gc_every=config.gc_every,
+        metrics=config.metrics,
+    )
+
+
+def create_gateway(config: ServiceConfig):
+    """Gateway factory: the single-loop :class:`IngestGateway` for
+    ``acceptor_workers=1`` (the reference oracle, kept verbatim), the
+    multi-loop :class:`~repro.service.workers.MultiLoopGateway` above
+    that.  Both expose the same lifecycle, endpoints and status schema."""
+    if config.acceptor_workers > 1:
+        from .workers import MultiLoopGateway
+
+        return MultiLoopGateway(config)
+    return IngestGateway(config)
 
 
 class IngestGateway:
@@ -95,27 +154,7 @@ class IngestGateway:
     def __init__(self, config: ServiceConfig):
         self.config = config
         self.metrics = config.metrics if config.metrics is not None else NULL_REGISTRY
-        if config.shards > 0:
-            from ..core.parallel import ParallelVerifier
-
-            self._backend = ParallelVerifier(
-                spec=config.spec,
-                initial_db=config.initial_db,
-                shards=config.shards,
-                backend=config.backend,
-                stream_merge=config.stream_merge,
-                gc_every=config.gc_every,
-                metrics=config.metrics,
-            )
-        else:
-            from ..core.verifier import Verifier
-
-            self._backend = Verifier(
-                spec=config.spec,
-                initial_db=config.initial_db,
-                gc_every=config.gc_every,
-                metrics=config.metrics,
-            )
+        self._backend = build_backend(config)
         self.online = OnlineVerifier(verifier=self._backend)
         self.registry = SessionRegistry()
 
@@ -519,6 +558,17 @@ class IngestGateway:
             pass
 
     # -- status connections ------------------------------------------------
+
+    def status_document(self) -> Dict[str, object]:
+        """The ``status`` response body.  Rendered inline -- the
+        single-loop gateway is the reference oracle and stays verbatim;
+        the multi-loop gateway overrides this with a snapshot cache."""
+        return status.status_document(self)
+
+    def worker_trace_counts(self) -> List[int]:
+        """Traces accepted per acceptor worker (one entry here: the
+        single loop is its own acceptor)."""
+        return [self.traces_total]
 
     async def _handle_status(self, reader, writer) -> None:
         """Line-JSON query loop: one request line in, one response line

@@ -22,7 +22,9 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
+import math
 import time
+from collections import deque
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
@@ -33,7 +35,7 @@ from ..core.report import report_fingerprint
 from ..core.spec import PG_SERIALIZABLE, IsolationSpec
 from ..core.trace import Trace
 from . import protocol
-from .gateway import IngestGateway, ServiceConfig
+from .gateway import ServiceConfig, create_gateway
 from .sessions import SEQ_BITS
 
 #: Traces per synthetic transaction: read own, write own, read hot, commit.
@@ -52,6 +54,10 @@ class LoadConfig:
     traces: int = 100_000
     sessions: int = 16
     shards: int = 0
+    #: acceptor workers (1 = the single-loop reference gateway).
+    workers: int = 1
+    #: multi-loop status snapshot-cache refresh (staleness bound).
+    status_refresh: float = 0.25
     backend: str = "process"
     frame_traces: int = 512
     session_credit: int = 8
@@ -151,7 +157,13 @@ async def drive_client(
         "paused": 0,
         "errors": [],
         "acked": None,
+        "latencies": [],
     }
+    # Ingest latency per frame: send -> matching CREDIT return.  The
+    # server returns exactly one credit per drained frame, in order, so
+    # a FIFO of send timestamps pairs them up without sequence numbers.
+    sent_at: "deque" = deque()
+    latencies: List[float] = stats["latencies"]
     try:
         writer.write(protocol.SERVICE_MAGIC + protocol.hello_frame(client_id))
         await writer.drain()
@@ -180,7 +192,10 @@ async def drive_client(
                     return
                 tag, body = protocol.split_frame(payload)
                 if tag == protocol.S_CREDIT:
+                    now = time.perf_counter()
                     for _ in range(int(protocol.parse_control(tag, body)["frames"])):
+                        if sent_at:
+                            latencies.append(now - sent_at.popleft())
                         credit.release()
                 elif tag == protocol.S_PAUSE:
                     stats["paused"] += 1
@@ -207,6 +222,7 @@ async def drive_client(
                 await credit.acquire()
                 if finished.is_set():
                     break
+                sent_at.append(time.perf_counter())
                 writer.write(frame)
                 await writer.drain()
                 stats["frames"] += 1
@@ -250,6 +266,27 @@ async def query_status(path: str, request: str) -> Dict[str, object]:
 # -- the run ------------------------------------------------------------------
 
 
+def _percentile(values: List[float], q: float) -> Optional[float]:
+    """Nearest-rank percentile of an unsorted sample (None when empty)."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def _latency_summary(values: List[float]) -> Optional[Dict[str, object]]:
+    """p50/p95/p99 of one latency sample, rounded to microseconds."""
+    if not values:
+        return None
+    return {
+        "count": len(values),
+        "p50": round(_percentile(values, 0.50), 6),
+        "p95": round(_percentile(values, 0.95), 6),
+        "p99": round(_percentile(values, 0.99), 6),
+    }
+
+
 def offline_fingerprint(cfg: LoadConfig) -> str:
     """Verify the identical streams through the offline batch path (same
     shard configuration) and fingerprint the report."""
@@ -288,7 +325,7 @@ async def run_load(cfg: LoadConfig) -> Dict[str, object]:
     for path in (ingest_path, status_path):
         if os.path.exists(path):
             os.unlink(path)
-    gateway = IngestGateway(
+    gateway = create_gateway(
         ServiceConfig(
             spec=cfg.spec,
             initial_db=initial_db(cfg),
@@ -299,6 +336,8 @@ async def run_load(cfg: LoadConfig) -> Dict[str, object]:
             gc_every=cfg.gc_every,
             session_credit=cfg.session_credit,
             pending_budget=cfg.pending_budget,
+            acceptor_workers=cfg.workers,
+            status_refresh=cfg.status_refresh,
             # Instrumented so the status endpoint's chain_memo block (and
             # the chain.memo.hit_rate gauge) carries real numbers during
             # the soak; the documented registry overhead is <5%.
@@ -306,7 +345,7 @@ async def run_load(cfg: LoadConfig) -> Dict[str, object]:
         )
     )
     await gateway.start()
-    polls = {"count": 0, "pending_max": 0, "chain_memo": None}
+    polls = {"count": 0, "pending_max": 0, "chain_memo": None, "cache_age_max": None}
     stop_polling = asyncio.Event()
 
     async def poll_loop() -> None:
@@ -319,6 +358,12 @@ async def run_load(cfg: LoadConfig) -> Dict[str, object]:
                 memo = doc.get("verifier", {}).get("chain_memo")
                 if memo is not None:
                     polls["chain_memo"] = memo
+                cache = doc.get("cache")
+                if cache is not None:
+                    age = float(cache.get("age_seconds", 0.0))
+                    polls["cache_age_max"] = max(
+                        polls["cache_age_max"] or 0.0, age
+                    )
             except (ConnectionError, OSError, ValueError):
                 pass
             try:
@@ -360,15 +405,34 @@ async def run_load(cfg: LoadConfig) -> Dict[str, object]:
 
     total = cfg.actual_traces
     accepted = sum(int(s["acked"] or 0) for s in client_stats)
+    worker_traces = gateway.worker_trace_counts()
     offline_start = time.perf_counter()
     offline = offline_fingerprint(cfg)
     offline_seconds = time.perf_counter() - offline_start
+    all_latencies = [lat for s in client_stats for lat in s["latencies"]]
     return {
-        "schema": "repro.service-load/v1",
+        "schema": "repro.service-load/v2",
         "traces": total,
         "traces_accepted": accepted,
         "sessions": cfg.sessions,
         "shards": cfg.shards,
+        "workers": cfg.workers,
+        # v2: where did the ingest work land, and what did a frame cost?
+        "worker_traces": worker_traces,
+        "ingest_latency": _latency_summary(all_latencies),
+        "session_latency": [
+            {"client": s["client"], **(_latency_summary(s["latencies"]) or {})}
+            for s in client_stats
+            if s["latencies"]
+        ],
+        "status_cache": (
+            None
+            if cfg.workers <= 1
+            else {
+                "refresh_interval": cfg.status_refresh,
+                "age_max": polls["cache_age_max"],
+            }
+        ),
         "frame_traces": cfg.frame_traces,
         "session_credit": cfg.session_credit,
         "pending_budget": cfg.pending_budget,

@@ -112,7 +112,9 @@ async def handle_query(gateway, line: bytes) -> Dict[str, object]:
     if q == "ping":
         return {"ok": True, "q": q, "pong": True}
     if q == "status":
-        return {"ok": True, "q": q, **status_document(gateway)}
+        # Via the gateway so the multi-loop tier can serve its snapshot
+        # cache; the single-loop gateway renders inline as before.
+        return {"ok": True, "q": q, **gateway.status_document()}
     if q == "violations":
         try:
             offset = int(request.get("offset", 0))

@@ -1291,25 +1291,75 @@ def main(argv=None) -> int:
 
         from repro.service.load import LoadConfig, run_load_sync
 
-        service_cfg = LoadConfig(
-            traces=max(2_000, int(40_000 * scale)),
-            sessions=max(4, int(16 * scale)),
-            shards=args.parallel if args.parallel > 0 else 2,
-            backend="inline",
-            frame_traces=64,
-            pending_budget=max(5_000, int(100_000 * scale)),
-            socket_dir=tempfile.mkdtemp(prefix="repro-bench-svc-"),
+        # Like the streaming-overlap targets above, the multi-loop
+        # speedup is only observable when the acceptor workers and the
+        # verifier genuinely run on separate cores; on a single-core
+        # host everything timeshares one CPU and the sweep degenerates
+        # to measuring forwarding overhead, so the 1.3x target is
+        # recorded but gated on multi-core.
+        try:
+            svc_cores = len(os.sched_getaffinity(0))
+        except AttributeError:  # pragma: no cover - non-Linux
+            svc_cores = os.cpu_count() or 1
+        sweep = []
+        for svc_workers in (1, 2):
+            service_cfg = LoadConfig(
+                traces=max(2_000, int(40_000 * scale)),
+                sessions=max(4, int(16 * scale)),
+                shards=args.parallel if args.parallel > 0 else 2,
+                workers=svc_workers,
+                backend="inline",
+                frame_traces=64,
+                pending_budget=max(5_000, int(100_000 * scale)),
+                socket_dir=tempfile.mkdtemp(prefix="repro-bench-svc-"),
+            )
+            print(
+                f"[bench] service ingest ceiling "
+                f"(traces={service_cfg.actual_traces}, "
+                f"sessions={service_cfg.sessions}, "
+                f"shards={service_cfg.shards}, "
+                f"workers={svc_workers}) ...",
+                flush=True,
+            )
+            point = run_load_sync(service_cfg)
+            print(
+                f"[bench] service workers={svc_workers}: "
+                f"{point['traces_per_sec']:.1f} traces/sec, "
+                f"pending peak {point['pending_peak']}/"
+                f"{point['pending_budget']}, "
+                f"fingerprints_match={point['fingerprints_match']}",
+                flush=True,
+            )
+            sweep.append(point)
+        single, multi = sweep
+        speedup = (
+            multi["traces_per_sec"] / single["traces_per_sec"]
+            if single["traces_per_sec"]
+            else 0.0
         )
-        print(
-            f"[bench] service ingest ceiling (traces={service_cfg.actual_traces}, "
-            f"sessions={service_cfg.sessions}, shards={service_cfg.shards}) ...",
-            flush=True,
+        correct = all(
+            point["fingerprints_match"]
+            and point["within_budget"]
+            and point["report_ok"] is True
+            and point["client_errors"] == 0
+            and sum(point["worker_traces"]) == point["traces_accepted"]
+            for point in sweep
         )
-        service = run_load_sync(service_cfg)
+        service = {
+            "sweep": sweep,
+            "speedup": speedup,
+            "targets": {
+                "multi_core_speedup": 1.3,
+                "cores": svc_cores,
+                "perf_gated": svc_cores > 1,
+                "met": speedup >= 1.3 if svc_cores > 1 else None,
+            },
+            "correct": correct,
+        }
         print(
-            f"[bench] service: {service['traces_per_sec']:.1f} traces/sec, "
-            f"pending peak {service['pending_peak']}/{service['pending_budget']}, "
-            f"fingerprints_match={service['fingerprints_match']}",
+            f"[bench] service sweep: workers 1->2 speedup {speedup:.2f}x "
+            f"(target 1.3x, {'gated' if svc_cores > 1 else 'ungated: 1 core'}), "
+            f"correct={correct}",
             flush=True,
         )
 
@@ -1602,25 +1652,47 @@ def main(argv=None) -> int:
             return 1
     if service is not None:
         failures = []
-        # The service block is a correctness gate like the streaming one:
-        # traces/sec is recorded for the trajectory, but a drain that is
-        # not byte-identical to the offline run, a budget breach, or any
-        # client-visible protocol error fails the bench outright.
-        if not service["fingerprints_match"]:
-            failures.append("service drain report != offline report")
-        if not service["within_budget"]:
+        # The service sweep is a correctness gate like the streaming one
+        # at every point: traces/sec is recorded for the trajectory, but
+        # a drain that is not byte-identical to the offline run, a
+        # budget breach, any client-visible protocol error, or
+        # per-worker counts that do not sum to the accepted total fail
+        # the bench outright, workers=1 and workers=2 alike.
+        for point in service["sweep"]:
+            label = f"workers={point['workers']}"
+            if not point["fingerprints_match"]:
+                failures.append(f"{label}: drain report != offline report")
+            if not point["within_budget"]:
+                failures.append(
+                    f"{label}: pending peak {point['pending_peak']} exceeds "
+                    f"budget {point['pending_budget']}"
+                )
+            if point["client_errors"]:
+                failures.append(
+                    f"{label}: {point['client_errors']} client protocol "
+                    f"error(s)"
+                )
+            if point["traces_accepted"] != point["traces"]:
+                failures.append(
+                    f"{label}: accepted {point['traces_accepted']} of "
+                    f"{point['traces']} traces"
+                )
+            if sum(point["worker_traces"]) != point["traces_accepted"]:
+                failures.append(
+                    f"{label}: per-worker counts {point['worker_traces']} "
+                    f"do not sum to {point['traces_accepted']}"
+                )
+        # The 1.3x multi-loop speedup is a concurrency ratio: gate it
+        # only on full runs on hosts with real parallelism, same policy
+        # as the streaming tail/whole-run targets above.
+        if (
+            not args.quick
+            and service["targets"]["perf_gated"]
+            and service["speedup"] < service["targets"]["multi_core_speedup"]
+        ):
             failures.append(
-                f"service pending peak {service['pending_peak']} exceeds "
-                f"budget {service['pending_budget']}"
-            )
-        if service["client_errors"]:
-            failures.append(
-                f"{service['client_errors']} client protocol error(s)"
-            )
-        if service["traces_accepted"] != service["traces"]:
-            failures.append(
-                f"accepted {service['traces_accepted']} of "
-                f"{service['traces']} traces"
+                f"workers 1->2 speedup {service['speedup']:.2f}x < target "
+                f"{service['targets']['multi_core_speedup']}x"
             )
         if failures:
             print(
